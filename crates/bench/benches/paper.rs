@@ -1,0 +1,213 @@
+//! Criterion benches mirroring the paper's latency-shaped experiments.
+//!
+//! One group per figure/table; within each group, one benchmark per
+//! (configuration, parameter) point, so `cargo bench` regenerates the
+//! comparison series. The heavyweight throughput experiments (Figures
+//! 8/10, Tables 1–3) have representative single points here and full
+//! sweeps in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bench::setup::{config_pair, kernel_with};
+use dc_vfs::OpenFlags;
+use dc_workloads::apps::{find_name, updatedb};
+use dc_workloads::lmbench::{self, Pattern};
+use dc_workloads::maildir::MaildirSim;
+use dc_workloads::tree::{build_flat_dir, build_subtree, build_tree, TreeSpec};
+use dc_workloads::apache;
+use dcache_core::DcacheConfig;
+
+/// Figure 2/6: stat latency per path pattern, per configuration.
+fn bench_stat_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_stat");
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        lmbench::setup(&s.kernel, &s.proc).unwrap();
+        for pat in [Pattern::Comp1, Pattern::Comp4, Pattern::Comp8, Pattern::NegF] {
+            // Warm both paths.
+            let _ = s.kernel.stat(&s.proc, pat.path());
+            g.bench_with_input(
+                BenchmarkId::new(name, pat.label()),
+                &pat,
+                |b, pat| {
+                    b.iter(|| {
+                        let _ = std::hint::black_box(s.kernel.stat(&s.proc, pat.path()));
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 6: open latency, unmodified vs optimized.
+fn bench_open(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_open");
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        lmbench::setup(&s.kernel, &s.proc).unwrap();
+        g.bench_function(BenchmarkId::new(name, "4-comp"), |b| {
+            b.iter(|| {
+                let fd = s
+                    .kernel
+                    .open(&s.proc, Pattern::Comp4.path(), OpenFlags::read_only(), 0)
+                    .unwrap();
+                s.kernel.close(&s.proc, fd).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: chmod of a directory with a cached 100-descendant subtree.
+fn bench_chmod_subtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_chmod");
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        build_subtree(&s.kernel, &s.proc, "/t", 2, 100).unwrap();
+        let _ = updatedb(&s.kernel, &s.proc, "/t").unwrap();
+        let mut mode = 0o755u16;
+        g.bench_function(BenchmarkId::new(name, "depth2-100files"), |b| {
+            b.iter(|| {
+                mode ^= 0o011;
+                s.kernel.chmod(&s.proc, "/t", mode).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: full-directory listing, 1000 entries.
+fn bench_readdir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_readdir");
+    g.sample_size(20);
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        build_flat_dir(&s.kernel, &s.proc, "/big", 1000).unwrap();
+        let _ = s.kernel.list_dir(&s.proc, "/big").unwrap();
+        g.bench_function(BenchmarkId::new(name, "1000"), |b| {
+            b.iter(|| {
+                std::hint::black_box(s.kernel.list_dir(&s.proc, "/big").unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: mkstemp in a 1000-entry directory.
+fn bench_mkstemp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_mkstemp");
+    g.sample_size(20);
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        build_flat_dir(&s.kernel, &s.proc, "/tmp1000", 1000).unwrap();
+        let _ = s.kernel.list_dir(&s.proc, "/tmp1000").unwrap();
+        g.bench_function(BenchmarkId::new(name, "1000"), |b| {
+            b.iter(|| {
+                let (fd, nm) = s.kernel.mkstemp(&s.proc, "/tmp1000", "t-").unwrap();
+                s.kernel.close(&s.proc, fd).unwrap();
+                s.kernel
+                    .unlink(&s.proc, &format!("/tmp1000/{nm}"))
+                    .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: one Dovecot mark/readdir operation, 500-message boxes.
+fn bench_maildir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_dovecot");
+    g.sample_size(20);
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        let mut sim = MaildirSim::provision(&s.kernel, &s.proc, "/mail", 5, 500, 7).unwrap();
+        for _ in 0..10 {
+            sim.mark_one(&s.kernel, &s.proc).unwrap();
+        }
+        g.bench_function(BenchmarkId::new(name, "500"), |b| {
+            b.iter(|| sim.mark_one(&s.kernel, &s.proc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Table 3: one Apache listing request, 100-entry directory.
+fn bench_apache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_apache");
+    g.sample_size(20);
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        build_flat_dir(&s.kernel, &s.proc, "/www", 100).unwrap();
+        let _ = apache::listing_request(&s.kernel, &s.proc, "/www").unwrap();
+        g.bench_function(BenchmarkId::new(name, "100"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    apache::listing_request(&s.kernel, &s.proc, "/www").unwrap(),
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 1 representative: a full `find` over a small source tree.
+fn bench_find(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_find");
+    g.sample_size(10);
+    for (name, config) in config_pair() {
+        let s = kernel_with(config);
+        build_tree(&s.kernel, &s.proc, "/src", &TreeSpec::source_like(400)).unwrap();
+        let _ = find_name(&s.kernel, &s.proc, "/src", "core").unwrap();
+        g.bench_function(BenchmarkId::new(name, "400files"), |b| {
+            b.iter(|| {
+                std::hint::black_box(find_name(&s.kernel, &s.proc, "/src", "core").unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Signature hashing itself (supporting Figure 3).
+fn bench_sighash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_hashing");
+    let s = kernel_with(DcacheConfig::optimized());
+    let comps: Vec<&[u8]> = vec![
+        b"XXX", b"YYY", b"ZZZ", b"AAA", b"BBB", b"CCC", b"DDD", b"FFF",
+    ];
+    g.bench_function("8comp-signature", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                s.kernel
+                    .dcache
+                    .key
+                    .hash_components(comps.iter().copied()),
+            );
+        })
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    // Short windows: the suite spans many groups, and these comparisons
+    // have large effect sizes.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_stat_patterns,
+    bench_open,
+    bench_chmod_subtree,
+    bench_readdir,
+    bench_mkstemp,
+    bench_maildir,
+    bench_apache,
+    bench_find,
+    bench_sighash
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] <experiment>...
+//! experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10
+//!              table1 table2 table3 table4 space ablation pcc rename-scale all
+//! ```
+//!
+//! Default scale is `--quick` (seconds per experiment); `--full`
+//! approaches the paper's parameters (minutes).
+
+use dc_bench::{figs, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: repro [--full] <experiment>...\n\
+             experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
+             \x20            table1 table2 table3 table4 space ablation pcc rename-scale all"
+        );
+        std::process::exit(2);
+    }
+    for w in wanted {
+        match w {
+            "fig1" => figs::fig1(scale),
+            "fig2" => figs::fig2(scale),
+            "fig3" => figs::fig3(scale),
+            "fig6" => figs::fig6(scale),
+            "fig7" => figs::fig7(scale),
+            "fig8" => figs::fig8(scale),
+            "fig9" => figs::fig9(scale),
+            "fig10" => figs::fig10(scale),
+            "table1" => figs::table1(scale),
+            "table2" => figs::table2(scale),
+            "table3" => figs::table3(scale),
+            "table4" => figs::table4(),
+            "space" => figs::space(scale),
+            "ablation" => figs::ablation(scale),
+            "pcc" => figs::pcc_sensitivity(scale),
+            "rename-scale" => figs::rename_scalability(scale),
+            "all" => figs::all(scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

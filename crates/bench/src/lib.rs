@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a function in [`figs`] that provisions fresh
+//! kernels (baseline and optimized), drives the matching workload from
+//! `dc-workloads`, and prints the same rows/series the paper reports.
+//! The `repro` binary dispatches to them; the Criterion benches wrap the
+//! latency-shaped ones. [`Scale`] trades fidelity for runtime so the
+//! whole suite can run in CI (`quick`) or at paper scale (`full`).
+
+pub mod figs;
+pub mod setup;
+pub mod table;
+
+pub use setup::{Scale, Setup};

@@ -1,0 +1,113 @@
+//! Kernel provisioning and experiment scaling.
+
+use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
+use dc_fs::{FileSystem, MemFs, MemFsConfig};
+use dc_vfs::{Kernel, KernelBuilder, Process};
+use dcache_core::DcacheConfig;
+use std::sync::Arc;
+
+/// A provisioned kernel and its init process.
+pub struct Setup {
+    /// The kernel under test.
+    pub kernel: Arc<Kernel>,
+    /// The driving process (root credentials).
+    pub proc: Arc<Process>,
+}
+
+/// Builds a kernel with a zero-latency memfs root.
+pub fn kernel_with(config: DcacheConfig) -> Setup {
+    let kernel = KernelBuilder::new(config)
+        .build()
+        .expect("kernel construction");
+    let proc = kernel.init_process();
+    Setup { kernel, proc }
+}
+
+/// Builds a kernel whose root disk charges real (spinning) latency per
+/// device access — the cold-cache substrate for Table 2.
+pub fn kernel_with_disk(config: DcacheConfig, read_ns: u64, write_ns: u64) -> Setup {
+    kernel_with_disk_full(config, read_ns, write_ns, 0)
+}
+
+/// Like [`kernel_with_disk`], additionally charging `hit_ns` per
+/// page-cache hit — modeling the buffer-cache lookup and on-disk-format
+/// translation costs a real kernel pays even when metadata is resident
+/// (our memfs is otherwise several times faster than the paper's ext4
+/// testbed, which would hide the value of avoiding FS calls entirely).
+pub fn kernel_with_disk_full(
+    config: DcacheConfig,
+    read_ns: u64,
+    write_ns: u64,
+    hit_ns: u64,
+) -> Setup {
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 1 << 18,
+        latency: LatencyModel::new(read_ns, write_ns, true).with_hit_ns(hit_ns),
+        ..Default::default()
+    }));
+    let fs = MemFs::mkfs(
+        disk,
+        MemFsConfig {
+            max_inodes: 1 << 18,
+            ..Default::default()
+        },
+    )
+    .expect("mkfs");
+    let kernel = KernelBuilder::new(config)
+        .root_fs(fs as Arc<dyn FileSystem>)
+        .build()
+        .expect("kernel construction");
+    let proc = kernel.init_process();
+    Setup { kernel, proc }
+}
+
+/// The configuration pair every comparison runs.
+pub fn config_pair() -> [(&'static str, DcacheConfig); 2] {
+    [
+        ("unmodified", DcacheConfig::baseline()),
+        ("optimized", DcacheConfig::optimized()),
+    ]
+}
+
+/// Experiment scaling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Approximate files in the source-like tree workloads.
+    pub tree_files: usize,
+    /// Throughput-measurement duration per point, milliseconds.
+    pub duration_ms: u64,
+    /// Latency batches per measurement.
+    pub batches: usize,
+    /// Largest directory size in the size sweeps.
+    pub max_dir: usize,
+    /// Largest subtree in the mutation sweeps.
+    pub max_subtree: usize,
+    /// Maximum threads in the scalability sweep.
+    pub max_threads: usize,
+}
+
+impl Scale {
+    /// CI-friendly scale (seconds, not minutes).
+    pub fn quick() -> Scale {
+        Scale {
+            tree_files: 400,
+            duration_ms: 60,
+            batches: 5,
+            max_dir: 1000,
+            max_subtree: 1000,
+            max_threads: 4,
+        }
+    }
+
+    /// Paper-comparable scale.
+    pub fn full() -> Scale {
+        Scale {
+            tree_files: 5000,
+            duration_ms: 800,
+            batches: 15,
+            max_dir: 10000,
+            max_subtree: 10000,
+            max_threads: 12,
+        }
+    }
+}

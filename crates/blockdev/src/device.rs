@@ -1,0 +1,213 @@
+//! The raw simulated device.
+
+use crate::latency::LatencyModel;
+use crate::BLOCK_SIZE;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Errors surfaced by the block layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// Access past the configured device capacity.
+    OutOfRange { block: u64, capacity: u64 },
+    /// Buffer length does not match the block size.
+    BadLength { got: usize, want: usize },
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            BlockError::BadLength { got, want } => {
+                write!(f, "buffer length {got} != block size {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// Result type for block operations.
+pub type BlockResult<T> = Result<T, BlockError>;
+
+/// Configuration for a simulated disk.
+#[derive(Debug)]
+pub struct DiskConfig {
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Device capacity in blocks.
+    pub capacity_blocks: u64,
+    /// Device access latency model.
+    pub latency: LatencyModel,
+    /// Page-cache capacity in pages (0 disables caching).
+    pub cache_pages: usize,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            block_size: BLOCK_SIZE,
+            capacity_blocks: 1 << 22, // 16 GiB of 4 KiB blocks
+            latency: LatencyModel::free(),
+            cache_pages: 16384, // 64 MiB
+        }
+    }
+}
+
+/// A sparse simulated block device.
+///
+/// Unwritten blocks read back as zeroes, like a fresh disk. Every access
+/// charges the latency model and bumps the device counters; the page cache
+/// in front of it ([`crate::CachedDisk`]) is what keeps hot metadata cheap.
+pub struct RawDisk {
+    block_size: usize,
+    capacity_blocks: u64,
+    blocks: Mutex<HashMap<u64, Bytes>>,
+    latency: LatencyModel,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl RawDisk {
+    /// Creates an empty device.
+    pub fn new(block_size: usize, capacity_blocks: u64, latency: LatencyModel) -> Self {
+        assert!(block_size.is_power_of_two() && block_size >= 512);
+        RawDisk {
+            block_size,
+            capacity_blocks,
+            blocks: Mutex::new(HashMap::new()),
+            latency,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn check(&self, block: u64) -> BlockResult<()> {
+        if block >= self.capacity_blocks {
+            return Err(BlockError::OutOfRange {
+                block,
+                capacity: self.capacity_blocks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads one block, charging device latency.
+    pub fn read_block(&self, block: u64) -> BlockResult<Bytes> {
+        self.check(block)?;
+        self.latency.charge_read();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let guard = self.blocks.lock();
+        Ok(match guard.get(&block) {
+            Some(b) => b.clone(),
+            None => Bytes::from(vec![0u8; self.block_size]),
+        })
+    }
+
+    /// Writes one block, charging device latency.
+    pub fn write_block(&self, block: u64, data: &[u8]) -> BlockResult<()> {
+        self.check(block)?;
+        if data.len() != self.block_size {
+            return Err(BlockError::BadLength {
+                got: data.len(),
+                want: self.block_size,
+            });
+        }
+        self.latency.charge_write();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.blocks.lock().insert(block, Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    /// Number of device-level reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of device-level writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the access counters.
+    pub fn reset_counters(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// The latency model (for accounting queries).
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> RawDisk {
+        RawDisk::new(512, 64, LatencyModel::free())
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = disk();
+        let b = d.read_block(3).unwrap();
+        assert!(b.iter().all(|&x| x == 0));
+        assert_eq!(b.len(), 512);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let d = disk();
+        let data = vec![7u8; 512];
+        d.write_block(9, &data).unwrap();
+        assert_eq!(&d.read_block(9).unwrap()[..], &data[..]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = disk();
+        assert!(matches!(
+            d.read_block(64),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write_block(99, &[0u8; 512]),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let d = disk();
+        assert!(matches!(
+            d.write_block(0, &[0u8; 100]),
+            Err(BlockError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let d = disk();
+        d.write_block(0, &[1u8; 512]).unwrap();
+        d.read_block(0).unwrap();
+        d.read_block(1).unwrap();
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.reads(), 2);
+    }
+}

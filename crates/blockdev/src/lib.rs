@@ -1,0 +1,49 @@
+//! Simulated block storage substrate for the directory-cache reproduction.
+//!
+//! The paper's evaluation runs on ext4 over a 7200 RPM disk with the Linux
+//! page cache in between. A directory-cache *miss* therefore has two cost
+//! tiers (§5): at best the on-disk metadata is still in the page cache but
+//! must be re-parsed; at worst the request blocks on device I/O.
+//!
+//! This crate reproduces that substrate in user space:
+//!
+//! - [`RawDisk`] — a sector store with a configurable [`LatencyModel`] that
+//!   charges (and optionally really spins for) per-access device latency.
+//! - [`CachedDisk`] — a write-back page cache with LRU replacement in front
+//!   of a [`RawDisk`], plus a `drop_caches` hook used by the cold-cache
+//!   experiments (Table 2).
+//!
+//! The file systems in `dc-fs` serialize their metadata into these blocks,
+//! so a dcache miss pays genuine deserialization work even when the page
+//! cache is warm — exactly the cost structure the paper's hit-rate
+//! optimizations exploit.
+//!
+//! # Examples
+//!
+//! ```
+//! use dc_blockdev::{CachedDisk, DiskConfig};
+//!
+//! let disk = CachedDisk::new(DiskConfig::default());
+//! let mut block = vec![0u8; disk.block_size()];
+//! block[0] = 0xAB;
+//! disk.write_block(7, &block).unwrap();
+//! assert_eq!(disk.read_block(7).unwrap()[0], 0xAB);
+//!
+//! disk.sync().unwrap();
+//! disk.drop_caches();
+//! // Still readable — now served from the "device".
+//! assert_eq!(disk.read_block(7).unwrap()[0], 0xAB);
+//! assert!(disk.stats().device_reads > 0);
+//! ```
+
+mod device;
+mod latency;
+mod lru;
+mod pagecache;
+
+pub use device::{BlockError, BlockResult, DiskConfig, RawDisk};
+pub use latency::LatencyModel;
+pub use pagecache::{CachedDisk, DiskStats};
+
+/// Default block size, matching the paper's 4096-byte ext4 configuration.
+pub const BLOCK_SIZE: usize = 4096;

@@ -1,0 +1,181 @@
+//! A small intrusive LRU list over a slab of nodes.
+//!
+//! Used by the page cache to order resident pages by recency without
+//! per-access allocation. Nodes are identified by slab index; the caller
+//! maps its keys to indices.
+
+/// Sentinel for "no node".
+pub(crate) const NIL: usize = usize::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    prev: usize,
+    next: usize,
+    in_list: bool,
+}
+
+/// Doubly-linked LRU order over externally-allocated slots.
+///
+/// Head = most recently used, tail = least recently used.
+#[derive(Debug)]
+pub(crate) struct LruList {
+    nodes: Vec<Node>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl LruList {
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Ensures slot `idx` exists in the slab (not in the list yet).
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.nodes.len() {
+            self.nodes.resize(
+                idx + 1,
+                Node {
+                    prev: NIL,
+                    next: NIL,
+                    in_list: false,
+                },
+            );
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Pushes `idx` at the most-recently-used end. Must not be in the list.
+    pub fn push_front(&mut self, idx: usize) {
+        self.ensure(idx);
+        debug_assert!(!self.nodes[idx].in_list, "double insert into LRU");
+        let old_head = self.head;
+        self.nodes[idx] = Node {
+            prev: NIL,
+            next: old_head,
+            in_list: true,
+        };
+        if old_head != NIL {
+            self.nodes[old_head].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+    }
+
+    /// Removes `idx` from the list if present.
+    pub fn remove(&mut self, idx: usize) {
+        if idx >= self.nodes.len() || !self.nodes[idx].in_list {
+            return;
+        }
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].in_list = false;
+        self.len -= 1;
+    }
+
+    /// Moves `idx` to the most-recently-used end (inserting if absent).
+    pub fn touch(&mut self, idx: usize) {
+        self.remove(idx);
+        self.push_front(idx);
+    }
+
+    /// Pops the least-recently-used slot, if any.
+    pub fn pop_lru(&mut self) -> Option<usize> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.remove(idx);
+        Some(idx)
+    }
+
+    /// Clears the list (slab slots remain allocated).
+    pub fn clear(&mut self) {
+        while self.pop_lru().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_lru() {
+        let mut l = LruList::new();
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new();
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        l.touch(0); // 0 becomes MRU
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(0));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LruList::new();
+        for i in 0..5 {
+            l.push_front(i);
+        }
+        l.remove(2);
+        assert_eq!(l.len(), 4);
+        let order: Vec<_> = std::iter::from_fn(|| l.pop_lru()).collect();
+        assert_eq!(order, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut l = LruList::new();
+        l.push_front(3);
+        l.remove(100);
+        l.remove(3);
+        l.remove(3);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut l = LruList::new();
+        for i in 0..10 {
+            l.push_front(i);
+        }
+        l.clear();
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.pop_lru(), None);
+        // Reusable after clear.
+        l.push_front(4);
+        assert_eq!(l.pop_lru(), Some(4));
+    }
+}

@@ -1,0 +1,341 @@
+//! Write-back page cache in front of the raw device.
+
+use crate::device::{BlockResult, DiskConfig, RawDisk};
+use crate::lru::LruList;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate I/O statistics for a [`CachedDisk`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Page-cache hits.
+    pub cache_hits: u64,
+    /// Page-cache misses (caused a device read).
+    pub cache_misses: u64,
+    /// Reads that reached the device.
+    pub device_reads: u64,
+    /// Writes that reached the device.
+    pub device_writes: u64,
+    /// Dirty pages written back due to eviction pressure.
+    pub writebacks: u64,
+    /// Simulated device time, nanoseconds.
+    pub simulated_io_ns: u64,
+    /// Pages currently resident.
+    pub resident_pages: u64,
+}
+
+struct Page {
+    data: Bytes,
+    dirty: bool,
+    /// Slab slot in the LRU list.
+    slot: usize,
+}
+
+struct CacheInner {
+    pages: HashMap<u64, Page>,
+    /// Maps LRU slab slots back to block numbers.
+    slot_to_block: Vec<u64>,
+    free_slots: Vec<usize>,
+    lru: LruList,
+}
+
+impl CacheInner {
+    fn alloc_slot(&mut self, block: u64) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            self.slot_to_block[slot] = block;
+            slot
+        } else {
+            self.slot_to_block.push(block);
+            self.slot_to_block.len() - 1
+        }
+    }
+}
+
+/// A write-back LRU page cache over a [`RawDisk`].
+///
+/// This is the substrate analog of the Linux buffer/page cache: dcache
+/// misses that reach the low-level file system first consult this cache,
+/// so a *warm-cache* miss pays deserialization but no device latency, while
+/// a *cold-cache* miss (after [`CachedDisk::drop_caches`]) pays both —
+/// the two miss tiers of §5 of the paper.
+pub struct CachedDisk {
+    disk: RawDisk,
+    capacity_pages: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl CachedDisk {
+    /// The device's latency model (for hit-cost accounting queries).
+    pub fn latency(&self) -> &crate::LatencyModel {
+        self.disk.latency()
+    }
+
+    /// Creates a cached disk per `config`.
+    pub fn new(config: DiskConfig) -> Self {
+        let DiskConfig {
+            block_size,
+            capacity_blocks,
+            latency,
+            cache_pages,
+        } = config;
+        CachedDisk {
+            disk: RawDisk::new(block_size, capacity_blocks, latency),
+            capacity_pages: cache_pages,
+            inner: Mutex::new(CacheInner {
+                pages: HashMap::new(),
+                slot_to_block: Vec::new(),
+                free_slots: Vec::new(),
+                lru: LruList::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.disk.block_size()
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.disk.capacity_blocks()
+    }
+
+    /// Reads one block through the cache.
+    pub fn read_block(&self, block: u64) -> BlockResult<Bytes> {
+        if self.capacity_pages == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.disk.read_block(block);
+        }
+        {
+            let mut inner = self.inner.lock();
+            if let Some(page) = inner.pages.get(&block) {
+                let slot = page.slot;
+                let data = page.data.clone();
+                inner.lru.touch(slot);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk.latency().charge_hit();
+                return Ok(data);
+            }
+        }
+        // Miss: read from the device outside the cache lock so that a
+        // spinning latency model does not serialize unrelated hits.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.disk.read_block(block)?;
+        let mut inner = self.inner.lock();
+        // A racing reader may have inserted it meanwhile; keep theirs.
+        if !inner.pages.contains_key(&block) {
+            self.insert_locked(&mut inner, block, data.clone(), false)?;
+        }
+        Ok(data)
+    }
+
+    /// Writes one block through the cache (write-back: device copy deferred
+    /// until [`CachedDisk::sync`], eviction, or [`CachedDisk::drop_caches`]).
+    pub fn write_block(&self, block: u64, data: &[u8]) -> BlockResult<()> {
+        if block >= self.disk.capacity_blocks() {
+            // Surface range errors eagerly even in write-back mode.
+            return self.disk.write_block(block, data);
+        }
+        if data.len() != self.disk.block_size() {
+            return Err(crate::BlockError::BadLength {
+                got: data.len(),
+                want: self.disk.block_size(),
+            });
+        }
+        if self.capacity_pages == 0 {
+            return self.disk.write_block(block, data);
+        }
+        let bytes = Bytes::copy_from_slice(data);
+        let mut inner = self.inner.lock();
+        if let Some(page) = inner.pages.get_mut(&block) {
+            page.data = bytes;
+            page.dirty = true;
+            let slot = page.slot;
+            inner.lru.touch(slot);
+            return Ok(());
+        }
+        self.insert_locked(&mut inner, block, bytes, true)
+    }
+
+    fn insert_locked(
+        &self,
+        inner: &mut CacheInner,
+        block: u64,
+        data: Bytes,
+        dirty: bool,
+    ) -> BlockResult<()> {
+        while inner.pages.len() >= self.capacity_pages {
+            let Some(victim_slot) = inner.lru.pop_lru() else {
+                break;
+            };
+            let victim_block = inner.slot_to_block[victim_slot];
+            if let Some(victim) = inner.pages.remove(&victim_block) {
+                inner.free_slots.push(victim_slot);
+                if victim.dirty {
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                    self.disk.write_block(victim_block, &victim.data)?;
+                }
+            }
+        }
+        let slot = inner.alloc_slot(block);
+        inner.pages.insert(block, Page { data, dirty, slot });
+        inner.lru.push_front(slot);
+        Ok(())
+    }
+
+    /// Writes all dirty pages back to the device.
+    pub fn sync(&self) -> BlockResult<()> {
+        let mut inner = self.inner.lock();
+        // Collect first: writing under iteration would alias the map borrow.
+        let dirty: Vec<(u64, Bytes)> = inner
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&b, p)| (b, p.data.clone()))
+            .collect();
+        for (block, data) in &dirty {
+            self.disk.write_block(*block, data)?;
+        }
+        for (block, _) in dirty {
+            if let Some(p) = inner.pages.get_mut(&block) {
+                p.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and discards every resident page (the `echo 3 >
+    /// /proc/sys/vm/drop_caches` analog used for cold-cache runs).
+    pub fn drop_caches(&self) {
+        self.sync().expect("sync during drop_caches");
+        let mut inner = self.inner.lock();
+        inner.pages.clear();
+        inner.lru.clear();
+        inner.free_slots.clear();
+        inner.slot_to_block.clear();
+    }
+
+    /// Resets hit/miss and device statistics (residency is unaffected).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+        self.disk.reset_counters();
+        self.disk.latency().reset_accounting();
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            device_reads: self.disk.reads(),
+            device_writes: self.disk.writes(),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            simulated_io_ns: self.disk.latency().accounted_ns(),
+            resident_pages: self.inner.lock().pages.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+
+    fn small_cache(pages: usize) -> CachedDisk {
+        CachedDisk::new(DiskConfig {
+            block_size: 512,
+            capacity_blocks: 1024,
+            latency: LatencyModel::free(),
+            cache_pages: pages,
+        })
+    }
+
+    #[test]
+    fn read_hits_after_first_miss() {
+        let d = small_cache(8);
+        d.read_block(5).unwrap();
+        d.read_block(5).unwrap();
+        let s = d.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.device_reads, 1);
+    }
+
+    #[test]
+    fn writes_are_write_back() {
+        let d = small_cache(8);
+        d.write_block(1, &[9u8; 512]).unwrap();
+        assert_eq!(d.stats().device_writes, 0);
+        d.sync().unwrap();
+        assert_eq!(d.stats().device_writes, 1);
+        // Second sync writes nothing new.
+        d.sync().unwrap();
+        assert_eq!(d.stats().device_writes, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let d = small_cache(2);
+        d.write_block(0, &[1u8; 512]).unwrap();
+        d.write_block(1, &[2u8; 512]).unwrap();
+        d.write_block(2, &[3u8; 512]).unwrap(); // evicts block 0
+        let s = d.stats();
+        assert!(s.writebacks >= 1);
+        // Evicted data must be durable.
+        assert_eq!(d.read_block(0).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn drop_caches_preserves_data() {
+        let d = small_cache(8);
+        d.write_block(3, &[42u8; 512]).unwrap();
+        d.drop_caches();
+        assert_eq!(d.stats().resident_pages, 0);
+        assert_eq!(d.read_block(3).unwrap()[0], 42);
+        // That read was a device read.
+        assert!(d.stats().device_reads >= 1);
+    }
+
+    #[test]
+    fn lru_keeps_hot_pages() {
+        let d = small_cache(2);
+        d.read_block(0).unwrap();
+        d.read_block(1).unwrap();
+        d.read_block(0).unwrap(); // block 0 hot
+        d.read_block(2).unwrap(); // evicts block 1
+        d.reset_stats();
+        d.read_block(0).unwrap();
+        assert_eq!(d.stats().cache_hits, 1);
+        d.read_block(1).unwrap();
+        assert_eq!(d.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_bypasses() {
+        let d = small_cache(0);
+        d.write_block(0, &[5u8; 512]).unwrap();
+        d.read_block(0).unwrap();
+        let s = d.stats();
+        assert_eq!(s.device_writes, 1);
+        assert_eq!(s.device_reads, 1);
+        assert_eq!(s.resident_pages, 0);
+    }
+
+    #[test]
+    fn bad_writes_rejected_through_cache() {
+        let d = small_cache(4);
+        assert!(d.write_block(0, &[0u8; 3]).is_err());
+        assert!(d.write_block(5000, &[0u8; 512]).is_err());
+    }
+}

@@ -1,0 +1,621 @@
+//! The directory-cache facade: allocation, hashing tables, coherence.
+
+use crate::config::DcacheConfig;
+use crate::dentry::{Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE};
+use crate::dlht::Dlht;
+use crate::inode::{Inode, SbId};
+use crate::lru::{DentryLru, EvictOutcome};
+use crate::pcc::Pcc;
+use crate::seqlock::SeqLock;
+use crate::stats::{DcacheStats, SpaceReport};
+use dc_cred::Cred;
+use dc_sighash::HashKey;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Mount-namespace identity (each namespace owns a private DLHT, §4.3).
+pub type NsId = u64;
+
+/// The directory cache.
+///
+/// One instance per kernel. Owns dentry allocation, the per-namespace
+/// direct-lookup tables, per-credential prefix check caches, the LRU, and
+/// the coherence machinery of §3.2: the global `rename_lock` seqlock, the
+/// global `invalidation` counter, and recursive subtree shootdowns.
+pub struct Dcache {
+    /// Feature configuration (baseline / optimized / ablations).
+    pub config: DcacheConfig,
+    /// Boot-time signature hash key (§3.3).
+    pub key: HashKey,
+    /// Behavior counters.
+    pub stats: DcacheStats,
+    /// Global rename seqlock: writers are structural mutations, readers
+    /// are optimistic slowpath walks (§3.2).
+    pub rename_lock: SeqLock,
+    dlhts: RwLock<HashMap<NsId, Arc<Dlht>>>,
+    lru: DentryLru,
+    /// Global shootdown counter: slowpath results may only be published to
+    /// DLHT/PCC if this did not move during the walk (§3.2).
+    invalidation: AtomicU64,
+    next_id: AtomicU64,
+    live: AtomicU64,
+    tick: AtomicU64,
+    pccs: Mutex<Vec<Weak<Pcc>>>,
+}
+
+impl Dcache {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DcacheConfig::validate`].
+    pub fn new(config: DcacheConfig) -> Arc<Dcache> {
+        config.validate().expect("invalid dcache config");
+        let key = match config.hash_seed {
+            Some(seed) => HashKey::from_seed(seed),
+            None => HashKey::from_entropy(),
+        };
+        Arc::new(Dcache {
+            config,
+            key,
+            stats: DcacheStats::default(),
+            rename_lock: SeqLock::new(),
+            dlhts: RwLock::new(HashMap::new()),
+            lru: DentryLru::new(8),
+            invalidation: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            live: AtomicU64::new(0),
+            tick: AtomicU64::new(1),
+            pccs: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn alloc_id(&self) -> DentryId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Live (hashed) dentries.
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    // --- allocation ------------------------------------------------------
+
+    /// Creates the root dentry of a superblock. Root dentries are pinned
+    /// by their superblock and never enter the LRU.
+    pub fn new_root(&self, sb: SbId, inode: Arc<Inode>) -> Arc<Dentry> {
+        let d = Dentry::new(
+            self.alloc_id(),
+            sb,
+            "",
+            None,
+            DentryState::Positive(inode),
+            0,
+        );
+        d.store_hash_state(self.key.root_state());
+        self.live.fetch_add(1, Ordering::Relaxed);
+        d
+    }
+
+    /// Allocates and hashes a child dentry under `parent`.
+    ///
+    /// The caller holds `parent.dir_lock()` and has verified no live child
+    /// exists for `name`.
+    pub fn d_alloc(
+        &self,
+        parent: &Arc<Dentry>,
+        name: &str,
+        state: DentryState,
+    ) -> Arc<Dentry> {
+        let d = Dentry::new(
+            self.alloc_id(),
+            parent.sb(),
+            name,
+            Some(parent.clone()),
+            state,
+            0,
+        );
+        parent.insert_child(d.clone());
+        d.touch(self.tick.fetch_add(1, Ordering::Relaxed));
+        self.live.fetch_add(1, Ordering::Relaxed);
+        self.lru.insert(&d);
+        self.maybe_shrink();
+        d
+    }
+
+    /// Per-parent cached-child lookup (`d_lookup`).
+    pub fn d_lookup(&self, parent: &Dentry, name: &str) -> Option<Arc<Dentry>> {
+        let child = parent.get_child(name)?;
+        child.touch(self.tick.fetch_add(1, Ordering::Relaxed));
+        Some(child)
+    }
+
+    // --- state transitions ------------------------------------------------
+
+    /// Converts a dentry to a negative entry of the given kind, keeping it
+    /// hashed so future lookups hit the cached absence (§5.2). Any cached
+    /// children (e.g. deep `ENOTDIR` children of an unlinked file) are
+    /// unhashed, since their cause is gone.
+    pub fn make_negative(&self, d: &Arc<Dentry>, kind: NegKind) {
+        for child in d.children_snapshot() {
+            self.unhash_subtree(&child);
+        }
+        d.set_state(DentryState::Negative(kind));
+        // A stale target signature must not outlive the object (the path
+        // may be recreated as a different symlink).
+        d.clear_link_sig();
+        // Listings of the parent change: the entry vanished.
+        if let Some(p) = d.parent() {
+            p.bump_children_version();
+        }
+        self.stats.neg_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unhashes a dentry: removes it from its parent, the DLHT, and the
+    /// accounting. The dentry stays usable through existing references
+    /// (Linux `d_drop` semantics) but is never returned by lookups again.
+    ///
+    /// `reclaim` marks space-pressure eviction, which additionally breaks
+    /// the parent's completeness claim (§5.1); removals that mirror a real
+    /// file-system deletion keep completeness intact.
+    pub fn unhash(&self, d: &Arc<Dentry>, reclaim: bool) {
+        // Only the transition into DEAD does the bookkeeping.
+        if d.flag(FLAG_DEAD) {
+            return;
+        }
+        d.set_flag(FLAG_DEAD);
+        if let Some(parent) = d.parent() {
+            parent.remove_child_if(&d.name(), d.id());
+            if reclaim {
+                parent.bump_child_evict_gen();
+                if parent.flag(FLAG_DIR_COMPLETE) {
+                    parent.clear_flag(FLAG_DIR_COMPLETE);
+                    self.stats.complete_breaks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        d.bump_seq();
+        self.dlht_remove(d);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Moves a dentry to a new parent and/or name (the cache half of
+    /// `rename`). The caller holds the global rename lock and both
+    /// directories' `dir_lock`s, and has already shot down the subtree.
+    ///
+    /// Any dentry currently hashed at the destination must have been
+    /// unhashed or converted by the caller beforehand.
+    pub fn d_move(&self, d: &Arc<Dentry>, new_parent: &Arc<Dentry>, new_name: &str) {
+        if let Some(old_parent) = d.parent() {
+            old_parent.remove_child_if(&d.name(), d.id());
+        }
+        debug_assert!(
+            new_parent.get_child(new_name).is_none(),
+            "destination name still hashed"
+        );
+        d.set_name_parent(new_name, Some(new_parent.clone()));
+        new_parent.insert_child(d.clone());
+    }
+
+    /// Unhashes a dentry and every cached descendant (rmdir of a directory
+    /// with cached negative children, symlink retargeting, …).
+    pub fn unhash_subtree(&self, d: &Arc<Dentry>) {
+        let mut stack = vec![d.clone()];
+        while let Some(n) = stack.pop() {
+            stack.extend(n.children_snapshot());
+            self.unhash(&n, false);
+        }
+    }
+
+    // --- DLHT -------------------------------------------------------------
+
+    /// The DLHT serving namespace `ns`, created on first use.
+    pub fn dlht_for(&self, ns: NsId) -> Arc<Dlht> {
+        if let Some(t) = self.dlhts.read().get(&ns) {
+            return t.clone();
+        }
+        let mut w = self.dlhts.write();
+        w.entry(ns)
+            .or_insert_with(|| Dlht::new(ns, self.config.dlht_buckets))
+            .clone()
+    }
+
+    /// Direct lookup by full-path signature in namespace `ns`.
+    pub fn dlht_lookup(&self, ns: NsId, sig: &crate::Signature) -> Option<Arc<Dentry>> {
+        self.dlht_for(ns).lookup(sig)
+    }
+
+    /// Publishes `dentry` under `sig` in namespace `ns`'s DLHT, evicting
+    /// any previous membership (one table, one signature at a time; §4.3).
+    /// Returns `false` if the dentry died concurrently.
+    pub fn dlht_insert(&self, ns: NsId, sig: crate::Signature, dentry: &Arc<Dentry>) -> bool {
+        let mut membership = dentry.dlht_entry().lock();
+        if dentry.is_dead() {
+            return false;
+        }
+        if let Some((old_ns, old_sig)) = membership.take() {
+            self.dlht_for(old_ns).remove_raw(&old_sig, dentry.id());
+        }
+        self.dlht_for(ns).insert_raw(sig, dentry);
+        *membership = Some((ns, sig));
+        true
+    }
+
+    /// Removes `dentry` from whichever DLHT holds it, if any.
+    pub fn dlht_remove(&self, dentry: &Arc<Dentry>) {
+        let mut membership = dentry.dlht_entry().lock();
+        if let Some((ns, sig)) = membership.take() {
+            self.dlht_for(ns).remove_raw(&sig, dentry.id());
+        }
+    }
+
+    // --- PCC ---------------------------------------------------------------
+
+    /// The prefix check cache for `(cred, ns)`, created on first use and
+    /// shared by every process with the same credential in the same
+    /// namespace (§3.1, §4.1).
+    pub fn pcc_for(&self, cred: &Cred, ns: NsId) -> Arc<Pcc> {
+        let bytes = self.config.pcc_bytes;
+        let mut created: Option<Arc<Pcc>> = None;
+        let any = cred.cache_for(ns, || {
+            let pcc = Arc::new(Pcc::new(bytes));
+            created = Some(pcc.clone());
+            pcc
+        });
+        if let Some(pcc) = created {
+            self.pccs.lock().push(Arc::downgrade(&pcc));
+        }
+        any.downcast::<Pcc>()
+            .expect("cred cache slot held a non-PCC value")
+    }
+
+    /// Flushes every live PCC (the paper's version-wraparound handling;
+    /// also used by cold-cache experiment resets).
+    pub fn flush_all_pccs(&self) {
+        let mut list = self.pccs.lock();
+        list.retain(|w| match w.upgrade() {
+            Some(pcc) => {
+                pcc.invalidate_all();
+                true
+            }
+            None => false,
+        });
+    }
+
+    // --- coherence ----------------------------------------------------------
+
+    /// Current shootdown counter value.
+    #[inline]
+    pub fn invalidation_counter(&self) -> u64 {
+        self.invalidation.load(Ordering::Acquire)
+    }
+
+    /// Advances the shootdown counter, preventing concurrent slowpath
+    /// walks from publishing stale results (§3.2).
+    #[inline]
+    pub fn bump_invalidation(&self) -> u64 {
+        self.invalidation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Invalidates cached prefix checks for `d` and every cached
+    /// descendant by bumping their version counters; with `structural`
+    /// also evicts them from the DLHT and clears their resumable hash
+    /// states (rename / mount changes — the path strings themselves became
+    /// stale). Returns the number of dentries visited — the linear cost
+    /// the paper measures in Figure 7.
+    pub fn shoot_subtree(&self, d: &Arc<Dentry>, structural: bool) -> u64 {
+        let mut visited = 0u64;
+        let mut stack = vec![d.clone()];
+        while let Some(n) = stack.pop() {
+            visited += 1;
+            n.bump_seq();
+            if structural {
+                self.dlht_remove(&n);
+                n.clear_hash_state();
+            }
+            stack.extend(n.children_snapshot());
+        }
+        self.stats.shootdowns.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shootdown_visits
+            .fetch_add(visited, Ordering::Relaxed);
+        visited
+    }
+
+    // --- eviction -------------------------------------------------------------
+
+    fn maybe_shrink(&self) {
+        let live = self.live() as usize;
+        if live > self.config.capacity {
+            self.shrink(live - self.config.capacity + 64);
+        }
+    }
+
+    /// Evicts up to `target` unused leaf dentries in approximate LRU
+    /// order. Returns how many were evicted.
+    pub fn shrink(&self, target: usize) -> usize {
+        let mut evicted_total = 0;
+        // A few passes peel subtrees bottom-up: evicting leaves exposes
+        // their parents as the next pass's leaves.
+        for _ in 0..4 {
+            if evicted_total >= target {
+                break;
+            }
+            let budget = (target - evicted_total) * 8 + 32;
+            let evicted = self.lru.scan(budget, |d| {
+                if self.try_evict(d) {
+                    EvictOutcome::Evicted
+                } else {
+                    EvictOutcome::Keep
+                }
+            });
+            if evicted == 0 {
+                break;
+            }
+            evicted_total += evicted;
+        }
+        evicted_total
+    }
+
+    fn try_evict(&self, d: &Arc<Dentry>) -> bool {
+        // Evictable: hashed, a leaf, with no external references. The two
+        // expected strong references are the parent's children map and the
+        // scan's own handle. Root dentries (no parent) are pinned.
+        if d.parent().is_none() || !d.has_no_children() {
+            return false;
+        }
+        if Arc::strong_count(d) != 2 {
+            return false;
+        }
+        self.unhash(d, true);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Evicts everything evictable (the dcache half of a cold-cache
+    /// reset). Pinned dentries (roots, cwds, open files) survive.
+    pub fn drop_unused(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.shrink(usize::MAX / 16);
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    // --- reporting ---------------------------------------------------------
+
+    /// Space-overhead report (§6.1).
+    pub fn space_report(&self) -> SpaceReport {
+        let dlht_bytes = self
+            .dlhts
+            .read()
+            .values()
+            .map(|t| t.approx_bytes())
+            .sum();
+        let pccs = {
+            let mut list = self.pccs.lock();
+            list.retain(|w| w.upgrade().is_some());
+            list.len()
+        };
+        SpaceReport {
+            dentry_bytes: std::mem::size_of::<Dentry>(),
+            live_dentries: self.live(),
+            dlht_bytes,
+            pcc_bytes_each: Pcc::new(self.config.pcc_bytes).approx_bytes(),
+            pccs,
+        }
+    }
+
+    /// DLHT bucket occupancy aggregated over namespaces (§6.5).
+    pub fn dlht_occupancy(&self) -> [u64; 4] {
+        let mut total = [0u64; 4];
+        for t in self.dlhts.read().values() {
+            let o = t.occupancy();
+            for i in 0..4 {
+                total[i] += o[i];
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_blockdev::{CachedDisk, DiskConfig};
+    use dc_fs::{FileSystem, MemFs};
+
+    fn cache(config: DcacheConfig) -> Arc<Dcache> {
+        Dcache::new(config.with_seed(42))
+    }
+
+    fn root_inode(dc: &Dcache) -> Arc<Inode> {
+        let disk = Arc::new(CachedDisk::new(DiskConfig {
+            capacity_blocks: 4096,
+            ..Default::default()
+        }));
+        let fs = MemFs::mkfs(
+            disk,
+            dc_fs::MemFsConfig {
+                max_inodes: 4096,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let attr = fs.getattr(fs.root_ino()).unwrap();
+        let _ = dc;
+        Inode::new(1, fs, attr)
+    }
+
+    fn neg(dc: &Dcache, parent: &Arc<Dentry>, name: &str) -> Arc<Dentry> {
+        dc.d_alloc(parent, name, DentryState::Negative(NegKind::Enoent))
+    }
+
+    #[test]
+    fn alloc_and_lookup_children() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let etc = neg(&dc, &root, "etc");
+        assert_eq!(dc.d_lookup(&root, "etc").unwrap().id(), etc.id());
+        assert!(dc.d_lookup(&root, "usr").is_none());
+        assert_eq!(dc.live(), 2);
+    }
+
+    #[test]
+    fn unhash_removes_and_is_idempotent() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let d = neg(&dc, &root, "x");
+        dc.unhash(&d, false);
+        assert!(dc.d_lookup(&root, "x").is_none());
+        assert!(d.is_dead());
+        let live = dc.live();
+        dc.unhash(&d, false);
+        assert_eq!(dc.live(), live, "double unhash must not double count");
+    }
+
+    #[test]
+    fn reclaim_unhash_breaks_completeness() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let d = neg(&dc, &root, "x");
+        root.set_flag(FLAG_DIR_COMPLETE);
+        let gen_before = root.child_evict_gen();
+        dc.unhash(&d, true);
+        assert!(!root.flag(FLAG_DIR_COMPLETE));
+        assert!(root.child_evict_gen() > gen_before);
+        // A deletion-driven unhash leaves completeness alone.
+        let e = neg(&dc, &root, "y");
+        root.set_flag(FLAG_DIR_COMPLETE);
+        dc.unhash(&e, false);
+        assert!(root.flag(FLAG_DIR_COMPLETE));
+    }
+
+    #[test]
+    fn dlht_membership_moves_between_signatures() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let d = neg(&dc, &root, "f");
+        let sig_a = dc.key.hash_components([b"a".as_slice()]);
+        let sig_b = dc.key.hash_components([b"b".as_slice()]);
+        assert!(dc.dlht_insert(0, sig_a, &d));
+        assert!(dc.dlht_lookup(0, &sig_a).is_some());
+        // Re-publishing under another namespace moves the single entry.
+        assert!(dc.dlht_insert(7, sig_b, &d));
+        assert!(dc.dlht_lookup(0, &sig_a).is_none());
+        assert_eq!(dc.dlht_lookup(7, &sig_b).unwrap().id(), d.id());
+        dc.dlht_remove(&d);
+        assert!(dc.dlht_lookup(7, &sig_b).is_none());
+    }
+
+    #[test]
+    fn shoot_subtree_counts_and_invalidates() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let a = neg(&dc, &root, "a");
+        let b = neg(&dc, &a, "b");
+        let c = neg(&dc, &b, "c");
+        let sig = dc.key.hash_components([b"a".as_slice(), b"b".as_slice()]);
+        dc.dlht_insert(0, sig, &b);
+        b.store_hash_state(dc.key.root_state());
+        let seqs = [a.seq(), b.seq(), c.seq()];
+        let visited = dc.shoot_subtree(&a, true);
+        assert_eq!(visited, 3);
+        assert_eq!(a.seq(), seqs[0] + 1);
+        assert_eq!(b.seq(), seqs[1] + 1);
+        assert_eq!(c.seq(), seqs[2] + 1);
+        assert!(dc.dlht_lookup(0, &sig).is_none());
+        assert!(b.hash_state().is_none());
+        // Non-structural shootdown bumps seqs but keeps DLHT entries.
+        dc.dlht_insert(0, sig, &b);
+        dc.shoot_subtree(&a, false);
+        assert!(dc.dlht_lookup(0, &sig).is_some());
+    }
+
+    #[test]
+    fn make_negative_drops_stale_children() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let f = neg(&dc, &root, "file");
+        let deep = dc.d_alloc(&f, "below", DentryState::Negative(NegKind::Enotdir));
+        dc.make_negative(&f, NegKind::Enoent);
+        assert_eq!(f.neg_kind(), Some(NegKind::Enoent));
+        assert!(deep.is_dead());
+        assert!(f.get_child("below").is_none());
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_leaves_only() {
+        let dc = cache(DcacheConfig::optimized().with_capacity(64));
+        let root = dc.new_root(1, root_inode(&dc));
+        // Build 16 dirs × 16 children; interior dirs must survive while
+        // they have cached children.
+        let mut dirs = Vec::new();
+        for i in 0..16 {
+            let d = neg(&dc, &root, &format!("d{i}"));
+            for j in 0..16 {
+                neg(&dc, &d, &format!("f{j}"));
+            }
+            dirs.push(d);
+        }
+        assert!(
+            dc.live() <= 64 + 64 + 1,
+            "eviction kept the cache near capacity (live={})",
+            dc.live()
+        );
+        // Held references (dirs vec) are never evicted.
+        for d in &dirs {
+            assert!(!d.is_dead());
+        }
+    }
+
+    #[test]
+    fn drop_unused_empties_everything_unpinned() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        {
+            let a = neg(&dc, &root, "a");
+            let _b = neg(&dc, &a, "b");
+            let _c = neg(&dc, &root, "c");
+        }
+        assert_eq!(dc.live(), 4);
+        let evicted = dc.drop_unused();
+        assert_eq!(evicted, 3);
+        assert_eq!(dc.live(), 1, "only the pinned root remains");
+        assert!(!root.is_dead());
+    }
+
+    #[test]
+    fn pcc_sharing_follows_cred_and_namespace() {
+        let dc = cache(DcacheConfig::optimized());
+        let cred = dc_cred::Cred::user(1000, 1000);
+        let p1 = dc.pcc_for(&cred, 0);
+        let p2 = dc.pcc_for(&cred, 0);
+        assert!(Arc::ptr_eq(&p1, &p2), "same cred+ns share a PCC");
+        let p3 = dc.pcc_for(&cred, 1);
+        assert!(!Arc::ptr_eq(&p1, &p3), "namespaces get private PCCs");
+        let other = dc_cred::Cred::user(1000, 1000);
+        let p4 = dc.pcc_for(&other, 0);
+        assert!(!Arc::ptr_eq(&p1, &p4), "distinct cred objects get their own");
+        // Global flush reaches them all.
+        p1.insert(5, 1);
+        p4.insert(6, 1);
+        dc.flush_all_pccs();
+        assert!(!p1.check(5, 1));
+        assert!(!p4.check(6, 1));
+    }
+
+    #[test]
+    fn invalidation_counter_monotone() {
+        let dc = cache(DcacheConfig::optimized());
+        let a = dc.invalidation_counter();
+        let b = dc.bump_invalidation();
+        assert!(b > a);
+        assert_eq!(dc.invalidation_counter(), b);
+    }
+}

@@ -1,0 +1,706 @@
+//! Dentries: cached path components, positive / negative / partial.
+
+use crate::inode::{Inode, SbId};
+use dc_fs::{DirEntry, FileType, FsError};
+use dc_sighash::{HashState, Signature};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unique, never-reused dentry identity.
+///
+/// The paper keys the PCC by dentry pointer and detects reallocation with a
+/// monotonically increasing initialization counter (§3.1); a 64-bit
+/// never-reused id subsumes both and cannot wrap in practice.
+pub type DentryId = u64;
+
+/// Flag: every live child of this directory is in the cache (§5.1).
+pub const FLAG_DIR_COMPLETE: u32 = 0b0001;
+/// Flag: the dentry was unhashed (evicted or dropped); never re-cache it.
+pub(crate) const FLAG_DEAD: u32 = 0b0010;
+
+/// What kind of absence a negative dentry records (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegKind {
+    /// The path definitively does not exist → `ENOENT`.
+    Enoent,
+    /// A non-directory was used as a directory → `ENOTDIR`.
+    Enotdir,
+}
+
+impl NegKind {
+    /// The error a cached hit on this dentry reports.
+    pub fn error(self) -> FsError {
+        match self {
+            NegKind::Enoent => FsError::NoEnt,
+            NegKind::Enotdir => FsError::NotDir,
+        }
+    }
+}
+
+/// What a dentry currently maps its path onto.
+pub enum DentryState {
+    /// A live object with a full in-memory inode.
+    Positive(Arc<Inode>),
+    /// A cached absence.
+    Negative(NegKind),
+    /// Known to exist (from a `readdir` record, §5.1) but the full inode
+    /// has not been fetched yet.
+    Partial {
+        /// Inode number reported by readdir.
+        ino: u64,
+        /// Entry type reported by readdir.
+        ftype: FileType,
+    },
+    /// A cached symlink-traversal step (§4.2): a child of a symlink dentry
+    /// redirecting to the real dentry reached through the link.
+    SymlinkAlias {
+        /// The real dentry the aliased path resolves to.
+        target: Arc<Dentry>,
+        /// `target.seq()` when the alias was created; a mismatch means the
+        /// translation may be stale.
+        target_seq: u64,
+    },
+}
+
+impl std::fmt::Debug for DentryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DentryState::Positive(i) => write!(f, "Positive(ino={})", i.ino),
+            DentryState::Negative(k) => write!(f, "Negative({k:?})"),
+            DentryState::Partial { ino, ftype } => {
+                write!(f, "Partial(ino={ino}, {ftype:?})")
+            }
+            DentryState::SymlinkAlias { target, .. } => {
+                write!(f, "SymlinkAlias(→ dentry {})", target.id())
+            }
+        }
+    }
+}
+
+/// One cached path component.
+///
+/// Ownership: a parent's `children` map holds the only long-lived strong
+/// reference; each child holds a strong reference back to its parent, which
+/// upholds the Linux invariant that all ancestors of a cached dentry are
+/// cached. Unhashing (removing the child from the parent's map) is what
+/// breaks the reference cycle, so every dentry is freed once unhashed and
+/// unreferenced. DLHT and LRU hold weak references only.
+pub struct Dentry {
+    id: DentryId,
+    sb: SbId,
+    name: RwLock<Arc<str>>,
+    parent: RwLock<Option<Arc<Dentry>>>,
+    state: RwLock<DentryState>,
+    children: RwLock<HashMap<Arc<str>, Arc<Dentry>>>,
+    /// Version counter: bumped whenever a cached prefix check through this
+    /// dentry may have become stale (§3.2). PCC entries store the value
+    /// they validated against.
+    seq: AtomicU64,
+    flags: AtomicU32,
+    /// Bumped when any child is evicted to reclaim space; readdir uses it
+    /// to detect that a completeness claim was broken mid-scan (§5.1).
+    child_evict_gen: AtomicU64,
+    /// Bumped on any change to what a listing of this directory would
+    /// return (child added/removed, child flipped positive⇄negative).
+    children_version: AtomicU64,
+    /// Cached listing served while this directory is complete (§5.1) and
+    /// the children version has not moved. The paper serves repeats from
+    /// the dentry child list; the prebuilt snapshot is the constant-time
+    /// equivalent.
+    dir_snapshot: Mutex<Option<(u64, Arc<Vec<DirEntry>>)>>,
+    /// Resumable signature-hash state for this dentry's canonical path
+    /// (§3.1); cleared on rename and recomputed on demand.
+    hash_state: Mutex<Option<HashState>>,
+    /// Which namespace's DLHT holds this dentry, and under what signature
+    /// (at most one at a time, §4.3).
+    dlht_entry: Mutex<Option<(u64, Signature)>>,
+    /// For symlink dentries: the signature of the link target's canonical
+    /// path, letting the fastpath chain through links without reading
+    /// them (§4.2). Recorded by the slowpath after a successful follow.
+    link_sig: Mutex<Option<Signature>>,
+    /// Mount id recorded for fastpath mount-flag checks (§4.3).
+    mount_hint: AtomicU64,
+    /// LRU recency tick.
+    last_used: AtomicU64,
+    /// Packed listing info maintained alongside `state` so directory
+    /// listings can classify children with one atomic load instead of a
+    /// lock: `tag(2) | ftype(6) | ino(56)`; tag 0=positive, 1=negative,
+    /// 2=partial, 3=other.
+    listing_tag: AtomicU64,
+    /// Serializes directory mutations and miss-instantiation under this
+    /// dentry (the per-dentry `d_lock`/`i_mutex` analog). Never held
+    /// across another dentry's `dir_lock` except parent→child under the
+    /// global rename lock.
+    dir_lock: Mutex<()>,
+}
+
+impl Dentry {
+    pub(crate) fn new(
+        id: DentryId,
+        sb: SbId,
+        name: &str,
+        parent: Option<Arc<Dentry>>,
+        state: DentryState,
+        seq_init: u64,
+    ) -> Arc<Dentry> {
+        let d = Arc::new(Dentry {
+            id,
+            sb,
+            name: RwLock::new(Arc::from(name)),
+            parent: RwLock::new(parent),
+            state: RwLock::new(state),
+            children: RwLock::new(HashMap::new()),
+            seq: AtomicU64::new(seq_init),
+            flags: AtomicU32::new(0),
+            child_evict_gen: AtomicU64::new(0),
+            children_version: AtomicU64::new(0),
+            dir_snapshot: Mutex::new(None),
+            hash_state: Mutex::new(None),
+            dlht_entry: Mutex::new(None),
+            link_sig: Mutex::new(None),
+            mount_hint: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+            listing_tag: AtomicU64::new(0),
+            dir_lock: Mutex::new(()),
+        });
+        d.refresh_listing_tag();
+        d
+    }
+
+    /// This dentry's unique id.
+    pub fn id(&self) -> DentryId {
+        self.id
+    }
+
+    /// The owning superblock.
+    pub fn sb(&self) -> SbId {
+        self.sb
+    }
+
+    /// Current component name.
+    pub fn name(&self) -> Arc<str> {
+        self.name.read().clone()
+    }
+
+    /// Parent dentry (`None` for a superblock root).
+    pub fn parent(&self) -> Option<Arc<Dentry>> {
+        self.parent.read().clone()
+    }
+
+    /// Current version counter.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached prefix check through this dentry.
+    #[inline]
+    pub fn bump_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    // --- state ---------------------------------------------------------
+
+    /// Runs `f` over the current state.
+    pub fn with_state<R>(&self, f: impl FnOnce(&DentryState) -> R) -> R {
+        f(&self.state.read())
+    }
+
+    /// Replaces the state (unlink→negative, partial→positive, …).
+    pub fn set_state(&self, state: DentryState) {
+        *self.state.write() = state;
+        self.refresh_listing_tag();
+    }
+
+    fn refresh_listing_tag(&self) {
+        let packed = match &*self.state.read() {
+            DentryState::Positive(i) => {
+                let a = i.attr();
+                (a.ino & ((1 << 56) - 1)) | ((a.ftype.as_u8() as u64) << 56)
+            }
+            DentryState::Negative(_) => 1 << 62,
+            DentryState::Partial { ino, ftype } => {
+                (2 << 62) | (ino & ((1 << 56) - 1)) | ((ftype.as_u8() as u64) << 56)
+            }
+            DentryState::SymlinkAlias { .. } => 3 << 62,
+        };
+        self.listing_tag.store(packed, Ordering::Release);
+    }
+
+    /// Listing classification with a single atomic load: `Some((ino,
+    /// ftype))` for entries a directory listing reports, `None` for
+    /// negatives/aliases.
+    pub fn listing_entry(&self) -> Option<(u64, FileType)> {
+        let packed = self.listing_tag.load(Ordering::Acquire);
+        match packed >> 62 {
+            0 | 2 => {
+                let ino = packed & ((1 << 56) - 1);
+                let ftype =
+                    FileType::from_u8(((packed >> 56) & 0x3f) as u8).unwrap_or(FileType::Regular);
+                Some((ino, ftype))
+            }
+            _ => None,
+        }
+    }
+
+    /// The inode, if positive.
+    pub fn inode(&self) -> Option<Arc<Inode>> {
+        match &*self.state.read() {
+            DentryState::Positive(i) => Some(i.clone()),
+            _ => None,
+        }
+    }
+
+    /// True for any negative state.
+    pub fn is_negative(&self) -> bool {
+        matches!(&*self.state.read(), DentryState::Negative(_))
+    }
+
+    /// The negative kind, if negative.
+    pub fn neg_kind(&self) -> Option<NegKind> {
+        match &*self.state.read() {
+            DentryState::Negative(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// True when this dentry caches a positive directory.
+    pub fn is_dir(&self) -> bool {
+        match &*self.state.read() {
+            DentryState::Positive(i) => i.is_dir(),
+            DentryState::Partial { ftype, .. } => ftype.is_dir(),
+            _ => false,
+        }
+    }
+
+    /// Resolves a symlink alias to `(target, recorded_target_seq)`.
+    pub fn alias_target(&self) -> Option<(Arc<Dentry>, u64)> {
+        match &*self.state.read() {
+            DentryState::SymlinkAlias { target, target_seq } => {
+                Some((target.clone(), *target_seq))
+            }
+            _ => None,
+        }
+    }
+
+    // --- flags ---------------------------------------------------------
+
+    /// Tests a flag bit.
+    #[inline]
+    pub fn flag(&self, bit: u32) -> bool {
+        self.flags.load(Ordering::Acquire) & bit != 0
+    }
+
+    /// Sets a flag bit.
+    #[inline]
+    pub fn set_flag(&self, bit: u32) {
+        self.flags.fetch_or(bit, Ordering::AcqRel);
+    }
+
+    /// Clears a flag bit.
+    #[inline]
+    pub fn clear_flag(&self, bit: u32) {
+        self.flags.fetch_and(!bit, Ordering::AcqRel);
+    }
+
+    /// True once unhashed; such dentries must not be re-cached.
+    pub fn is_dead(&self) -> bool {
+        self.flag(FLAG_DEAD)
+    }
+
+    /// Eviction generation of this directory's children (§5.1).
+    pub fn child_evict_gen(&self) -> u64 {
+        self.child_evict_gen.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_child_evict_gen(&self) {
+        self.child_evict_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    // --- children ------------------------------------------------------
+
+    /// Looks up a cached child (the per-parent hash index; the analog of
+    /// Linux's `d_lookup` keyed by (parent, name)).
+    pub fn get_child(&self, name: &str) -> Option<Arc<Dentry>> {
+        self.children.read().get(name).cloned()
+    }
+
+    /// Inserts a child; the caller guarantees no entry exists for `name`.
+    pub(crate) fn insert_child(&self, child: Arc<Dentry>) {
+        let name = child.name();
+        let prev = self.children.write().insert(name, child);
+        debug_assert!(prev.is_none(), "duplicate child insert");
+        self.bump_children_version();
+    }
+
+    /// Removes a child by name.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn remove_child(&self, name: &str) -> Option<Arc<Dentry>> {
+        let out = self.children.write().remove(name);
+        if out.is_some() {
+            self.bump_children_version();
+        }
+        out
+    }
+
+    /// Removes the child named `name` only if it is still the dentry with
+    /// id `id` (eviction may race with a rename that reused the name).
+    pub(crate) fn remove_child_if(&self, name: &str, id: DentryId) -> bool {
+        let mut children = self.children.write();
+        match children.get(name) {
+            Some(c) if c.id() == id => {
+                children.remove(name);
+                drop(children);
+                self.bump_children_version();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The per-directory mutation lock; the VFS holds it while creating,
+    /// removing, or miss-instantiating entries under this dentry.
+    pub fn dir_lock(&self) -> &Mutex<()> {
+        &self.dir_lock
+    }
+
+    /// Bumps the listing version: what a readdir of this directory would
+    /// return has changed. Called automatically on child insert/remove;
+    /// state flips (create-over-negative, unlink-to-negative) call it
+    /// explicitly.
+    pub fn bump_children_version(&self) {
+        self.children_version.fetch_add(1, Ordering::AcqRel);
+        // Drop any snapshot eagerly so memory is not held stale.
+        *self.dir_snapshot.lock() = None;
+    }
+
+    /// Current listing version.
+    pub fn children_version(&self) -> u64 {
+        self.children_version.load(Ordering::Acquire)
+    }
+
+    /// The cached listing, if still valid for the current version.
+    pub fn dir_snapshot(&self) -> Option<Arc<Vec<DirEntry>>> {
+        let guard = self.dir_snapshot.lock();
+        match &*guard {
+            Some((ver, snap)) if *ver == self.children_version() => Some(snap.clone()),
+            _ => None,
+        }
+    }
+
+    /// Stores a listing snapshot taken at `version`.
+    pub fn store_dir_snapshot(&self, version: u64, snap: Arc<Vec<DirEntry>>) {
+        if version == self.children_version() {
+            *self.dir_snapshot.lock() = Some((version, snap));
+        }
+    }
+
+    /// Runs `f` over every cached child without cloning references.
+    pub fn for_each_child(&self, mut f: impl FnMut(&Arc<Dentry>)) {
+        for c in self.children.read().values() {
+            f(c);
+        }
+    }
+
+    /// Number of cached children.
+    pub fn child_count(&self) -> usize {
+        self.children.read().len()
+    }
+
+    /// Snapshot of all cached children.
+    pub fn children_snapshot(&self) -> Vec<Arc<Dentry>> {
+        self.children.read().values().cloned().collect()
+    }
+
+    /// True if the directory has no cached children.
+    pub fn has_no_children(&self) -> bool {
+        self.children.read().is_empty()
+    }
+
+    // --- naming / moves -------------------------------------------------
+
+    /// Re-parents and renames the dentry (rename already holds the global
+    /// rename lock, so this is never concurrent with other moves).
+    pub(crate) fn set_name_parent(&self, name: &str, parent: Option<Arc<Dentry>>) {
+        *self.name.write() = Arc::from(name);
+        *self.parent.write() = parent;
+    }
+
+    /// The path of this dentry within its superblock (no mount prefix).
+    /// Used for path-sensitive LSMs and diagnostics.
+    pub fn sb_path(self: &Arc<Self>) -> String {
+        if self.parent().is_none() {
+            return "/".to_string();
+        }
+        let mut parts: Vec<Arc<str>> = Vec::new();
+        let mut node: Arc<Dentry> = self.clone();
+        loop {
+            let parent = node.parent();
+            match parent {
+                Some(p) => {
+                    parts.push(node.name());
+                    node = p;
+                }
+                None => break,
+            }
+        }
+        let mut s = String::new();
+        for p in parts.iter().rev() {
+            s.push('/');
+            s.push_str(p);
+        }
+        s
+    }
+
+    // --- fastpath bookkeeping -------------------------------------------
+
+    /// Cached resumable hash state, if valid.
+    pub fn hash_state(&self) -> Option<HashState> {
+        *self.hash_state.lock()
+    }
+
+    /// Stores the resumable hash state.
+    pub fn store_hash_state(&self, st: HashState) {
+        *self.hash_state.lock() = Some(st);
+    }
+
+    /// Invalidates the stored hash state (the path changed).
+    pub fn clear_hash_state(&self) {
+        *self.hash_state.lock() = None;
+    }
+
+    /// The DLHT membership record.
+    pub(crate) fn dlht_entry(&self) -> &Mutex<Option<(u64, Signature)>> {
+        &self.dlht_entry
+    }
+
+    /// The recorded target-path signature (symlink dentries, §4.2).
+    pub fn link_sig(&self) -> Option<Signature> {
+        *self.link_sig.lock()
+    }
+
+    /// Records the target-path signature after a successful follow.
+    pub fn store_link_sig(&self, sig: Signature) {
+        *self.link_sig.lock() = Some(sig);
+    }
+
+    /// Clears the recorded target signature (link changed or removed).
+    pub fn clear_link_sig(&self) {
+        *self.link_sig.lock() = None;
+    }
+
+    /// Mount id recorded for the fastpath.
+    pub fn mount_hint(&self) -> u64 {
+        self.mount_hint.load(Ordering::Acquire)
+    }
+
+    /// Records the mount this dentry was most recently reached through.
+    pub fn set_mount_hint(&self, mount: u64) {
+        self.mount_hint.store(mount, Ordering::Release);
+    }
+
+    // --- LRU ------------------------------------------------------------
+
+    pub(crate) fn touch(&self, tick: u64) {
+        self.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)]
+    pub(crate) fn last_used(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Dentry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dentry")
+            .field("id", &self.id)
+            .field("sb", &self.sb)
+            .field("name", &self.name())
+            .field("state", &*self.state.read())
+            .field("seq", &self.seq())
+            .field("children", &self.child_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detached(id: u64, name: &str, parent: Option<Arc<Dentry>>) -> Arc<Dentry> {
+        Dentry::new(id, 1, name, parent, DentryState::Negative(NegKind::Enoent), 0)
+    }
+
+    #[test]
+    fn seq_bumps_monotonically() {
+        let d = detached(1, "x", None);
+        let s0 = d.seq();
+        assert_eq!(d.bump_seq(), s0 + 1);
+        assert_eq!(d.seq(), s0 + 1);
+    }
+
+    #[test]
+    fn child_insert_lookup_remove() {
+        let root = detached(1, "", None);
+        let child = detached(2, "etc", Some(root.clone()));
+        root.insert_child(child.clone());
+        assert_eq!(root.get_child("etc").unwrap().id(), 2);
+        assert_eq!(root.child_count(), 1);
+        let removed = root.remove_child("etc").unwrap();
+        assert_eq!(removed.id(), 2);
+        assert!(root.has_no_children());
+        assert!(root.get_child("etc").is_none());
+    }
+
+    #[test]
+    fn sb_path_reconstruction() {
+        let root = detached(1, "", None);
+        let etc = detached(2, "etc", Some(root.clone()));
+        root.insert_child(etc.clone());
+        let passwd = detached(3, "passwd", Some(etc.clone()));
+        etc.insert_child(passwd.clone());
+        assert_eq!(root.sb_path(), "/");
+        assert_eq!(etc.sb_path(), "/etc");
+        assert_eq!(passwd.sb_path(), "/etc/passwd");
+    }
+
+    #[test]
+    fn flags_are_independent_bits() {
+        let d = detached(1, "x", None);
+        assert!(!d.flag(FLAG_DIR_COMPLETE));
+        d.set_flag(FLAG_DIR_COMPLETE);
+        d.set_flag(FLAG_DEAD);
+        assert!(d.flag(FLAG_DIR_COMPLETE));
+        assert!(d.is_dead());
+        d.clear_flag(FLAG_DIR_COMPLETE);
+        assert!(!d.flag(FLAG_DIR_COMPLETE));
+        assert!(d.is_dead());
+    }
+
+    #[test]
+    fn negative_kinds_map_to_errors() {
+        assert_eq!(NegKind::Enoent.error(), FsError::NoEnt);
+        assert_eq!(NegKind::Enotdir.error(), FsError::NotDir);
+        let d = detached(1, "gone", None);
+        assert!(d.is_negative());
+        assert_eq!(d.neg_kind(), Some(NegKind::Enoent));
+        assert!(d.inode().is_none());
+    }
+
+    #[test]
+    fn rename_updates_name_and_parent() {
+        let root = detached(1, "", None);
+        let a = detached(2, "a", Some(root.clone()));
+        let b = detached(3, "b", Some(root.clone()));
+        root.insert_child(a.clone());
+        root.insert_child(b.clone());
+        let f = detached(4, "f", Some(a.clone()));
+        a.insert_child(f.clone());
+        // Move /a/f → /b/g.
+        a.remove_child("f");
+        f.set_name_parent("g", Some(b.clone()));
+        b.insert_child(f.clone());
+        assert_eq!(f.sb_path(), "/b/g");
+        assert_eq!(&*f.name(), "g");
+    }
+
+    #[test]
+    fn alias_state_resolves() {
+        let real = detached(5, "real", None);
+        let alias = Dentry::new(
+            6,
+            1,
+            "via-link",
+            None,
+            DentryState::SymlinkAlias {
+                target: real.clone(),
+                target_seq: real.seq(),
+            },
+            0,
+        );
+        let (t, s) = alias.alias_target().unwrap();
+        assert_eq!(t.id(), 5);
+        assert_eq!(s, real.seq());
+        assert!(real.alias_target().is_none());
+    }
+}
+
+#[cfg(test)]
+mod listing_tests {
+    use super::*;
+    use dc_fs::DirEntry;
+
+    fn neg(id: u64, name: &str, parent: Option<Arc<Dentry>>) -> Arc<Dentry> {
+        Dentry::new(id, 1, name, parent, DentryState::Negative(NegKind::Enoent), 0)
+    }
+
+    #[test]
+    fn listing_tag_tracks_state() {
+        let d = neg(1, "x", None);
+        assert_eq!(d.listing_entry(), None);
+        d.set_state(DentryState::Partial {
+            ino: 42,
+            ftype: FileType::Directory,
+        });
+        assert_eq!(d.listing_entry(), Some((42, FileType::Directory)));
+        d.set_state(DentryState::Negative(NegKind::Enotdir));
+        assert_eq!(d.listing_entry(), None);
+        d.set_state(DentryState::Partial {
+            ino: 7,
+            ftype: FileType::Symlink,
+        });
+        assert_eq!(d.listing_entry(), Some((7, FileType::Symlink)));
+    }
+
+    #[test]
+    fn children_version_bumps_on_membership_changes() {
+        let root = neg(1, "", None);
+        let v0 = root.children_version();
+        let c = neg(2, "a", Some(root.clone()));
+        root.insert_child(c.clone());
+        let v1 = root.children_version();
+        assert!(v1 > v0);
+        root.remove_child_if("a", 2);
+        assert!(root.children_version() > v1);
+        // Removing something absent does not bump.
+        let v2 = root.children_version();
+        root.remove_child_if("a", 2);
+        assert_eq!(root.children_version(), v2);
+    }
+
+    #[test]
+    fn dir_snapshot_validates_version() {
+        let root = neg(1, "", None);
+        let v = root.children_version();
+        let snap = Arc::new(vec![DirEntry {
+            name: "a".into(),
+            ino: 5,
+            ftype: FileType::Regular,
+        }]);
+        root.store_dir_snapshot(v, snap.clone());
+        assert!(root.dir_snapshot().is_some());
+        // Any membership change invalidates.
+        let c = neg(2, "b", Some(root.clone()));
+        root.insert_child(c);
+        assert!(root.dir_snapshot().is_none());
+        // Storing against a stale version is refused.
+        root.store_dir_snapshot(v, snap);
+        assert!(root.dir_snapshot().is_none());
+    }
+
+    #[test]
+    fn for_each_child_visits_all() {
+        let root = neg(1, "", None);
+        for i in 0..5 {
+            let c = neg(10 + i, &format!("c{i}"), Some(root.clone()));
+            root.insert_child(c);
+        }
+        let mut n = 0;
+        root.for_each_child(|_| n += 1);
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Direct Lookup Hash Table (§3.1, §3.3).
+
+use crate::dentry::Dentry;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A system-wide (per mount namespace) hash table mapping full-path
+/// signatures directly to dentries.
+///
+/// - Indexed by the low 16 signature bits; chains compare the remaining
+///   240 bits instead of path strings (§3.3).
+/// - Lazily populated by slowpath walks; entries are weak, and coherence
+///   shootdowns precede any structural change (§3.2).
+/// - A dentry lives in at most **one** DLHT under **one** signature at a
+///   time — the rule that makes mount aliases and namespaces tractable
+///   (§4.3). The membership record lives in the dentry and is maintained
+///   by [`crate::Dcache`], which owns the insert/remove protocol; this
+///   type only provides the raw chains.
+pub struct Dlht {
+    /// Namespace id this table serves (diagnostics).
+    ns: u64,
+    buckets: Vec<RwLock<Vec<([u64; 4], Weak<Dentry>)>>>,
+    mask: usize,
+    entries: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Dlht {
+    /// A table with `buckets` chains (power of two ≤ 2^16).
+    pub fn new(ns: u64, buckets: usize) -> Arc<Dlht> {
+        assert!(buckets.is_power_of_two() && buckets <= (1 << 16));
+        Arc::new(Dlht {
+            ns,
+            buckets: (0..buckets).map(|_| RwLock::new(Vec::new())).collect(),
+            mask: buckets - 1,
+            entries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The namespace this table serves.
+    pub fn ns(&self) -> u64 {
+        self.ns
+    }
+
+    fn bucket(&self, sig: &crate::Signature) -> &RwLock<Vec<([u64; 4], Weak<Dentry>)>> {
+        &self.buckets[sig.bucket_index_for(self.mask + 1)]
+    }
+
+    /// Looks up a dentry by signature (the fastpath's first step).
+    pub fn lookup(&self, sig: &crate::Signature) -> Option<Arc<Dentry>> {
+        let want = sig.sig240();
+        let chain = self.bucket(sig).read();
+        for (s, weak) in chain.iter() {
+            if *s == want {
+                if let Some(d) = weak.upgrade() {
+                    if !d.is_dead() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(d);
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Raw chain insert. The caller (the dcache) holds the dentry's
+    /// membership lock and has already removed any previous entry.
+    pub(crate) fn insert_raw(&self, sig: crate::Signature, dentry: &Arc<Dentry>) {
+        let mut chain = self.bucket(&sig).write();
+        // Replace a dead or duplicate entry under the same signature.
+        let before = chain.len();
+        let want = sig.sig240();
+        chain.retain(|(s, w)| {
+            *s != want || w.upgrade().is_some_and(|d| !d.is_dead() && d.id() != dentry.id())
+        });
+        let pruned = before - chain.len();
+        chain.push((want, Arc::downgrade(dentry)));
+        drop(chain);
+        if pruned == 0 {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Raw chain removal by signature + dentry id.
+    pub(crate) fn remove_raw(&self, sig: &crate::Signature, id: crate::DentryId) {
+        let mut chain = self.bucket(sig).write();
+        let want = sig.sig240();
+        let before = chain.len();
+        chain.retain(|(s, w)| {
+            if *s != want {
+                return true;
+            }
+            match w.upgrade() {
+                Some(d) => d.id() != id,
+                None => false, // prune dead weak entries opportunistically
+            }
+        });
+        let removed = (before - chain.len()) as u64;
+        if removed > 0 {
+            self.entries.fetch_sub(removed, Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate number of live entries.
+    pub fn len(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bucket occupancy histogram: `[empty, 1, 2, 3+]` (the §6.5 hash
+    /// table discussion).
+    pub fn occupancy(&self) -> [u64; 4] {
+        let mut h = [0u64; 4];
+        for b in &self.buckets {
+            let n = b.read().len();
+            h[n.min(3)] += 1;
+        }
+        h
+    }
+
+    /// Memory footprint estimate in bytes (space-overhead reporting).
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<([u64; 4], Weak<Dentry>)>();
+        self.buckets.len() * std::mem::size_of::<RwLock<Vec<u8>>>()
+            + self.len() as usize * per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dentry::{DentryState, NegKind};
+    use crate::HashKey;
+
+    fn dentry(id: u64) -> Arc<Dentry> {
+        Dentry::new(
+            id,
+            1,
+            "n",
+            None,
+            DentryState::Negative(NegKind::Enoent),
+            0,
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove_cycle() {
+        let key = HashKey::from_seed(1);
+        let t = Dlht::new(0, 1 << 8);
+        let d = dentry(1);
+        let sig = key.hash_components([b"etc".as_slice(), b"passwd".as_slice()]);
+        t.insert_raw(sig, &d);
+        assert_eq!(t.lookup(&sig).unwrap().id(), 1);
+        assert_eq!(t.len(), 1);
+        t.remove_raw(&sig, d.id());
+        assert!(t.lookup(&sig).is_none());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn same_signature_reinsert_does_not_duplicate() {
+        let key = HashKey::from_seed(2);
+        let t = Dlht::new(0, 1 << 8);
+        let d = dentry(1);
+        let sig = key.hash_components([b"a".as_slice()]);
+        t.insert_raw(sig, &d);
+        t.insert_raw(sig, &d);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&sig).unwrap().id(), 1);
+    }
+
+    #[test]
+    fn dead_dentries_are_not_returned() {
+        let key = HashKey::from_seed(3);
+        let t = Dlht::new(0, 1 << 8);
+        let d = dentry(1);
+        let sig = key.hash_components([b"x".as_slice()]);
+        t.insert_raw(sig, &d);
+        d.set_flag(crate::dentry::FLAG_DEAD);
+        assert!(t.lookup(&sig).is_none());
+    }
+
+    #[test]
+    fn dropped_dentries_vanish() {
+        let key = HashKey::from_seed(4);
+        let t = Dlht::new(0, 1 << 8);
+        let sig = key.hash_components([b"gone".as_slice()]);
+        {
+            let d = dentry(9);
+            t.insert_raw(sig, &d);
+        } // d dropped; weak can no longer upgrade
+        assert!(t.lookup(&sig).is_none());
+    }
+
+    #[test]
+    fn distinct_signatures_coexist_in_shared_chains() {
+        let key = HashKey::from_seed(5);
+        let t = Dlht::new(0, 1 << 4); // tiny table to force chain sharing
+        let dentries: Vec<_> = (0..64).map(dentry).collect();
+        let sigs: Vec<_> = (0..64)
+            .map(|i| key.hash_components([format!("f{i}").as_bytes()]))
+            .collect();
+        for (d, s) in dentries.iter().zip(&sigs) {
+            t.insert_raw(*s, d);
+        }
+        for (d, s) in dentries.iter().zip(&sigs) {
+            assert_eq!(t.lookup(s).unwrap().id(), d.id());
+        }
+        assert_eq!(t.len(), 64);
+        let occ = t.occupancy();
+        assert_eq!(occ.iter().sum::<u64>(), 16);
+    }
+}

@@ -1,0 +1,121 @@
+//! The VFS-level in-memory inode.
+
+use dc_fs::{FileSystem, FileType, FsResult, InodeAttr, SetAttr};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Identity of a mounted superblock instance.
+pub type SbId = u64;
+
+/// An in-memory inode: the VFS's cached view of one file-system object.
+///
+/// Dentries map paths onto these (§2.2). The attribute block is refreshed
+/// from the low-level file system on metadata-changing operations, so
+/// `stat` on a cache hit never calls below the VFS — the property that
+/// makes dcache hit latency the dominant cost the paper attacks.
+pub struct Inode {
+    /// Owning superblock.
+    pub sb: SbId,
+    /// Inode number within the file system.
+    pub ino: u64,
+    /// The low-level file system.
+    pub fs: Arc<dyn FileSystem>,
+    attr: RwLock<InodeAttr>,
+}
+
+impl Inode {
+    /// Wraps freshly-fetched attributes.
+    pub fn new(sb: SbId, fs: Arc<dyn FileSystem>, attr: InodeAttr) -> Arc<Inode> {
+        Arc::new(Inode {
+            sb,
+            ino: attr.ino,
+            fs,
+            attr: RwLock::new(attr),
+        })
+    }
+
+    /// Snapshot of the current attributes.
+    pub fn attr(&self) -> InodeAttr {
+        *self.attr.read()
+    }
+
+    /// The object type (immutable over an inode's life).
+    pub fn ftype(&self) -> FileType {
+        self.attr.read().ftype
+    }
+
+    /// True for directories.
+    pub fn is_dir(&self) -> bool {
+        self.ftype() == FileType::Directory
+    }
+
+    /// Overwrites the cached attributes (after a low-level refresh).
+    pub fn store_attr(&self, attr: InodeAttr) {
+        debug_assert_eq!(attr.ino, self.ino);
+        *self.attr.write() = attr;
+    }
+
+    /// Applies `setattr` on the file system and refreshes the cache.
+    pub fn setattr(&self, changes: SetAttr) -> FsResult<InodeAttr> {
+        let fresh = self.fs.setattr(self.ino, changes)?;
+        self.store_attr(fresh);
+        Ok(fresh)
+    }
+}
+
+impl std::fmt::Debug for Inode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.attr();
+        f.debug_struct("Inode")
+            .field("sb", &self.sb)
+            .field("ino", &self.ino)
+            .field("ftype", &a.ftype)
+            .field("mode", &format_args!("{:o}", a.mode))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_blockdev::{CachedDisk, DiskConfig};
+    use dc_fs::MemFs;
+
+    fn fs_with_file() -> (Arc<MemFs>, InodeAttr) {
+        let disk = Arc::new(CachedDisk::new(DiskConfig {
+            capacity_blocks: 4096,
+            ..Default::default()
+        }));
+        let fs = MemFs::mkfs(
+            disk,
+            dc_fs::MemFsConfig {
+                max_inodes: 4096,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = fs.create(fs.root_ino(), "f", 0o644, 7, 7).unwrap();
+        (fs, a)
+    }
+
+    #[test]
+    fn snapshot_and_type() {
+        let (fs, a) = fs_with_file();
+        let ino = Inode::new(1, fs, a);
+        assert_eq!(ino.attr().mode, 0o644);
+        assert_eq!(ino.ftype(), FileType::Regular);
+        assert!(!ino.is_dir());
+    }
+
+    #[test]
+    fn setattr_refreshes_cache() {
+        let (fs, a) = fs_with_file();
+        let ino = Inode::new(1, fs, a);
+        ino.setattr(SetAttr {
+            mode: Some(0o600),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(ino.attr().mode, 0o600);
+    }
+}

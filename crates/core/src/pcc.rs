@@ -1,0 +1,308 @@
+//! The Prefix Check Cache (§3.1).
+
+use crate::dentry::DentryId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Associativity of each PCC set.
+const WAYS: usize = 8;
+
+/// Logical bytes per entry used for sizing: a dentry id and a sequence
+/// number (the paper's entries are 16 bytes after pointer-bit compression;
+/// ours store the full 64-bit never-reused id, which plays the role of
+/// pointer + reallocation generation). The per-entry version word adds a
+/// small constant overhead reported by [`Pcc::approx_bytes`].
+const ENTRY_BYTES: usize = 16;
+
+/// Sentinel id marking an empty entry.
+const INVALID: u64 = 0;
+
+struct Entry {
+    /// Per-entry seqlock: odd = write in progress.
+    ver: AtomicU32,
+    id: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Entry {
+    /// Consistent snapshot of `(id, seq)`, or `None` if a writer is active.
+    #[inline]
+    fn read(&self) -> Option<(u64, u64)> {
+        let v1 = self.ver.load(Ordering::Acquire);
+        if v1 & 1 != 0 {
+            return None;
+        }
+        let id = self.id.load(Ordering::Acquire);
+        let seq = self.seq.load(Ordering::Acquire);
+        let v2 = self.ver.load(Ordering::Acquire);
+        (v1 == v2).then_some((id, seq))
+    }
+
+    /// Publishes `(id, seq)`; the caller holds the set's writer lock.
+    #[inline]
+    fn write(&self, id: u64, seq: u64) {
+        self.ver.fetch_add(1, Ordering::AcqRel); // odd: writer active
+        self.id.store(id, Ordering::Release);
+        self.seq.store(seq, Ordering::Release);
+        self.ver.fetch_add(1, Ordering::Release); // even: published
+    }
+}
+
+struct Set {
+    ways: [Entry; WAYS],
+    /// Round-robin victim pointer (cheap LRU approximation).
+    clock: AtomicU32,
+    /// Serializes writers within the set; readers never take it.
+    write_lock: Mutex<()>,
+}
+
+/// A per-credential cache of successful prefix checks.
+///
+/// An entry `(dentry_id, seq)` asserts: *at the moment the owning
+/// credential last walked to this dentry from the root, it held search
+/// permission on every ancestor directory, and the dentry's version
+/// counter was `seq`.* The fastpath accepts the memoized result only if
+/// the dentry's **current** counter still equals `seq`; any permission or
+/// structure change along the path bumps the counter and thereby
+/// invalidates every PCC entry for the subtree without touching the PCCs
+/// themselves (§3.2).
+///
+/// The table is set-associative. Reads are lock-free (per-entry version
+/// validation guarantees a consistent `(id, seq)` pair or a retry-as-miss);
+/// writes serialize per set on a tiny mutex, which is off the lookup
+/// critical path — exactly the paper's trade of penalizing infrequent
+/// mutations to keep hits cheap.
+pub struct Pcc {
+    sets: Box<[Set]>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Pcc {
+    /// A PCC of roughly `bytes` logical capacity (the paper uses 64 KB).
+    pub fn new(bytes: usize) -> Pcc {
+        let entries = (bytes / ENTRY_BYTES).max(WAYS);
+        let nsets = (entries / WAYS).next_power_of_two();
+        let sets = (0..nsets)
+            .map(|_| Set {
+                ways: std::array::from_fn(|_| Entry {
+                    ver: AtomicU32::new(0),
+                    id: AtomicU64::new(INVALID),
+                    seq: AtomicU64::new(0),
+                }),
+                clock: AtomicU32::new(0),
+                write_lock: Mutex::new(()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Pcc {
+            sets,
+            mask: (nsets - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, id: DentryId) -> &Set {
+        // Fibonacci hashing spreads sequential ids across sets.
+        let h = id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        &self.sets[(h & self.mask) as usize]
+    }
+
+    /// Is a prefix check for `id` memoized at exactly version `cur_seq`?
+    #[inline]
+    pub fn check(&self, id: DentryId, cur_seq: u64) -> bool {
+        debug_assert_ne!(id, INVALID);
+        let set = self.set_of(id);
+        for e in &set.ways {
+            if let Some((eid, eseq)) = e.read() {
+                if eid == id {
+                    if eseq == cur_seq {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    // Stale version: a definitive miss for this dentry.
+                    break;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Memoizes a successful prefix check for `id` at version `seq`.
+    pub fn insert(&self, id: DentryId, seq: u64) {
+        debug_assert_ne!(id, INVALID);
+        let set = self.set_of(id);
+        let _g = set.write_lock.lock();
+        // Refresh in place if the dentry already has a way; otherwise use
+        // an empty way; otherwise evict round-robin.
+        let mut victim = None;
+        for (i, e) in set.ways.iter().enumerate() {
+            let eid = e.id.load(Ordering::Acquire);
+            if eid == id {
+                victim = Some(i);
+                break;
+            }
+            if eid == INVALID && victim.is_none() {
+                victim = Some(i);
+            }
+        }
+        let victim = victim
+            .unwrap_or_else(|| (set.clock.fetch_add(1, Ordering::Relaxed) as usize) % WAYS);
+        set.ways[victim].write(id, seq);
+    }
+
+    /// Removes any memoized result for `id` (used when a directory
+    /// reference loses access and must not be re-validated, §3.2).
+    pub fn forget(&self, id: DentryId) {
+        let set = self.set_of(id);
+        let _g = set.write_lock.lock();
+        for e in &set.ways {
+            if e.id.load(Ordering::Acquire) == id {
+                e.write(INVALID, 0);
+            }
+        }
+    }
+
+    /// Drops every memoized result (the paper's wraparound flush).
+    pub fn invalidate_all(&self) {
+        for set in self.sets.iter() {
+            let _g = set.write_lock.lock();
+            for e in &set.ways {
+                e.write(INVALID, 0);
+            }
+        }
+    }
+
+    /// Total logical entries this PCC can hold.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * WAYS
+    }
+
+    /// Memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.sets.len() * std::mem::size_of::<Set>()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of currently-published entries (diagnostics; O(capacity)).
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter())
+            .filter(|e| e.id.load(Ordering::Relaxed) != INVALID)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_check_hits_on_matching_seq() {
+        let pcc = Pcc::new(64 * 1024);
+        pcc.insert(42, 7);
+        assert!(pcc.check(42, 7));
+        assert!(!pcc.check(42, 8), "stale seq must miss");
+        assert!(!pcc.check(43, 7), "unknown dentry must miss");
+    }
+
+    #[test]
+    fn refresh_updates_seq_in_place() {
+        let pcc = Pcc::new(64 * 1024);
+        pcc.insert(42, 1);
+        pcc.insert(42, 2);
+        assert!(!pcc.check(42, 1));
+        assert!(pcc.check(42, 2));
+        // In-place refresh should not consume extra ways.
+        assert_eq!(pcc.occupancy(), 1);
+    }
+
+    #[test]
+    fn forget_removes_entry() {
+        let pcc = Pcc::new(4096);
+        pcc.insert(5, 9);
+        assert!(pcc.check(5, 9));
+        pcc.forget(5);
+        assert!(!pcc.check(5, 9));
+    }
+
+    #[test]
+    fn capacity_matches_requested_bytes() {
+        let pcc = Pcc::new(64 * 1024);
+        assert_eq!(pcc.capacity(), 4096); // 64 KB / 16 B
+        let small = Pcc::new(1024);
+        assert_eq!(small.capacity(), 64);
+    }
+
+    #[test]
+    fn eviction_within_a_set_is_bounded() {
+        let pcc = Pcc::new(1024); // 8 sets × 8 ways
+        for id in 1..=1000u64 {
+            pcc.insert(id, 0);
+        }
+        assert!(pcc.occupancy() <= pcc.capacity());
+        let resident = (990..=1000u64).filter(|&id| pcc.check(id, 0)).count();
+        assert!(resident >= 5, "only {resident} of the last ids resident");
+    }
+
+    #[test]
+    fn invalidate_all_flushes() {
+        let pcc = Pcc::new(4096);
+        for id in 1..100u64 {
+            pcc.insert(id, 3);
+        }
+        pcc.invalidate_all();
+        assert_eq!(pcc.occupancy(), 0);
+        assert!(!pcc.check(50, 3));
+    }
+
+    #[test]
+    fn concurrent_check_insert_never_validates_wrong_pair() {
+        use std::sync::Arc;
+        let pcc = Arc::new(Pcc::new(1024));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Writer: republishes id=7 only ever with seq=100, interleaved
+        // with churn on other ids (including seq=99 values) that recycle
+        // the same ways.
+        let w = {
+            let pcc = pcc.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    pcc.insert(7, 100);
+                    pcc.insert(8 + (i % 64), 99);
+                    i += 1;
+                }
+            })
+        };
+        // Reader: (7, 99) was never inserted and must never validate.
+        for _ in 0..200_000 {
+            assert!(
+                !pcc.check(7, 99),
+                "validated a (id, seq) pair that was never inserted"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        w.join().unwrap();
+        assert!(pcc.check(7, 100));
+    }
+}

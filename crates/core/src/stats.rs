@@ -1,0 +1,176 @@
+//! Directory-cache statistics and space-overhead reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$sm:meta])* $name:ident),* $(,)?) => {
+        /// Counters describing directory-cache behavior. Every field is a
+        /// relaxed atomic bumped on the relevant event; the evaluation
+        /// harness snapshots them to compute hit rates and negative-dentry
+        /// rates (Tables 1 and 2).
+        #[derive(Debug, Default)]
+        pub struct DcacheStats {
+            $($(#[$sm])* pub $name: AtomicU64,)*
+        }
+
+        impl DcacheStats {
+            /// Resets every counter to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)*
+            }
+
+            /// Snapshot as `(name, value)` pairs, for reports.
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name.load(Ordering::Relaxed)),)*]
+            }
+        }
+    };
+}
+
+counters! {
+    /// Path lookups requested of the VFS (one per path-based syscall).
+    lookups,
+    /// Fastpath attempts (optimized configuration only).
+    fast_attempts,
+    /// Fastpath successes: DLHT hit + PCC hit + valid seq.
+    fast_hits,
+    /// Fastpath successes that resolved to a negative dentry.
+    fast_neg_hits,
+    /// Fastpath failures at the DLHT (signature not present).
+    fast_miss_dlht,
+    /// Fastpath failures at the PCC (no memoized prefix check).
+    fast_miss_pcc,
+    /// PCC misses recovered by re-executing the prefix check over the
+    /// in-memory ancestor chain instead of a full slowpath walk.
+    fast_revalidations,
+    /// Fastpath failures from version-counter mismatches.
+    fast_miss_seq,
+    /// Slowpath component-at-a-time walks.
+    slow_walks,
+    /// Total components stepped by slowpath walks.
+    slow_steps,
+    /// Slowpath retries due to concurrent rename (seqlock invalidation).
+    slow_retries,
+    /// Lookups that terminated at a cached positive dentry.
+    hit_positive,
+    /// Lookups that terminated at a cached negative dentry.
+    hit_negative,
+    /// Lookups that had to call the low-level file system.
+    miss_fs,
+    /// Misses answered negatively *without* an FS call because the parent
+    /// directory was complete (§5.1).
+    complete_neg_avoided,
+    /// Directories marked `DIR_COMPLETE`.
+    complete_sets,
+    /// Completeness claims broken by eviction.
+    complete_breaks,
+    /// `readdir` requests served from the dcache.
+    readdir_cached,
+    /// `readdir` requests forwarded to the file system.
+    readdir_fs,
+    /// Negative dentries created (all causes).
+    neg_created,
+    /// Deep negative dentries created (§5.2).
+    neg_deep_created,
+    /// Dentries evicted for space.
+    evictions,
+    /// Subtree shootdowns executed (rename/chmod/chown of directories).
+    shootdowns,
+    /// Dentries visited by shootdowns (the Figure 7 cost driver).
+    shootdown_visits,
+    /// Symlink alias dentries created (§4.2).
+    symlink_aliases,
+}
+
+impl DcacheStats {
+    /// Overall hit rate: fraction of lookups that never called the file
+    /// system (the `hit%` column of Tables 1–2).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            return 0.0;
+        }
+        let miss = self.miss_fs.load(Ordering::Relaxed);
+        // Multi-component paths can miss more than once per lookup; floor
+        // the rate at zero for reporting.
+        (1.0 - (miss as f64 / lookups as f64)).max(0.0)
+    }
+
+    /// Fraction of lookups answered by a negative dentry (the `neg%`
+    /// column of Tables 1–2).
+    pub fn negative_rate(&self) -> f64 {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            return 0.0;
+        }
+        let neg = self.hit_negative.load(Ordering::Relaxed)
+            + self.fast_neg_hits.load(Ordering::Relaxed)
+            + self.complete_neg_avoided.load(Ordering::Relaxed);
+        neg as f64 / lookups as f64
+    }
+}
+
+/// Space-overhead summary (§6.1, "Space Overhead").
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceReport {
+    /// `size_of::<Dentry>()` in this implementation.
+    pub dentry_bytes: usize,
+    /// Live (hashed) dentries.
+    pub live_dentries: u64,
+    /// DLHT footprint across namespaces, bytes.
+    pub dlht_bytes: usize,
+    /// Per-credential PCC footprint, bytes.
+    pub pcc_bytes_each: usize,
+    /// Live PCC instances.
+    pub pccs: usize,
+}
+
+impl std::fmt::Display for SpaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "dentry size:      {} bytes", self.dentry_bytes)?;
+        writeln!(f, "live dentries:    {}", self.live_dentries)?;
+        writeln!(f, "DLHT footprint:   {} bytes", self.dlht_bytes)?;
+        writeln!(f, "PCC (each):       {} bytes", self.pcc_bytes_each)?;
+        write!(f, "PCC instances:    {}", self.pccs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_compute_from_counters() {
+        let s = DcacheStats::default();
+        s.lookups.store(100, Ordering::Relaxed);
+        s.miss_fs.store(10, Ordering::Relaxed);
+        s.hit_negative.store(5, Ordering::Relaxed);
+        s.fast_neg_hits.store(15, Ordering::Relaxed);
+        assert!((s.hit_rate() - 0.9).abs() < 1e-9);
+        assert!((s.negative_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lookups_yield_zero_rates() {
+        let s = DcacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.negative_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = DcacheStats::default();
+        s.lookups.store(5, Ordering::Relaxed);
+        s.evictions.store(3, Ordering::Relaxed);
+        s.reset();
+        assert!(s.snapshot().iter().all(|(_, v)| *v == 0));
+    }
+
+    #[test]
+    fn snapshot_carries_names() {
+        let s = DcacheStats::default();
+        s.fast_hits.store(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert!(snap.contains(&("fast_hits", 2)));
+    }
+}

@@ -1,0 +1,290 @@
+//! The copy-on-write credential structure.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unique identity of one credential object (never reused).
+pub type CredId = u64;
+
+static NEXT_CRED_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Opaque LSM-private state attached to a credential (the analog of the
+/// `security` pointer in `struct cred`).
+pub trait SecurityBlob: Send + Sync {
+    /// Downcasting access for the owning LSM.
+    fn as_any(&self) -> &dyn Any;
+    /// Content equality; `commit_creds` dedup depends on this.
+    fn blob_eq(&self, other: &dyn SecurityBlob) -> bool;
+    /// Human-readable label (e.g. an SELinux context or AppArmor profile).
+    fn label(&self) -> String;
+}
+
+/// An immutable credential.
+///
+/// All permission-relevant state lives here; per-credential caches (the
+/// PCC) attach through [`Cred::cache_for`], keyed by mount namespace so a
+/// namespace switch never reuses prefix-check results across namespaces
+/// (§4.3, "Mount Namespaces").
+pub struct Cred {
+    id: CredId,
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary groups, sorted.
+    pub groups: Vec<u32>,
+    /// LSM-private state, if any LSM attached one.
+    pub security: Option<Arc<dyn SecurityBlob>>,
+    /// Per-namespace opaque caches (the dcache stores each PCC here).
+    caches: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Cred {
+    /// A root credential (uid 0, gid 0, no supplementary groups).
+    pub fn root() -> Arc<Cred> {
+        CredBuilder::new(0, 0).build()
+    }
+
+    /// A plain user credential.
+    pub fn user(uid: u32, gid: u32) -> Arc<Cred> {
+        CredBuilder::new(uid, gid).build()
+    }
+
+    /// This credential's unique id.
+    pub fn id(&self) -> CredId {
+        self.id
+    }
+
+    /// True if `gid` is the primary or a supplementary group.
+    pub fn in_group(&self, gid: u32) -> bool {
+        self.gid == gid || self.groups.binary_search(&gid).is_ok()
+    }
+
+    /// Content equality — the `commit_creds` dedup predicate. Two creds
+    /// are equal when every permission-relevant field matches, including
+    /// LSM state; cache attachments are explicitly *not* compared.
+    pub fn content_eq(&self, other: &Cred) -> bool {
+        if self.uid != other.uid || self.gid != other.gid || self.groups != other.groups {
+            return false;
+        }
+        match (&self.security, &other.security) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.blob_eq(b.as_ref()),
+            _ => false,
+        }
+    }
+
+    /// Returns the cache attached for namespace `ns`, creating it with
+    /// `make` on first use. The dcache stores one PCC per (cred, ns) here.
+    pub fn cache_for(
+        &self,
+        ns: u64,
+        make: impl FnOnce() -> Arc<dyn Any + Send + Sync>,
+    ) -> Arc<dyn Any + Send + Sync> {
+        let mut caches = self.caches.lock();
+        caches.entry(ns).or_insert_with(make).clone()
+    }
+
+    /// Drops every attached cache (used on PCC-wide invalidation, e.g.
+    /// the paper's version-counter wraparound flush).
+    pub fn clear_caches(&self) {
+        self.caches.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for Cred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cred")
+            .field("id", &self.id)
+            .field("uid", &self.uid)
+            .field("gid", &self.gid)
+            .field("groups", &self.groups)
+            .field(
+                "security",
+                &self.security.as_ref().map(|s| s.label()),
+            )
+            .finish()
+    }
+}
+
+/// A mutable credential under construction (the `prepare_creds` copy).
+#[derive(Clone)]
+pub struct CredBuilder {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary groups (sorted on build).
+    pub groups: Vec<u32>,
+    /// LSM-private state.
+    pub security: Option<Arc<dyn SecurityBlob>>,
+}
+
+impl CredBuilder {
+    /// Starts from explicit ids.
+    pub fn new(uid: u32, gid: u32) -> Self {
+        CredBuilder {
+            uid,
+            gid,
+            groups: Vec::new(),
+            security: None,
+        }
+    }
+
+    /// Adds supplementary groups.
+    pub fn with_groups(mut self, groups: &[u32]) -> Self {
+        self.groups.extend_from_slice(groups);
+        self
+    }
+
+    /// Attaches LSM state.
+    pub fn with_security(mut self, blob: Arc<dyn SecurityBlob>) -> Self {
+        self.security = Some(blob);
+        self
+    }
+
+    /// Finalizes into a fresh immutable credential with a new id and
+    /// empty caches.
+    pub fn build(mut self) -> Arc<Cred> {
+        self.groups.sort_unstable();
+        self.groups.dedup();
+        Arc::new(Cred {
+            id: NEXT_CRED_ID.fetch_add(1, Ordering::Relaxed),
+            uid: self.uid,
+            gid: self.gid,
+            groups: self.groups,
+            security: self.security,
+            caches: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// Begins a credential change: a mutable copy of `old` (Linux
+/// `prepare_creds`).
+pub fn prepare_creds(old: &Cred) -> CredBuilder {
+    CredBuilder {
+        uid: old.uid,
+        gid: old.gid,
+        groups: old.groups.clone(),
+        security: old.security.clone(),
+    }
+}
+
+/// Applies a prepared credential to a task (Linux `commit_creds`).
+///
+/// If the prepared contents are identical to `old`, the old credential —
+/// **and therefore its prefix check cache** — is reused and shared; this is
+/// the paper's fix for Linux's liberal allocation of unchanged creds
+/// (§4.1). Otherwise a brand-new credential (with an empty PCC) is built.
+pub fn commit_creds(old: &Arc<Cred>, new: CredBuilder) -> Arc<Cred> {
+    let candidate = new.build();
+    if old.content_eq(&candidate) {
+        old.clone()
+    } else {
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestBlob(String);
+
+    impl SecurityBlob for TestBlob {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn blob_eq(&self, other: &dyn SecurityBlob) -> bool {
+            other
+                .as_any()
+                .downcast_ref::<TestBlob>()
+                .is_some_and(|o| o.0 == self.0)
+        }
+        fn label(&self) -> String {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Cred::user(1, 1);
+        let b = Cred::user(1, 1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn group_membership() {
+        let c = CredBuilder::new(5, 10).with_groups(&[30, 20, 20]).build();
+        assert!(c.in_group(10));
+        assert!(c.in_group(20));
+        assert!(c.in_group(30));
+        assert!(!c.in_group(40));
+    }
+
+    #[test]
+    fn commit_reuses_identical_cred() {
+        let old = CredBuilder::new(4, 4).with_groups(&[7]).build();
+        let prepared = prepare_creds(&old);
+        let committed = commit_creds(&old, prepared);
+        assert_eq!(committed.id(), old.id(), "unchanged commit must reuse");
+    }
+
+    #[test]
+    fn commit_allocates_on_change() {
+        let old = Cred::user(4, 4);
+        let mut prepared = prepare_creds(&old);
+        prepared.uid = 0; // setuid
+        let committed = commit_creds(&old, prepared);
+        assert_ne!(committed.id(), old.id());
+        assert_eq!(committed.uid, 0);
+    }
+
+    #[test]
+    fn security_blob_participates_in_dedup() {
+        let base = CredBuilder::new(1, 1)
+            .with_security(Arc::new(TestBlob("confined".into())))
+            .build();
+        // Same blob content → reuse.
+        let mut same = prepare_creds(&base);
+        same.security = Some(Arc::new(TestBlob("confined".into())));
+        assert_eq!(commit_creds(&base, same).id(), base.id());
+        // Different blob content → new cred.
+        let mut diff = prepare_creds(&base);
+        diff.security = Some(Arc::new(TestBlob("unconfined".into())));
+        assert_ne!(commit_creds(&base, diff).id(), base.id());
+        // Dropping the blob → new cred.
+        let mut none = prepare_creds(&base);
+        none.security = None;
+        assert_ne!(commit_creds(&base, none).id(), base.id());
+    }
+
+    #[test]
+    fn caches_are_per_namespace_and_persistent() {
+        let c = Cred::user(9, 9);
+        let a = c.cache_for(1, || Arc::new(42u32));
+        let b = c.cache_for(1, || Arc::new(43u32));
+        assert_eq!(
+            a.downcast_ref::<u32>(),
+            b.downcast_ref::<u32>(),
+            "same namespace shares the cache"
+        );
+        let other = c.cache_for(2, || Arc::new(99u32));
+        assert_eq!(other.downcast_ref::<u32>(), Some(&99));
+        c.clear_caches();
+        let fresh = c.cache_for(1, || Arc::new(7u32));
+        assert_eq!(fresh.downcast_ref::<u32>(), Some(&7));
+    }
+
+    #[test]
+    fn debug_prints_label_not_blob() {
+        let c = CredBuilder::new(1, 2)
+            .with_security(Arc::new(TestBlob("role_r".into())))
+            .build();
+        let s = format!("{c:?}");
+        assert!(s.contains("role_r"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Classic POSIX discretionary access control.
+
+use crate::credential::Cred;
+use crate::lsm::{Lsm, PermCtx, MAY_EXEC};
+#[cfg(test)]
+use crate::lsm::{MAY_READ, MAY_WRITE};
+use dc_fs::{FileType, FsError, FsResult};
+
+/// The default discretionary access control module: owner/group/other
+/// mode-bit checks with the standard root overrides (`CAP_DAC_OVERRIDE` /
+/// `CAP_DAC_READ_SEARCH` behavior).
+pub struct Dac;
+
+impl Dac {
+    fn triplet_for(cred: &Cred, uid: u32, gid: u32, mode: u16) -> u32 {
+        if cred.uid == uid {
+            ((mode >> 6) & 0o7) as u32
+        } else if cred.in_group(gid) {
+            ((mode >> 3) & 0o7) as u32
+        } else {
+            (mode & 0o7) as u32
+        }
+    }
+}
+
+impl Lsm for Dac {
+    fn name(&self) -> &'static str {
+        "dac"
+    }
+
+    fn inode_permission(&self, cred: &Cred, ctx: &PermCtx<'_>, mask: u32) -> FsResult<()> {
+        let attr = ctx.attr;
+        if cred.uid == 0 {
+            // Root: read/write always; search on directories always;
+            // execute on files only if some execute bit is set.
+            if mask & MAY_EXEC != 0
+                && attr.ftype != FileType::Directory
+                && attr.mode & 0o111 == 0
+            {
+                return Err(FsError::Access);
+            }
+            return Ok(());
+        }
+        let granted = Self::triplet_for(cred, attr.uid, attr.gid, attr.mode);
+        // Mode triplet is rwx = 4,2,1; the MAY_* masks use the same shape.
+        if mask & !granted != 0 {
+            return Err(FsError::Access);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credential::CredBuilder;
+    use dc_fs::InodeAttr;
+
+    fn attr(mode: u16, uid: u32, gid: u32, ftype: FileType) -> InodeAttr {
+        InodeAttr {
+            ino: 1,
+            ftype,
+            mode,
+            uid,
+            gid,
+            nlink: 1,
+            size: 0,
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+
+    fn check(cred: &Cred, attr: &InodeAttr, mask: u32) -> FsResult<()> {
+        Dac.inode_permission(
+            cred,
+            &PermCtx {
+                attr,
+                path: None,
+            },
+            mask,
+        )
+    }
+
+    #[test]
+    fn owner_uses_owner_bits() {
+        let alice = Cred::user(1000, 1000);
+        let a = attr(0o700, 1000, 2000, FileType::Regular);
+        assert!(check(&alice, &a, MAY_READ | MAY_WRITE | MAY_EXEC).is_ok());
+        // Owner bits apply even when group/other would deny more...
+        let a = attr(0o077, 1000, 1000, FileType::Regular);
+        // ...and the owner triplet is the ONLY one consulted.
+        assert_eq!(check(&alice, &a, MAY_READ), Err(FsError::Access));
+    }
+
+    #[test]
+    fn group_membership_selects_group_bits() {
+        let bob = CredBuilder::new(1001, 100).with_groups(&[200]).build();
+        let a = attr(0o640, 1, 200, FileType::Regular);
+        assert!(check(&bob, &a, MAY_READ).is_ok());
+        assert_eq!(check(&bob, &a, MAY_WRITE), Err(FsError::Access));
+    }
+
+    #[test]
+    fn other_bits_for_strangers() {
+        let eve = Cred::user(5000, 5000);
+        let a = attr(0o754, 1, 1, FileType::Regular);
+        assert!(check(&eve, &a, MAY_READ).is_ok());
+        assert_eq!(check(&eve, &a, MAY_EXEC), Err(FsError::Access));
+    }
+
+    #[test]
+    fn directory_search_is_exec_bit() {
+        let alice = Cred::user(1000, 1000);
+        let searchable = attr(0o711, 0, 0, FileType::Directory);
+        assert!(check(&alice, &searchable, MAY_EXEC).is_ok());
+        // Search without read: can't list, can traverse.
+        assert_eq!(check(&alice, &searchable, MAY_READ), Err(FsError::Access));
+        let locked = attr(0o700, 0, 0, FileType::Directory);
+        assert_eq!(check(&alice, &locked, MAY_EXEC), Err(FsError::Access));
+    }
+
+    #[test]
+    fn root_overrides_except_plain_file_exec() {
+        let root = Cred::root();
+        let secret = attr(0o000, 1000, 1000, FileType::Regular);
+        assert!(check(&root, &secret, MAY_READ | MAY_WRITE).is_ok());
+        assert_eq!(check(&root, &secret, MAY_EXEC), Err(FsError::Access));
+        let script = attr(0o001, 1000, 1000, FileType::Regular);
+        assert!(check(&root, &script, MAY_EXEC).is_ok());
+        let dir = attr(0o000, 1000, 1000, FileType::Directory);
+        assert!(check(&root, &dir, MAY_EXEC).is_ok());
+    }
+}

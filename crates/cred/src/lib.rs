@@ -1,0 +1,31 @@
+//! Credentials and the Linux-Security-Module framework (paper §4.1).
+//!
+//! The prefix check cache (PCC) memoizes the *result* of access-control
+//! decisions, so it must be keyed by something that captures **everything**
+//! those decisions depend on. The paper leverages three properties of the
+//! Linux `cred` structure, all reproduced here:
+//!
+//! 1. **Comprehensive** — [`Cred`] carries uid/gid/supplementary groups
+//!    *plus* an opaque [`SecurityBlob`] where an LSM stores its own state
+//!    (role, profile, …), so memoized results are valid for arbitrary LSMs.
+//! 2. **Copy-on-write** — creds are immutable behind `Arc`; changing
+//!    credentials builds a new one via [`prepare_creds`]/[`commit_creds`].
+//! 3. **Deduplicated commits** — Linux often allocates a new `cred` even
+//!    when nothing changed (e.g. `exec`); the paper waits until
+//!    `commit_creds()` and reuses the old cred (and its PCC) if the
+//!    contents are identical. [`commit_creds`] does exactly that.
+//!
+//! The [`Lsm`] trait plus [`SecurityStack`] mirror the LSM hook chain; two
+//! modules are provided: [`Dac`] (POSIX mode bits, always first) and
+//! [`PathMac`] (an AppArmor-flavored path-rule module proving the PCC can
+//! memoize arbitrary, path-sensitive policies).
+
+mod credential;
+mod dac;
+mod lsm;
+mod pathmac;
+
+pub use credential::{commit_creds, prepare_creds, Cred, CredBuilder, CredId, SecurityBlob};
+pub use dac::Dac;
+pub use lsm::{Lsm, PermCtx, SecurityStack, MAY_EXEC, MAY_READ, MAY_WRITE};
+pub use pathmac::{MacRule, PathMac};

@@ -1,0 +1,160 @@
+//! The security-module hook chain.
+
+use crate::credential::Cred;
+use dc_fs::{FsError, FsResult, InodeAttr};
+use std::sync::Arc;
+
+/// Permission mask bit: search/execute.
+pub const MAY_EXEC: u32 = 0x1;
+/// Permission mask bit: write.
+pub const MAY_WRITE: u32 = 0x2;
+/// Permission mask bit: read.
+pub const MAY_READ: u32 = 0x4;
+
+/// Context handed to permission hooks.
+///
+/// `path` is the full canonical path when the caller knows it. The VFS
+/// guarantees it is present whenever the active stack contains a module
+/// whose [`Lsm::needs_path`] is true (path-based MAC); pure mode-bit
+/// modules ignore it.
+pub struct PermCtx<'a> {
+    /// Attributes of the inode being checked.
+    pub attr: &'a InodeAttr,
+    /// Full canonical path, when known.
+    pub path: Option<&'a str>,
+}
+
+/// One security module (the LSM hook surface this reproduction needs).
+pub trait Lsm: Send + Sync {
+    /// Module name, e.g. `"dac"`.
+    fn name(&self) -> &'static str;
+
+    /// May `cred` perform `mask` accesses on the object? Returning an
+    /// error vetoes the access (modules are AND-combined, like Linux).
+    fn inode_permission(&self, cred: &Cred, ctx: &PermCtx<'_>, mask: u32) -> FsResult<()>;
+
+    /// True if this module's decisions depend on the path string; the VFS
+    /// then reconstructs paths for final-object checks on the fastpath.
+    fn needs_path(&self) -> bool {
+        false
+    }
+}
+
+/// An ordered stack of security modules, all of which must allow an
+/// access.
+pub struct SecurityStack {
+    lsms: Vec<Arc<dyn Lsm>>,
+}
+
+impl SecurityStack {
+    /// A stack with only the default DAC module.
+    pub fn dac_only() -> Self {
+        SecurityStack {
+            lsms: vec![Arc::new(crate::dac::Dac)],
+        }
+    }
+
+    /// A stack from explicit modules (callers normally put [`crate::Dac`]
+    /// first, as Linux always applies DAC).
+    pub fn new(lsms: Vec<Arc<dyn Lsm>>) -> Self {
+        SecurityStack { lsms }
+    }
+
+    /// Appends a module to the chain.
+    pub fn push(&mut self, lsm: Arc<dyn Lsm>) {
+        self.lsms.push(lsm);
+    }
+
+    /// Evaluates the whole chain; the first veto wins.
+    pub fn permission(&self, cred: &Cred, ctx: &PermCtx<'_>, mask: u32) -> FsResult<()> {
+        for lsm in &self.lsms {
+            lsm.inode_permission(cred, ctx, mask)?;
+        }
+        Ok(())
+    }
+
+    /// True if any module needs path strings for its decisions.
+    pub fn needs_path(&self) -> bool {
+        self.lsms.iter().any(|l| l.needs_path())
+    }
+
+    /// Names of the active modules, for reporting.
+    pub fn module_names(&self) -> Vec<&'static str> {
+        self.lsms.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Default for SecurityStack {
+    fn default() -> Self {
+        Self::dac_only()
+    }
+}
+
+/// A module that denies everything — useful in tests and for quarantine
+/// configurations.
+#[cfg_attr(not(test), allow(dead_code))]
+pub struct DenyAll;
+
+impl Lsm for DenyAll {
+    fn name(&self) -> &'static str {
+        "deny-all"
+    }
+
+    fn inode_permission(&self, _: &Cred, _: &PermCtx<'_>, _: u32) -> FsResult<()> {
+        Err(FsError::Access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_fs::FileType;
+
+    fn attr() -> InodeAttr {
+        InodeAttr {
+            ino: 1,
+            ftype: FileType::Regular,
+            mode: 0o777,
+            uid: 0,
+            gid: 0,
+            nlink: 1,
+            size: 0,
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+
+    #[test]
+    fn stack_is_and_combined() {
+        let a = attr();
+        let cred = Cred::root();
+        let ctx = PermCtx {
+            attr: &a,
+            path: None,
+        };
+        let permissive = SecurityStack::dac_only();
+        assert!(permissive.permission(&cred, &ctx, MAY_READ).is_ok());
+        let mut strict = SecurityStack::dac_only();
+        strict.push(Arc::new(DenyAll));
+        assert_eq!(
+            strict.permission(&cred, &ctx, MAY_READ),
+            Err(FsError::Access)
+        );
+    }
+
+    #[test]
+    fn needs_path_propagates() {
+        let plain = SecurityStack::dac_only();
+        assert!(!plain.needs_path());
+        let mut mac = SecurityStack::dac_only();
+        mac.push(Arc::new(crate::pathmac::PathMac::new(vec![])));
+        assert!(mac.needs_path());
+    }
+
+    #[test]
+    fn module_names_in_order() {
+        let mut s = SecurityStack::dac_only();
+        s.push(Arc::new(DenyAll));
+        assert_eq!(s.module_names(), vec!["dac", "deny-all"]);
+    }
+}

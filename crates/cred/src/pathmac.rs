@@ -1,0 +1,172 @@
+//! An AppArmor-flavored, path-based mandatory access control module.
+//!
+//! Rules deny accesses by `(subject uid, path prefix, mask)`. The module
+//! exists to prove two claims from §4.1 of the paper: the PCC memoizes
+//! *arbitrary* LSM decisions (not just mode bits), and path-sensitive
+//! modules are compatible with the fastpath because prefix checks are only
+//! (re)computed on the slowpath — where the path string is available —
+//! and then cached by credential.
+
+use crate::credential::Cred;
+use crate::lsm::{Lsm, PermCtx};
+use dc_fs::{FsError, FsResult};
+
+/// One deny rule.
+#[derive(Debug, Clone)]
+pub struct MacRule {
+    /// Subject uid the rule applies to; `None` = every uid.
+    pub uid: Option<u32>,
+    /// Canonical path prefix, e.g. `"/etc/secret"`. A rule matches the
+    /// path itself and everything beneath it.
+    pub path_prefix: String,
+    /// Denied [`crate::MAY_READ`]/[`crate::MAY_WRITE`]/[`crate::MAY_EXEC`]
+    /// bits.
+    pub deny_mask: u32,
+}
+
+impl MacRule {
+    fn matches(&self, uid: u32, path: &str) -> bool {
+        if self.uid.is_some_and(|u| u != uid) {
+            return false;
+        }
+        match path.strip_prefix(self.path_prefix.as_str()) {
+            Some(rest) => {
+                rest.is_empty() || rest.starts_with('/') || self.path_prefix.ends_with('/')
+            }
+            None => false,
+        }
+    }
+}
+
+/// A path-rule MAC module (deny-list semantics, root not exempt —
+/// mandatory access control binds root too).
+pub struct PathMac {
+    rules: Vec<MacRule>,
+}
+
+impl PathMac {
+    /// Builds the module from a rule list.
+    pub fn new(rules: Vec<MacRule>) -> Self {
+        PathMac { rules }
+    }
+}
+
+impl Lsm for PathMac {
+    fn name(&self) -> &'static str {
+        "pathmac"
+    }
+
+    fn needs_path(&self) -> bool {
+        true
+    }
+
+    fn inode_permission(&self, cred: &Cred, ctx: &PermCtx<'_>, mask: u32) -> FsResult<()> {
+        if self.rules.is_empty() {
+            return Ok(());
+        }
+        let Some(path) = ctx.path else {
+            // The VFS contract is to supply paths when needs_path() is
+            // true; failing closed here means a contract violation can
+            // never grant access it should not.
+            return Err(FsError::Access);
+        };
+        for rule in &self.rules {
+            if rule.deny_mask & mask != 0 && rule.matches(cred.uid, path) {
+                return Err(FsError::Access);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsm::{MAY_EXEC, MAY_READ, MAY_WRITE};
+    use dc_fs::{FileType, InodeAttr};
+
+    fn attr() -> InodeAttr {
+        InodeAttr {
+            ino: 1,
+            ftype: FileType::Regular,
+            mode: 0o777,
+            uid: 0,
+            gid: 0,
+            nlink: 1,
+            size: 0,
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+
+    fn check(mac: &PathMac, cred: &Cred, path: Option<&str>, mask: u32) -> FsResult<()> {
+        let a = attr();
+        mac.inode_permission(cred, &PermCtx { attr: &a, path }, mask)
+    }
+
+    #[test]
+    fn deny_rule_blocks_subtree() {
+        let mac = PathMac::new(vec![MacRule {
+            uid: Some(1000),
+            path_prefix: "/etc/secret".into(),
+            deny_mask: MAY_READ | MAY_WRITE,
+        }]);
+        let alice = Cred::user(1000, 1000);
+        assert_eq!(
+            check(&mac, &alice, Some("/etc/secret"), MAY_READ),
+            Err(FsError::Access)
+        );
+        assert_eq!(
+            check(&mac, &alice, Some("/etc/secret/key"), MAY_READ),
+            Err(FsError::Access)
+        );
+        // Sibling with a shared string prefix is NOT matched.
+        assert!(check(&mac, &alice, Some("/etc/secrets2"), MAY_READ).is_ok());
+        // Unlisted masks pass.
+        assert!(check(&mac, &alice, Some("/etc/secret"), MAY_EXEC).is_ok());
+    }
+
+    #[test]
+    fn uid_scoping() {
+        let mac = PathMac::new(vec![MacRule {
+            uid: Some(1000),
+            path_prefix: "/srv".into(),
+            deny_mask: MAY_WRITE,
+        }]);
+        let alice = Cred::user(1000, 1000);
+        let bob = Cred::user(1001, 1001);
+        assert!(check(&mac, &bob, Some("/srv/www"), MAY_WRITE).is_ok());
+        assert_eq!(
+            check(&mac, &alice, Some("/srv/www"), MAY_WRITE),
+            Err(FsError::Access)
+        );
+    }
+
+    #[test]
+    fn wildcard_uid_binds_root_too() {
+        let mac = PathMac::new(vec![MacRule {
+            uid: None,
+            path_prefix: "/vault".into(),
+            deny_mask: MAY_READ,
+        }]);
+        let root = Cred::root();
+        assert_eq!(
+            check(&mac, &root, Some("/vault/blob"), MAY_READ),
+            Err(FsError::Access)
+        );
+    }
+
+    #[test]
+    fn missing_path_fails_closed() {
+        let mac = PathMac::new(vec![MacRule {
+            uid: None,
+            path_prefix: "/x".into(),
+            deny_mask: MAY_READ,
+        }]);
+        let c = Cred::user(1, 1);
+        assert_eq!(check(&mac, &c, None, MAY_READ), Err(FsError::Access));
+        // ...but an empty rule set short-circuits to allow.
+        let empty = PathMac::new(vec![]);
+        assert!(check(&empty, &c, None, MAY_READ).is_ok());
+    }
+}

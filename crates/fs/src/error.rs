@@ -1,0 +1,127 @@
+//! Errno-shaped error type shared by every layer of the stack.
+
+/// POSIX-style errors returned by file systems, the directory cache, and
+/// the VFS syscall surface.
+///
+/// Variants correspond one-to-one with the errno values the paper's
+/// workloads observe; [`FsError::errno_name`] yields the classic spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsError {
+    /// ENOENT: no such file or directory.
+    NoEnt,
+    /// ENOTDIR: a non-directory was used as a directory.
+    NotDir,
+    /// EISDIR: a directory was used where a file is required.
+    IsDir,
+    /// EACCES: permission denied.
+    Access,
+    /// EPERM: operation not permitted.
+    Perm,
+    /// EEXIST: file exists.
+    Exist,
+    /// ENOTEMPTY: directory not empty.
+    NotEmpty,
+    /// ELOOP: too many levels of symbolic links.
+    Loop,
+    /// ENAMETOOLONG: path or component too long.
+    NameTooLong,
+    /// EINVAL: invalid argument.
+    Inval,
+    /// EROFS: read-only file system.
+    RoFs,
+    /// ENOSPC: no space left on device.
+    NoSpc,
+    /// EXDEV: cross-device link or rename.
+    XDev,
+    /// EBADF: bad file descriptor.
+    BadF,
+    /// EMFILE: too many open files.
+    MFile,
+    /// ENOSYS: operation not supported by this file system.
+    NoSys,
+    /// EBUSY: resource busy (e.g. unmounting a busy mount).
+    Busy,
+    /// EIO: low-level I/O error.
+    Io,
+    /// ESRCH: no such process (pseudo file systems).
+    Srch,
+    /// ERANGE: result does not fit in the supplied buffer.
+    Range,
+}
+
+impl FsError {
+    /// The classic errno spelling, e.g. `"ENOENT"`.
+    pub fn errno_name(self) -> &'static str {
+        match self {
+            FsError::NoEnt => "ENOENT",
+            FsError::NotDir => "ENOTDIR",
+            FsError::IsDir => "EISDIR",
+            FsError::Access => "EACCES",
+            FsError::Perm => "EPERM",
+            FsError::Exist => "EEXIST",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::Loop => "ELOOP",
+            FsError::NameTooLong => "ENAMETOOLONG",
+            FsError::Inval => "EINVAL",
+            FsError::RoFs => "EROFS",
+            FsError::NoSpc => "ENOSPC",
+            FsError::XDev => "EXDEV",
+            FsError::BadF => "EBADF",
+            FsError::MFile => "EMFILE",
+            FsError::NoSys => "ENOSYS",
+            FsError::Busy => "EBUSY",
+            FsError::Io => "EIO",
+            FsError::Srch => "ESRCH",
+            FsError::Range => "ERANGE",
+        }
+    }
+
+    /// Whether a path walk failing with this error names a *definitive*
+    /// absence that is legal to cache as a negative dentry (`ENOENT`) or a
+    /// structural misuse cacheable as an `ENOTDIR` dentry (§5.2).
+    pub fn is_negative_cacheable(self) -> bool {
+        matches!(self, FsError::NoEnt | FsError::NotDir)
+    }
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.errno_name())
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<dc_blockdev::BlockError> for FsError {
+    fn from(_: dc_blockdev::BlockError) -> Self {
+        FsError::Io
+    }
+}
+
+/// Result alias used across the stack.
+pub type FsResult<T> = Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_names_match() {
+        assert_eq!(FsError::NoEnt.errno_name(), "ENOENT");
+        assert_eq!(FsError::NotEmpty.to_string(), "ENOTEMPTY");
+    }
+
+    #[test]
+    fn negative_cacheability() {
+        assert!(FsError::NoEnt.is_negative_cacheable());
+        assert!(FsError::NotDir.is_negative_cacheable());
+        assert!(!FsError::Access.is_negative_cacheable());
+        assert!(!FsError::Loop.is_negative_cacheable());
+    }
+
+    #[test]
+    fn block_errors_map_to_eio() {
+        let e: FsError = dc_blockdev::BlockError::BadLength { got: 1, want: 2 }.into();
+        assert_eq!(e, FsError::Io);
+    }
+}

@@ -1,0 +1,1131 @@
+//! The memfs [`FileSystem`] implementation.
+
+use super::bitmap::Bitmap;
+use super::dir;
+use super::inode::{
+    bmap, clear_inode, max_logical_blocks, read_inode, write_inode, DiskInode, INLINE_TARGET_MAX,
+};
+use super::layout::{Geometry, NDIRECT};
+use crate::api::{DirEntry, FileSystem, FileType, FsStats, InodeAttr, SetAttr, StatFs};
+use crate::error::{FsError, FsResult};
+use bytes::Bytes;
+use dc_blockdev::CachedDisk;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of inode-lock shards.
+const LOCK_SHARDS: usize = 64;
+
+/// The root directory's inode number.
+const ROOT_INO: u64 = 1;
+
+/// memfs creation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MemFsConfig {
+    /// Maximum number of inodes.
+    pub max_inodes: u64,
+    /// Mode bits of the root directory.
+    pub root_mode: u16,
+    /// Owner of the root directory.
+    pub root_uid: u32,
+    /// Group of the root directory.
+    pub root_gid: u32,
+}
+
+impl Default for MemFsConfig {
+    fn default() -> Self {
+        MemFsConfig {
+            max_inodes: 1 << 20,
+            root_mode: 0o755,
+            root_uid: 0,
+            root_gid: 0,
+        }
+    }
+}
+
+struct AllocState {
+    ino_hint: u64,
+    blk_hint: u64,
+    free_inodes: u64,
+    free_blocks: u64,
+}
+
+/// An ext2-flavored file system over a simulated block device.
+///
+/// See the [module docs](super) for the on-disk layout. All metadata and
+/// directory content round-trips through the device's page cache, so every
+/// directory-cache miss exercised by the benchmarks performs genuine block
+/// reads and record deserialization.
+pub struct MemFs {
+    disk: Arc<CachedDisk>,
+    geo: Geometry,
+    ibmap: Bitmap,
+    bbmap: Bitmap,
+    alloc: Mutex<AllocState>,
+    locks: Vec<Mutex<()>>,
+    clock: AtomicU64,
+    stats: FsStats,
+}
+
+impl MemFs {
+    /// Formats `disk` and returns the mounted file system.
+    pub fn mkfs(disk: Arc<CachedDisk>, config: MemFsConfig) -> FsResult<Arc<MemFs>> {
+        let geo = Geometry::compute(
+            disk.block_size(),
+            disk.capacity_blocks(),
+            config.max_inodes,
+        );
+        if geo.data_start >= geo.capacity_blocks {
+            return Err(FsError::NoSpc);
+        }
+        disk.write_block(0, &geo.encode_superblock())?;
+        let ibmap = Bitmap::new(geo.ibmap_start, geo.max_inodes, geo.block_size);
+        let bbmap = Bitmap::new(geo.bbmap_start, geo.capacity_blocks, geo.block_size);
+        // Reserve ino 0 (invalid) and all metadata blocks.
+        ibmap.set(&disk, 0, true)?;
+        for b in 0..geo.data_start {
+            bbmap.set(&disk, b, true)?;
+        }
+        // Root directory.
+        ibmap.set(&disk, ROOT_INO, true)?;
+        let root = DiskInode::new(
+            FileType::Directory,
+            config.root_mode,
+            config.root_uid,
+            config.root_gid,
+            0,
+        );
+        write_inode(&disk, &geo, ROOT_INO, &root)?;
+        Self::mount(disk)
+    }
+
+    /// Mounts an already-formatted disk.
+    pub fn mount(disk: Arc<CachedDisk>) -> FsResult<Arc<MemFs>> {
+        let geo = Geometry::read_superblock(&disk)?;
+        let ibmap = Bitmap::new(geo.ibmap_start, geo.max_inodes, geo.block_size);
+        let bbmap = Bitmap::new(geo.bbmap_start, geo.capacity_blocks, geo.block_size);
+        let used_inodes = ibmap.count_set(&disk)?;
+        let used_blocks = bbmap.count_set(&disk)?;
+        let alloc = AllocState {
+            ino_hint: ROOT_INO + 1,
+            blk_hint: geo.data_start,
+            free_inodes: geo.max_inodes - used_inodes,
+            free_blocks: geo.capacity_blocks - used_blocks,
+        };
+        Ok(Arc::new(MemFs {
+            disk,
+            geo,
+            ibmap,
+            bbmap,
+            alloc: Mutex::new(alloc),
+            locks: (0..LOCK_SHARDS).map(|_| Mutex::new(())).collect(),
+            clock: AtomicU64::new(1),
+            stats: FsStats::default(),
+        }))
+    }
+
+    /// The backing disk (benchmarks use this to drop caches).
+    pub fn disk(&self) -> &Arc<CachedDisk> {
+        &self.disk
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Locks the shards covering `inos`, in shard order (deadlock-free).
+    fn lock_many(&self, inos: &[u64]) -> Vec<MutexGuard<'_, ()>> {
+        let mut shards: Vec<usize> = inos
+            .iter()
+            .map(|i| (*i as usize) % LOCK_SHARDS)
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards.into_iter().map(|s| self.locks[s].lock()).collect()
+    }
+
+    fn alloc_ino(&self) -> FsResult<u64> {
+        let mut a = self.alloc.lock();
+        if a.free_inodes == 0 {
+            return Err(FsError::NoSpc);
+        }
+        let ino = self.ibmap.alloc(&self.disk, a.ino_hint)?;
+        a.ino_hint = ino + 1;
+        a.free_inodes -= 1;
+        Ok(ino)
+    }
+
+    fn free_ino(&self, ino: u64) -> FsResult<()> {
+        let mut a = self.alloc.lock();
+        self.ibmap.set(&self.disk, ino, false)?;
+        a.free_inodes += 1;
+        Ok(())
+    }
+
+    fn alloc_block(&self) -> FsResult<u64> {
+        let mut a = self.alloc.lock();
+        if a.free_blocks == 0 {
+            return Err(FsError::NoSpc);
+        }
+        let blk = self.bbmap.alloc(&self.disk, a.blk_hint)?;
+        a.blk_hint = blk + 1;
+        a.free_blocks -= 1;
+        Ok(blk)
+    }
+
+    fn free_block(&self, blk: u64) -> FsResult<()> {
+        let mut a = self.alloc.lock();
+        self.bbmap.set(&self.disk, blk, false)?;
+        a.free_blocks += 1;
+        Ok(())
+    }
+
+    fn read_di(&self, ino: u64) -> FsResult<DiskInode> {
+        read_inode(&self.disk, &self.geo, ino)
+    }
+
+    fn write_di(&self, ino: u64, di: &DiskInode) -> FsResult<()> {
+        write_inode(&self.disk, &self.geo, ino, di)
+    }
+
+    fn read_dir_di(&self, ino: u64) -> FsResult<DiskInode> {
+        let di = self.read_di(ino)?;
+        if di.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        Ok(di)
+    }
+
+    /// Maps logical block `lblk`, allocating (and wiring up the indirect
+    /// block) if needed.
+    fn bmap_alloc(&self, ino: u64, di: &mut DiskInode, lblk: u64) -> FsResult<u64> {
+        if let Some(p) = bmap(&self.disk, &self.geo, di, lblk)? {
+            return Ok(p);
+        }
+        let phys = self.alloc_block()?;
+        if lblk < NDIRECT as u64 {
+            di.direct[lblk as usize] = phys;
+        } else {
+            let idx = (lblk - NDIRECT as u64) as usize;
+            if idx >= self.geo.block_size / 8 {
+                self.free_block(phys)?;
+                return Err(FsError::NoSpc);
+            }
+            if di.indirect == 0 {
+                di.indirect = self.alloc_block()?;
+                self.disk
+                    .write_block(di.indirect, &vec![0u8; self.geo.block_size])?;
+            }
+            let blk = self.disk.read_block(di.indirect)?;
+            let mut copy = blk.to_vec();
+            copy[idx * 8..idx * 8 + 8].copy_from_slice(&phys.to_le_bytes());
+            self.disk.write_block(di.indirect, &copy)?;
+        }
+        self.write_di(ino, di)?;
+        Ok(phys)
+    }
+
+    /// Frees every data block of an inode (truncate to zero / deletion).
+    fn free_all_blocks(&self, di: &mut DiskInode) -> FsResult<()> {
+        for d in di.direct.iter_mut() {
+            if *d != 0 {
+                self.free_block(*d)?;
+                *d = 0;
+            }
+        }
+        if di.indirect != 0 {
+            let blk = self.disk.read_block(di.indirect)?;
+            for chunk in blk.chunks_exact(8) {
+                let p = u64::from_le_bytes(chunk.try_into().unwrap());
+                if p != 0 {
+                    self.free_block(p)?;
+                }
+            }
+            self.free_block(di.indirect)?;
+            di.indirect = 0;
+        }
+        Ok(())
+    }
+
+    /// Scans a directory for `name`; returns `(ino, ftype)`.
+    fn dir_find(&self, di: &DiskInode, name: &str) -> FsResult<Option<(u64, u8)>> {
+        let nblocks = di.size / self.geo.block_size as u64;
+        for lblk in 0..nblocks {
+            let Some(phys) = bmap(&self.disk, &self.geo, di, lblk)? else {
+                continue;
+            };
+            let data = self.disk.read_block(phys)?;
+            if let Some((_, ino, ftype)) = dir::find(&data, name.as_bytes())? {
+                return Ok(Some((ino, ftype)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts an entry, extending the directory by a block if needed.
+    fn dir_insert(
+        &self,
+        dirino: u64,
+        di: &mut DiskInode,
+        name: &str,
+        ino: u64,
+        ftype: FileType,
+    ) -> FsResult<()> {
+        let nblocks = di.size / self.geo.block_size as u64;
+        for lblk in 0..nblocks {
+            let Some(phys) = bmap(&self.disk, &self.geo, di, lblk)? else {
+                continue;
+            };
+            let data = self.disk.read_block(phys)?;
+            let mut copy = data.to_vec();
+            if dir::insert(&mut copy, name.as_bytes(), ino, ftype.as_u8())? {
+                self.disk.write_block(phys, &copy)?;
+                return Ok(());
+            }
+        }
+        // All blocks full: extend.
+        if nblocks >= max_logical_blocks(&self.geo) {
+            return Err(FsError::NoSpc);
+        }
+        let phys = self.bmap_alloc(dirino, di, nblocks)?;
+        let mut fresh = vec![0u8; self.geo.block_size];
+        dir::init_block(&mut fresh);
+        if !dir::insert(&mut fresh, name.as_bytes(), ino, ftype.as_u8())? {
+            return Err(FsError::NameTooLong);
+        }
+        self.disk.write_block(phys, &fresh)?;
+        di.size += self.geo.block_size as u64;
+        Ok(())
+    }
+
+    /// Removes an entry; returns its `(ino, ftype)`.
+    fn dir_remove(&self, di: &DiskInode, name: &str) -> FsResult<Option<(u64, u8)>> {
+        let nblocks = di.size / self.geo.block_size as u64;
+        for lblk in 0..nblocks {
+            let Some(phys) = bmap(&self.disk, &self.geo, di, lblk)? else {
+                continue;
+            };
+            let data = self.disk.read_block(phys)?;
+            if let Some((_, _, ftype)) = dir::find(&data, name.as_bytes())? {
+                let mut copy = data.to_vec();
+                let ino = dir::remove(&mut copy, name.as_bytes())?
+                    .expect("entry vanished between find and remove");
+                self.disk.write_block(phys, &copy)?;
+                return Ok(Some((ino, ftype)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn dir_is_empty(&self, di: &DiskInode) -> FsResult<bool> {
+        let nblocks = di.size / self.geo.block_size as u64;
+        for lblk in 0..nblocks {
+            let Some(phys) = bmap(&self.disk, &self.geo, di, lblk)? else {
+                continue;
+            };
+            let data = self.disk.read_block(phys)?;
+            if !dir::is_empty(&data)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn validate_name(name: &str) -> FsResult<()> {
+        if name.is_empty() || name == "." || name == ".." {
+            return Err(FsError::Inval);
+        }
+        if name.len() > dir::NAME_MAX {
+            return Err(FsError::NameTooLong);
+        }
+        if name.contains('/') || name.contains('\0') {
+            return Err(FsError::Inval);
+        }
+        Ok(())
+    }
+
+    /// Shared creation path for regular files, directories, and symlinks.
+    fn create_entry(
+        &self,
+        dirino: u64,
+        name: &str,
+        mut child: DiskInode,
+        inline_target: Option<&str>,
+    ) -> FsResult<InodeAttr> {
+        Self::validate_name(name)?;
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dirino]);
+        let mut dir_di = self.read_dir_di(dirino)?;
+        if self.dir_find(&dir_di, name)?.is_some() {
+            return Err(FsError::Exist);
+        }
+        let ino = self.alloc_ino()?;
+        if let Some(t) = inline_target {
+            child.size = t.len() as u64;
+            if t.len() <= INLINE_TARGET_MAX {
+                child.inline_target = Some(t.to_string());
+            } else {
+                // Long target: spill to a data block.
+                let phys = self.alloc_block()?;
+                let mut blockbuf = vec![0u8; self.geo.block_size];
+                blockbuf[..t.len()].copy_from_slice(t.as_bytes());
+                self.disk.write_block(phys, &blockbuf)?;
+                child.direct[0] = phys;
+            }
+        }
+        self.write_di(ino, &child)?;
+        if let Err(e) = self.dir_insert(dirino, &mut dir_di, name, ino, child.ftype) {
+            // Roll back the inode on directory-insert failure.
+            let _ = clear_inode(&self.disk, &self.geo, ino);
+            let _ = self.free_ino(ino);
+            return Err(e);
+        }
+        if child.ftype == FileType::Directory {
+            dir_di.nlink += 1;
+        }
+        dir_di.mtime = self.now();
+        self.write_di(dirino, &dir_di)?;
+        Ok(child.attr(ino))
+    }
+
+    /// Drops one link on `ino`; frees the inode at zero links.
+    fn drop_link(&self, ino: u64, is_dir: bool) -> FsResult<()> {
+        let mut di = self.read_di(ino)?;
+        let dead = if is_dir {
+            true // rmdir always destroys
+        } else {
+            di.nlink -= 1;
+            di.nlink == 0
+        };
+        if dead {
+            self.free_all_blocks(&mut di)?;
+            clear_inode(&self.disk, &self.geo, ino)?;
+            self.free_ino(ino)?;
+        } else {
+            di.ctime = self.now();
+            self.write_di(ino, &di)?;
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem for MemFs {
+    fn fs_type(&self) -> &'static str {
+        "memfs"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn root_ino(&self) -> u64 {
+        ROOT_INO
+    }
+
+    fn getattr(&self, ino: u64) -> FsResult<InodeAttr> {
+        self.stats.getattrs.fetch_add(1, Ordering::Relaxed);
+        Ok(self.read_di(ino)?.attr(ino))
+    }
+
+    fn lookup(&self, dirino: u64, name: &str) -> FsResult<InodeAttr> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dirino]);
+        let dir_di = self.read_dir_di(dirino)?;
+        match self.dir_find(&dir_di, name)? {
+            Some((ino, _)) => Ok(self.read_di(ino)?.attr(ino)),
+            None => Err(FsError::NoEnt),
+        }
+    }
+
+    fn readdir(
+        &self,
+        dirino: u64,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<DirEntry>,
+    ) -> FsResult<Option<u64>> {
+        self.stats.readdirs.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dirino]);
+        let di = self.read_dir_di(dirino)?;
+        let bs = self.geo.block_size as u64;
+        let nblocks = di.size / bs;
+        let mut lblk = offset / bs;
+        let mut intra = (offset % bs) as usize;
+        let mut emitted = 0usize;
+        while lblk < nblocks {
+            let Some(phys) = bmap(&self.disk, &self.geo, &di, lblk)? else {
+                lblk += 1;
+                intra = 0;
+                continue;
+            };
+            let data = self.disk.read_block(phys)?;
+            for rec in dir::RecordIter::from_offset(&data, intra) {
+                let rec = rec?;
+                if rec.ino != 0 {
+                    if emitted == max {
+                        return Ok(Some(lblk * bs + rec.offset as u64));
+                    }
+                    out.push(DirEntry {
+                        name: String::from_utf8_lossy(rec.name).into_owned(),
+                        ino: rec.ino,
+                        ftype: FileType::from_u8(rec.ftype).unwrap_or(FileType::Regular),
+                    });
+                    emitted += 1;
+                }
+            }
+            lblk += 1;
+            intra = 0;
+        }
+        Ok(None)
+    }
+
+    fn create(&self, dir: u64, name: &str, mode: u16, uid: u32, gid: u32) -> FsResult<InodeAttr> {
+        let child = DiskInode::new(FileType::Regular, mode, uid, gid, self.now());
+        self.create_entry(dir, name, child, None)
+    }
+
+    fn mkdir(&self, dir: u64, name: &str, mode: u16, uid: u32, gid: u32) -> FsResult<InodeAttr> {
+        let child = DiskInode::new(FileType::Directory, mode, uid, gid, self.now());
+        self.create_entry(dir, name, child, None)
+    }
+
+    fn symlink(
+        &self,
+        dir: u64,
+        name: &str,
+        target: &str,
+        uid: u32,
+        gid: u32,
+    ) -> FsResult<InodeAttr> {
+        if target.is_empty() || target.len() >= self.geo.block_size {
+            return Err(FsError::Inval);
+        }
+        let child = DiskInode::new(FileType::Symlink, 0o777, uid, gid, self.now());
+        self.create_entry(dir, name, child, Some(target))
+    }
+
+    fn readlink(&self, ino: u64) -> FsResult<String> {
+        let di = self.read_di(ino)?;
+        if di.ftype != FileType::Symlink {
+            return Err(FsError::Inval);
+        }
+        if let Some(t) = &di.inline_target {
+            return Ok(t.clone());
+        }
+        let phys = bmap(&self.disk, &self.geo, &di, 0)?.ok_or(FsError::Io)?;
+        let data = self.disk.read_block(phys)?;
+        String::from_utf8(data[..di.size as usize].to_vec()).map_err(|_| FsError::Io)
+    }
+
+    fn link(&self, dir: u64, name: &str, ino: u64) -> FsResult<InodeAttr> {
+        Self::validate_name(name)?;
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dir, ino]);
+        let mut target = self.read_di(ino)?;
+        if target.ftype == FileType::Directory {
+            return Err(FsError::Perm);
+        }
+        let mut dir_di = self.read_dir_di(dir)?;
+        if self.dir_find(&dir_di, name)?.is_some() {
+            return Err(FsError::Exist);
+        }
+        self.dir_insert(dir, &mut dir_di, name, ino, target.ftype)?;
+        dir_di.mtime = self.now();
+        self.write_di(dir, &dir_di)?;
+        target.nlink += 1;
+        target.ctime = self.now();
+        self.write_di(ino, &target)?;
+        Ok(target.attr(ino))
+    }
+
+    fn unlink(&self, dir: u64, name: &str) -> FsResult<()> {
+        Self::validate_name(name)?;
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dir]);
+        let mut dir_di = self.read_dir_di(dir)?;
+        match self.dir_find(&dir_di, name)? {
+            None => Err(FsError::NoEnt),
+            Some((_, ft)) if FileType::from_u8(ft) == Some(FileType::Directory) => {
+                Err(FsError::IsDir)
+            }
+            Some((ino, _)) => {
+                self.dir_remove(&dir_di, name)?;
+                dir_di.mtime = self.now();
+                self.write_di(dir, &dir_di)?;
+                self.drop_link(ino, false)
+            }
+        }
+    }
+
+    fn rmdir(&self, dir: u64, name: &str) -> FsResult<()> {
+        Self::validate_name(name)?;
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[dir]);
+        let mut dir_di = self.read_dir_di(dir)?;
+        match self.dir_find(&dir_di, name)? {
+            None => Err(FsError::NoEnt),
+            Some((ino, ft)) => {
+                if FileType::from_u8(ft) != Some(FileType::Directory) {
+                    return Err(FsError::NotDir);
+                }
+                let child = self.read_di(ino)?;
+                if !self.dir_is_empty(&child)? {
+                    return Err(FsError::NotEmpty);
+                }
+                self.dir_remove(&dir_di, name)?;
+                dir_di.nlink -= 1;
+                dir_di.mtime = self.now();
+                self.write_di(dir, &dir_di)?;
+                self.drop_link(ino, true)
+            }
+        }
+    }
+
+    fn rename(&self, old_dir: u64, old_name: &str, new_dir: u64, new_name: &str) -> FsResult<()> {
+        Self::validate_name(old_name)?;
+        Self::validate_name(new_name)?;
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[old_dir, new_dir]);
+        let mut odi = self.read_dir_di(old_dir)?;
+        let (src_ino, src_ft_raw) = self.dir_find(&odi, old_name)?.ok_or(FsError::NoEnt)?;
+        let src_ft = FileType::from_u8(src_ft_raw).ok_or(FsError::Io)?;
+        let same_dir = old_dir == new_dir;
+        if same_dir && old_name == new_name {
+            return Ok(());
+        }
+        let mut ndi = if same_dir {
+            odi.clone()
+        } else {
+            self.read_dir_di(new_dir)?
+        };
+        // Handle an existing target per POSIX.
+        if let Some((dst_ino, dst_ft_raw)) = self.dir_find(&ndi, new_name)? {
+            if dst_ino == src_ino {
+                return Ok(()); // hard links to the same inode
+            }
+            let dst_ft = FileType::from_u8(dst_ft_raw).ok_or(FsError::Io)?;
+            match (src_ft.is_dir(), dst_ft.is_dir()) {
+                (true, false) => return Err(FsError::NotDir),
+                (false, true) => return Err(FsError::IsDir),
+                (true, true) => {
+                    let dst = self.read_di(dst_ino)?;
+                    if !self.dir_is_empty(&dst)? {
+                        return Err(FsError::NotEmpty);
+                    }
+                    self.dir_remove(&ndi, new_name)?;
+                    ndi.nlink -= 1;
+                    // Persist the nlink drop now: the same-directory path
+                    // below re-reads the inode from disk.
+                    self.write_di(new_dir, &ndi)?;
+                    self.drop_link(dst_ino, true)?;
+                }
+                (false, false) => {
+                    self.dir_remove(&ndi, new_name)?;
+                    self.drop_link(dst_ino, false)?;
+                }
+            }
+            // Refresh the source view: removals may have rewritten blocks.
+            if same_dir {
+                odi = self.read_dir_di(old_dir)?;
+                ndi = odi.clone();
+            }
+        }
+        self.dir_remove(&odi, old_name)?;
+        if same_dir {
+            // Same-directory rename: re-read to see the removal, insert.
+            let mut di = self.read_dir_di(old_dir)?;
+            self.dir_insert(old_dir, &mut di, new_name, src_ino, src_ft)?;
+            di.mtime = self.now();
+            self.write_di(old_dir, &di)?;
+        } else {
+            if src_ft.is_dir() {
+                odi.nlink -= 1;
+                ndi.nlink += 1;
+            }
+            odi.mtime = self.now();
+            self.write_di(old_dir, &odi)?;
+            self.dir_insert(new_dir, &mut ndi, new_name, src_ino, src_ft)?;
+            ndi.mtime = self.now();
+            self.write_di(new_dir, &ndi)?;
+        }
+        Ok(())
+    }
+
+    fn setattr(&self, ino: u64, changes: SetAttr) -> FsResult<InodeAttr> {
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[ino]);
+        let mut di = self.read_di(ino)?;
+        if let Some(m) = changes.mode {
+            di.mode = m & 0o7777;
+        }
+        if let Some(u) = changes.uid {
+            di.uid = u;
+        }
+        if let Some(g) = changes.gid {
+            di.gid = g;
+        }
+        if let Some(sz) = changes.size {
+            if di.ftype == FileType::Directory {
+                return Err(FsError::IsDir);
+            }
+            if sz == 0 {
+                self.free_all_blocks(&mut di)?;
+            }
+            // Shrinking to a mid-block size keeps blocks (lazy), growing
+            // leaves holes; both match sparse-file semantics closely
+            // enough for the workloads.
+            di.size = sz;
+        }
+        if let Some(mt) = changes.mtime {
+            di.mtime = mt;
+        }
+        di.ctime = self.now();
+        self.write_di(ino, &di)?;
+        Ok(di.attr(ino))
+    }
+
+    fn read(&self, ino: u64, offset: u64, len: usize) -> FsResult<Bytes> {
+        let di = self.read_di(ino)?;
+        if di.ftype == FileType::Directory {
+            return Err(FsError::IsDir);
+        }
+        if offset >= di.size {
+            return Ok(Bytes::new());
+        }
+        let len = len.min((di.size - offset) as usize);
+        let bs = self.geo.block_size as u64;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while out.len() < len {
+            let lblk = pos / bs;
+            let intra = (pos % bs) as usize;
+            let take = ((bs as usize) - intra).min(len - out.len());
+            match bmap(&self.disk, &self.geo, &di, lblk)? {
+                Some(phys) => {
+                    let data = self.disk.read_block(phys)?;
+                    out.extend_from_slice(&data[intra..intra + take]);
+                }
+                None => out.extend(std::iter::repeat(0u8).take(take)),
+            }
+            pos += take as u64;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let _g = self.lock_many(&[ino]);
+        let mut di = self.read_di(ino)?;
+        if di.ftype == FileType::Directory {
+            return Err(FsError::IsDir);
+        }
+        let bs = self.geo.block_size as u64;
+        let mut pos = offset;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let lblk = pos / bs;
+            let intra = (pos % bs) as usize;
+            let take = ((bs as usize) - intra).min(remaining.len());
+            let phys = self.bmap_alloc(ino, &mut di, lblk)?;
+            if take == bs as usize {
+                self.disk.write_block(phys, &remaining[..take])?;
+            } else {
+                let old = self.disk.read_block(phys)?;
+                let mut copy = old.to_vec();
+                copy[intra..intra + take].copy_from_slice(&remaining[..take]);
+                self.disk.write_block(phys, &copy)?;
+            }
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+        di.size = di.size.max(offset + data.len() as u64);
+        di.mtime = self.now();
+        self.write_di(ino, &di)?;
+        Ok(data.len())
+    }
+
+    fn statfs(&self) -> FsResult<StatFs> {
+        let a = self.alloc.lock();
+        Ok(StatFs {
+            blocks: self.geo.capacity_blocks,
+            bfree: a.free_blocks,
+            files: self.geo.max_inodes,
+            ffree: a.free_inodes,
+            bsize: self.geo.block_size as u64,
+        })
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.disk.sync()?;
+        Ok(())
+    }
+
+    fn stats(&self) -> &FsStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_blockdev::{DiskConfig, LatencyModel};
+
+    fn newfs() -> Arc<MemFs> {
+        let disk = Arc::new(CachedDisk::new(DiskConfig {
+            block_size: 4096,
+            capacity_blocks: 8192,
+            latency: LatencyModel::free(),
+            cache_pages: 4096,
+        }));
+        MemFs::mkfs(
+            disk,
+            MemFsConfig {
+                max_inodes: 4096,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn root_exists_as_directory() {
+        let fs = newfs();
+        let a = fs.getattr(fs.root_ino()).unwrap();
+        assert_eq!(a.ftype, FileType::Directory);
+        assert_eq!(a.mode, 0o755);
+        assert_eq!(a.nlink, 2);
+    }
+
+    #[test]
+    fn create_lookup_unlink_cycle() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "a.txt", 0o644, 5, 6).unwrap();
+        assert_eq!(f.uid, 5);
+        let found = fs.lookup(r, "a.txt").unwrap();
+        assert_eq!(found.ino, f.ino);
+        fs.unlink(r, "a.txt").unwrap();
+        assert_eq!(fs.lookup(r, "a.txt"), Err(FsError::NoEnt));
+        assert_eq!(fs.getattr(f.ino), Err(FsError::NoEnt));
+    }
+
+    #[test]
+    fn duplicate_create_is_eexist() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        fs.create(r, "x", 0o644, 0, 0).unwrap();
+        assert_eq!(fs.create(r, "x", 0o644, 0, 0), Err(FsError::Exist));
+        assert_eq!(fs.mkdir(r, "x", 0o755, 0, 0), Err(FsError::Exist));
+    }
+
+    #[test]
+    fn mkdir_updates_parent_nlink() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        fs.mkdir(r, "d1", 0o755, 0, 0).unwrap();
+        fs.mkdir(r, "d2", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.getattr(r).unwrap().nlink, 4);
+        fs.rmdir(r, "d1").unwrap();
+        assert_eq!(fs.getattr(r).unwrap().nlink, 3);
+    }
+
+    #[test]
+    fn rmdir_nonempty_rejected() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        fs.create(d.ino, "inner", 0o644, 0, 0).unwrap();
+        assert_eq!(fs.rmdir(r, "d"), Err(FsError::NotEmpty));
+        fs.unlink(d.ino, "inner").unwrap();
+        fs.rmdir(r, "d").unwrap();
+    }
+
+    #[test]
+    fn unlink_of_directory_is_eisdir() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.unlink(r, "d"), Err(FsError::IsDir));
+        let f = fs.create(r, "f", 0o644, 0, 0).unwrap();
+        let _ = f;
+        assert_eq!(fs.rmdir(r, "f"), Err(FsError::NotDir));
+    }
+
+    #[test]
+    fn hard_links_share_inode() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "orig", 0o644, 0, 0).unwrap();
+        let l = fs.link(r, "alias", f.ino).unwrap();
+        assert_eq!(l.ino, f.ino);
+        assert_eq!(l.nlink, 2);
+        fs.unlink(r, "orig").unwrap();
+        // Still alive through the second link.
+        assert_eq!(fs.getattr(f.ino).unwrap().nlink, 1);
+        fs.unlink(r, "alias").unwrap();
+        assert_eq!(fs.getattr(f.ino), Err(FsError::NoEnt));
+    }
+
+    #[test]
+    fn link_to_directory_rejected() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.link(r, "dlink", d.ino), Err(FsError::Perm));
+    }
+
+    #[test]
+    fn symlink_round_trip_inline_and_long() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let s = fs.symlink(r, "short", "/etc/passwd", 0, 0).unwrap();
+        assert_eq!(fs.readlink(s.ino).unwrap(), "/etc/passwd");
+        let long = "x/".repeat(120);
+        let s2 = fs.symlink(r, "long", &long, 0, 0).unwrap();
+        assert_eq!(fs.readlink(s2.ino).unwrap(), long);
+        // readlink of a non-symlink fails.
+        let f = fs.create(r, "f", 0o644, 0, 0).unwrap();
+        assert_eq!(fs.readlink(f.ino), Err(FsError::Inval));
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d1 = fs.mkdir(r, "d1", 0o755, 0, 0).unwrap();
+        let d2 = fs.mkdir(r, "d2", 0o755, 0, 0).unwrap();
+        let f = fs.create(d1.ino, "f", 0o644, 0, 0).unwrap();
+        fs.rename(d1.ino, "f", d1.ino, "g").unwrap();
+        assert_eq!(fs.lookup(d1.ino, "g").unwrap().ino, f.ino);
+        fs.rename(d1.ino, "g", d2.ino, "h").unwrap();
+        assert_eq!(fs.lookup(d1.ino, "g"), Err(FsError::NoEnt));
+        assert_eq!(fs.lookup(d2.ino, "h").unwrap().ino, f.ino);
+    }
+
+    #[test]
+    fn rename_directory_updates_nlinks() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d1 = fs.mkdir(r, "d1", 0o755, 0, 0).unwrap();
+        let d2 = fs.mkdir(r, "d2", 0o755, 0, 0).unwrap();
+        fs.mkdir(d1.ino, "sub", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.getattr(d1.ino).unwrap().nlink, 3);
+        fs.rename(d1.ino, "sub", d2.ino, "sub").unwrap();
+        assert_eq!(fs.getattr(d1.ino).unwrap().nlink, 2);
+        assert_eq!(fs.getattr(d2.ino).unwrap().nlink, 3);
+    }
+
+    #[test]
+    fn rename_replaces_compatible_targets() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let a = fs.create(r, "a", 0o644, 0, 0).unwrap();
+        let _b = fs.create(r, "b", 0o644, 0, 0).unwrap();
+        fs.rename(r, "a", r, "b").unwrap();
+        assert_eq!(fs.lookup(r, "b").unwrap().ino, a.ino);
+        assert_eq!(fs.lookup(r, "a"), Err(FsError::NoEnt));
+
+        let d = fs.mkdir(r, "dir", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.rename(r, "b", r, "dir"), Err(FsError::IsDir));
+        fs.create(d.ino, "x", 0o644, 0, 0).unwrap();
+        let _e = fs.mkdir(r, "dir2", 0o755, 0, 0).unwrap();
+        assert_eq!(fs.rename(r, "dir", r, "b"), Err(FsError::NotDir));
+        assert_eq!(fs.rename(r, "dir2", r, "dir"), Err(FsError::NotEmpty));
+        fs.unlink(d.ino, "x").unwrap();
+        fs.rename(r, "dir2", r, "dir").unwrap();
+    }
+
+    #[test]
+    fn readdir_pagination_is_stable() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        for i in 0..500 {
+            fs.create(r, &format!("f{i:04}"), 0o644, 0, 0).unwrap();
+        }
+        let mut all = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let mut batch = Vec::new();
+            let next = fs.readdir(r, cursor, 64, &mut batch).unwrap();
+            all.extend(batch);
+            match next {
+                Some(c) => cursor = c,
+                None => break,
+            }
+        }
+        assert_eq!(all.len(), 500);
+        let mut names: Vec<_> = all.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 500);
+    }
+
+    #[test]
+    fn large_directory_lookup() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "big", 0o755, 0, 0).unwrap();
+        for i in 0..2000 {
+            fs.create(d.ino, &format!("entry-{i}"), 0o644, 0, 0).unwrap();
+        }
+        assert!(fs.lookup(d.ino, "entry-1999").is_ok());
+        assert_eq!(fs.lookup(d.ino, "entry-2000"), Err(FsError::NoEnt));
+        // Remove everything; directory becomes empty and removable.
+        for i in 0..2000 {
+            fs.unlink(d.ino, &format!("entry-{i}")).unwrap();
+        }
+        fs.rmdir(r, "big").unwrap();
+    }
+
+    #[test]
+    fn file_io_round_trip() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "data", 0o644, 0, 0).unwrap();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(fs.write(f.ino, 0, &payload).unwrap(), payload.len());
+        let back = fs.read(f.ino, 0, payload.len()).unwrap();
+        assert_eq!(&back[..], &payload[..]);
+        // Unaligned read spanning blocks.
+        let mid = fs.read(f.ino, 4000, 300).unwrap();
+        assert_eq!(&mid[..], &payload[4000..4300]);
+        // Reads past EOF truncate.
+        let tail = fs.read(f.ino, payload.len() as u64 - 10, 100).unwrap();
+        assert_eq!(tail.len(), 10);
+    }
+
+    #[test]
+    fn sparse_files_read_zero_holes() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "sparse", 0o644, 0, 0).unwrap();
+        fs.write(f.ino, 100_000, b"tail").unwrap();
+        let hole = fs.read(f.ino, 50_000, 16).unwrap();
+        assert!(hole.iter().all(|&b| b == 0));
+        let tail = fs.read(f.ino, 100_000, 4).unwrap();
+        assert_eq!(&tail[..], b"tail");
+    }
+
+    #[test]
+    fn setattr_chmod_chown_truncate() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "f", 0o644, 0, 0).unwrap();
+        fs.write(f.ino, 0, &[1u8; 10000]).unwrap();
+        let a = fs
+            .setattr(
+                f.ino,
+                SetAttr {
+                    mode: Some(0o600),
+                    uid: Some(9),
+                    gid: Some(10),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!((a.mode, a.uid, a.gid), (0o600, 9, 10));
+        let a = fs
+            .setattr(
+                f.ino,
+                SetAttr {
+                    size: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(a.size, 0);
+        assert_eq!(fs.read(f.ino, 0, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn statfs_tracks_allocation() {
+        let fs = newfs();
+        // Force root's first directory block to exist so the snapshot
+        // below isn't skewed by its one-time allocation.
+        fs.create(fs.root_ino(), "warmup", 0o644, 0, 0).unwrap();
+        let before = fs.statfs().unwrap();
+        let f = fs.create(fs.root_ino(), "f", 0o644, 0, 0).unwrap();
+        fs.write(f.ino, 0, &[0u8; 4096 * 3]).unwrap();
+        let after = fs.statfs().unwrap();
+        assert_eq!(before.ffree - after.ffree, 1);
+        assert!(before.bfree > after.bfree);
+        fs.unlink(fs.root_ino(), "f").unwrap();
+        let freed = fs.statfs().unwrap();
+        assert_eq!(freed.ffree, before.ffree);
+        assert_eq!(freed.bfree, before.bfree);
+    }
+
+    #[test]
+    fn remount_preserves_tree() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "persist", 0o755, 0, 0).unwrap();
+        let f = fs.create(d.ino, "file", 0o640, 3, 4).unwrap();
+        fs.write(f.ino, 0, b"durable").unwrap();
+        fs.sync().unwrap();
+        let disk = fs.disk().clone();
+        drop(fs);
+        let fs2 = MemFs::mount(disk).unwrap();
+        let d2 = fs2.lookup(fs2.root_ino(), "persist").unwrap();
+        let f2 = fs2.lookup(d2.ino, "file").unwrap();
+        assert_eq!(f2.mode, 0o640);
+        assert_eq!(&fs2.read(f2.ino, 0, 7).unwrap()[..], b"durable");
+        // Allocation counters survive: creating more files works.
+        fs2.create(d2.ino, "more", 0o644, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn cold_cache_reads_hit_device() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        fs.create(r, "cold", 0o644, 0, 0).unwrap();
+        fs.sync().unwrap();
+        fs.disk().drop_caches();
+        fs.disk().reset_stats();
+        fs.lookup(r, "cold").unwrap();
+        let s = fs.disk().stats();
+        assert!(s.device_reads > 0, "expected device reads after drop_caches");
+    }
+
+    #[test]
+    fn lookup_on_file_is_enotdir() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "plain", 0o644, 0, 0).unwrap();
+        assert_eq!(fs.lookup(f.ino, "x"), Err(FsError::NotDir));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        assert_eq!(fs.create(r, "", 0o644, 0, 0), Err(FsError::Inval));
+        assert_eq!(fs.create(r, ".", 0o644, 0, 0), Err(FsError::Inval));
+        assert_eq!(fs.create(r, "..", 0o644, 0, 0), Err(FsError::Inval));
+        assert_eq!(fs.create(r, "a/b", 0o644, 0, 0), Err(FsError::Inval));
+        let long = "n".repeat(300);
+        assert_eq!(fs.create(r, &long, 0o644, 0, 0), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn rename_same_source_and_target_is_noop() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let f = fs.create(r, "self", 0o644, 0, 0).unwrap();
+        fs.rename(r, "self", r, "self").unwrap();
+        assert_eq!(fs.lookup(r, "self").unwrap().ino, f.ino);
+    }
+
+    #[test]
+    fn fs_stats_count_calls() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        fs.create(r, "f", 0o644, 0, 0).unwrap();
+        fs.lookup(r, "f").unwrap();
+        let _ = fs.lookup(r, "missing");
+        let (lookups, _, _, mutations) = fs.stats().snapshot();
+        assert_eq!(lookups, 2);
+        assert_eq!(mutations, 1);
+    }
+}

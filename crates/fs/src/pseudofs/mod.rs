@@ -1,0 +1,451 @@
+//! A procfs-like pseudo file system.
+//!
+//! Entries are registered programmatically and file content is produced by
+//! generator closures at read time — there is no backing store and (as in
+//! Linux's `/proc`) regular files report size 0. Its distinguishing
+//! property for this reproduction is [`FileSystem::is_pseudo`], which the
+//! baseline directory cache uses to *suppress* negative dentries; §5.2 of
+//! the paper argues (and the optimized configuration shows) that negative
+//! dentries pay off even for in-memory file systems.
+//!
+//! Registry mutations ([`PseudoFs::add_dir`] and friends) performed while a
+//! kernel is live must be followed by a VFS-level invalidation of the
+//! affected path; workloads register their tree before running.
+
+use crate::api::{DirEntry, FileSystem, FileType, FsStats, InodeAttr, SetAttr, StatFs};
+use crate::error::{FsError, FsResult};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Content generator for a pseudo file.
+pub type Generator = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
+
+/// One registered pseudo node.
+pub struct PseudoNode {
+    ftype: FileType,
+    mode: u16,
+    uid: u32,
+    gid: u32,
+    /// Children (directories only), name → ino.
+    children: BTreeMap<String, u64>,
+    /// Content generator (regular files only).
+    generator: Option<Generator>,
+    /// Link target (symlinks only).
+    target: Option<String>,
+    nlink: u32,
+}
+
+/// The root inode number.
+const ROOT_INO: u64 = 1;
+
+/// A procfs-like pseudo file system.
+///
+/// # Examples
+///
+/// ```
+/// use dc_fs::{PseudoFs, FileSystem};
+///
+/// let proc = PseudoFs::new(0o555);
+/// let pid1 = proc.add_dir(proc.root_ino(), "1", 0o555).unwrap();
+/// proc.add_file(pid1, "status", 0o444, || b"State: R".to_vec()).unwrap();
+/// let st = proc.lookup(pid1, "status").unwrap();
+/// assert_eq!(&proc.read(st.ino, 0, 64).unwrap()[..], b"State: R");
+/// ```
+pub struct PseudoFs {
+    nodes: RwLock<HashMap<u64, PseudoNode>>,
+    next_ino: AtomicU64,
+    stats: FsStats,
+}
+
+impl PseudoFs {
+    /// Creates an empty pseudo file system with the given root mode.
+    pub fn new(root_mode: u16) -> Arc<PseudoFs> {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            ROOT_INO,
+            PseudoNode {
+                ftype: FileType::Directory,
+                mode: root_mode,
+                uid: 0,
+                gid: 0,
+                children: BTreeMap::new(),
+                generator: None,
+                target: None,
+                nlink: 2,
+            },
+        );
+        Arc::new(PseudoFs {
+            nodes: RwLock::new(nodes),
+            next_ino: AtomicU64::new(ROOT_INO + 1),
+            stats: FsStats::default(),
+        })
+    }
+
+    fn register(&self, parent: u64, name: &str, node: PseudoNode) -> FsResult<u64> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(FsError::Inval);
+        }
+        let is_dir = node.ftype == FileType::Directory;
+        let mut nodes = self.nodes.write();
+        let p = nodes.get(&parent).ok_or(FsError::NoEnt)?;
+        if p.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        if p.children.contains_key(name) {
+            return Err(FsError::Exist);
+        }
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        nodes.insert(ino, node);
+        let p = nodes.get_mut(&parent).expect("parent just checked");
+        p.children.insert(name.to_string(), ino);
+        if is_dir {
+            p.nlink += 1;
+        }
+        Ok(ino)
+    }
+
+    /// Registers a directory; returns its ino.
+    pub fn add_dir(&self, parent: u64, name: &str, mode: u16) -> FsResult<u64> {
+        self.register(
+            parent,
+            name,
+            PseudoNode {
+                ftype: FileType::Directory,
+                mode,
+                uid: 0,
+                gid: 0,
+                children: BTreeMap::new(),
+                generator: None,
+                target: None,
+                nlink: 2,
+            },
+        )
+    }
+
+    /// Registers a generated file; returns its ino.
+    pub fn add_file<F>(&self, parent: u64, name: &str, mode: u16, gen: F) -> FsResult<u64>
+    where
+        F: Fn() -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.register(
+            parent,
+            name,
+            PseudoNode {
+                ftype: FileType::Regular,
+                mode,
+                uid: 0,
+                gid: 0,
+                children: BTreeMap::new(),
+                generator: Some(Arc::new(gen)),
+                target: None,
+                nlink: 1,
+            },
+        )
+    }
+
+    /// Registers a symlink; returns its ino.
+    pub fn add_symlink(&self, parent: u64, name: &str, target: &str) -> FsResult<u64> {
+        self.register(
+            parent,
+            name,
+            PseudoNode {
+                ftype: FileType::Symlink,
+                mode: 0o777,
+                uid: 0,
+                gid: 0,
+                children: BTreeMap::new(),
+                generator: None,
+                target: Some(target.to_string()),
+                nlink: 1,
+            },
+        )
+    }
+
+    /// Unregisters `name` (recursively for directories).
+    pub fn remove_entry(&self, parent: u64, name: &str) -> FsResult<()> {
+        let mut nodes = self.nodes.write();
+        let p = nodes.get_mut(&parent).ok_or(FsError::NoEnt)?;
+        let ino = p.children.remove(name).ok_or(FsError::NoEnt)?;
+        let was_dir = nodes
+            .get(&ino)
+            .map(|n| n.ftype == FileType::Directory)
+            .unwrap_or(false);
+        if was_dir {
+            if let Some(p) = nodes.get_mut(&parent) {
+                p.nlink -= 1;
+            }
+        }
+        // Recursively drop the subtree.
+        let mut stack = vec![ino];
+        while let Some(i) = stack.pop() {
+            if let Some(n) = nodes.remove(&i) {
+                stack.extend(n.children.values().copied());
+            }
+        }
+        Ok(())
+    }
+
+    fn attr_of(&self, ino: u64, n: &PseudoNode) -> InodeAttr {
+        InodeAttr {
+            ino,
+            ftype: n.ftype,
+            mode: n.mode,
+            uid: n.uid,
+            gid: n.gid,
+            nlink: n.nlink,
+            // Like procfs: generated files report size 0; symlinks report
+            // their target length.
+            size: n.target.as_ref().map(|t| t.len() as u64).unwrap_or(0),
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+}
+
+impl FileSystem for PseudoFs {
+    fn fs_type(&self) -> &'static str {
+        "pseudofs"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn root_ino(&self) -> u64 {
+        ROOT_INO
+    }
+
+    fn getattr(&self, ino: u64) -> FsResult<InodeAttr> {
+        self.stats.getattrs.fetch_add(1, Ordering::Relaxed);
+        let nodes = self.nodes.read();
+        let n = nodes.get(&ino).ok_or(FsError::NoEnt)?;
+        Ok(self.attr_of(ino, n))
+    }
+
+    fn lookup(&self, dir: u64, name: &str) -> FsResult<InodeAttr> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let nodes = self.nodes.read();
+        let d = nodes.get(&dir).ok_or(FsError::NoEnt)?;
+        if d.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        let ino = *d.children.get(name).ok_or(FsError::NoEnt)?;
+        let n = nodes.get(&ino).ok_or(FsError::NoEnt)?;
+        Ok(self.attr_of(ino, n))
+    }
+
+    fn readdir(
+        &self,
+        dir: u64,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<DirEntry>,
+    ) -> FsResult<Option<u64>> {
+        self.stats.readdirs.fetch_add(1, Ordering::Relaxed);
+        let nodes = self.nodes.read();
+        let d = nodes.get(&dir).ok_or(FsError::NoEnt)?;
+        if d.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        let mut emitted = 0usize;
+        for (i, (name, &ino)) in d.children.iter().enumerate().skip(offset as usize) {
+            if emitted == max {
+                return Ok(Some(i as u64));
+            }
+            let ftype = nodes.get(&ino).map(|n| n.ftype).unwrap_or(FileType::Regular);
+            out.push(DirEntry {
+                name: name.clone(),
+                ino,
+                ftype,
+            });
+            emitted += 1;
+        }
+        Ok(None)
+    }
+
+    fn create(&self, _: u64, _: &str, _: u16, _: u32, _: u32) -> FsResult<InodeAttr> {
+        Err(FsError::Perm)
+    }
+
+    fn mkdir(&self, _: u64, _: &str, _: u16, _: u32, _: u32) -> FsResult<InodeAttr> {
+        Err(FsError::Perm)
+    }
+
+    fn symlink(&self, _: u64, _: &str, _: &str, _: u32, _: u32) -> FsResult<InodeAttr> {
+        Err(FsError::Perm)
+    }
+
+    fn readlink(&self, ino: u64) -> FsResult<String> {
+        let nodes = self.nodes.read();
+        let n = nodes.get(&ino).ok_or(FsError::NoEnt)?;
+        n.target.clone().ok_or(FsError::Inval)
+    }
+
+    fn link(&self, _: u64, _: &str, _: u64) -> FsResult<InodeAttr> {
+        Err(FsError::Perm)
+    }
+
+    fn unlink(&self, _: u64, _: &str) -> FsResult<()> {
+        Err(FsError::Perm)
+    }
+
+    fn rmdir(&self, _: u64, _: &str) -> FsResult<()> {
+        Err(FsError::Perm)
+    }
+
+    fn rename(&self, _: u64, _: &str, _: u64, _: &str) -> FsResult<()> {
+        Err(FsError::Perm)
+    }
+
+    fn setattr(&self, _: u64, _: SetAttr) -> FsResult<InodeAttr> {
+        Err(FsError::Perm)
+    }
+
+    fn read(&self, ino: u64, offset: u64, len: usize) -> FsResult<Bytes> {
+        let gen = {
+            let nodes = self.nodes.read();
+            let n = nodes.get(&ino).ok_or(FsError::NoEnt)?;
+            if n.ftype == FileType::Directory {
+                return Err(FsError::IsDir);
+            }
+            n.generator.clone().ok_or(FsError::Inval)?
+        };
+        // Generate outside the lock: generators may be slow.
+        let data = gen();
+        let start = (offset as usize).min(data.len());
+        let end = (start + len).min(data.len());
+        Ok(Bytes::copy_from_slice(&data[start..end]))
+    }
+
+    fn write(&self, _: u64, _: u64, _: &[u8]) -> FsResult<usize> {
+        Err(FsError::Perm)
+    }
+
+    fn statfs(&self) -> FsResult<StatFs> {
+        let nodes = self.nodes.read();
+        Ok(StatFs {
+            blocks: 0,
+            bfree: 0,
+            files: nodes.len() as u64,
+            ffree: u64::MAX,
+            bsize: 4096,
+        })
+    }
+
+    fn stats(&self) -> &FsStats {
+        &self.stats
+    }
+
+    fn is_pseudo(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procfs() -> Arc<PseudoFs> {
+        let p = PseudoFs::new(0o555);
+        let pid = p.add_dir(p.root_ino(), "42", 0o555).unwrap();
+        p.add_file(pid, "status", 0o444, || b"State: S (sleeping)".to_vec())
+            .unwrap();
+        p.add_file(p.root_ino(), "meminfo", 0o444, || {
+            b"MemTotal: 65536 kB".to_vec()
+        })
+        .unwrap();
+        p.add_symlink(pid, "cwd", "/home/alice").unwrap();
+        p
+    }
+
+    #[test]
+    fn lookup_and_read_generated_content() {
+        let p = procfs();
+        let pid = p.lookup(p.root_ino(), "42").unwrap();
+        assert!(pid.ftype.is_dir());
+        let st = p.lookup(pid.ino, "status").unwrap();
+        assert_eq!(st.size, 0); // procfs convention
+        let content = p.read(st.ino, 0, 1024).unwrap();
+        assert_eq!(&content[..], b"State: S (sleeping)");
+        // Offset reads.
+        assert_eq!(&p.read(st.ino, 7, 1).unwrap()[..], b"S");
+    }
+
+    #[test]
+    fn missing_entries_are_enoent() {
+        let p = procfs();
+        assert_eq!(p.lookup(p.root_ino(), "99"), Err(FsError::NoEnt));
+    }
+
+    #[test]
+    fn readdir_lists_registered_entries() {
+        let p = procfs();
+        let mut out = Vec::new();
+        assert_eq!(p.readdir(p.root_ino(), 0, 100, &mut out).unwrap(), None);
+        let names: Vec<_> = out.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["42", "meminfo"]);
+    }
+
+    #[test]
+    fn readdir_pagination() {
+        let p = PseudoFs::new(0o555);
+        for i in 0..10 {
+            p.add_file(p.root_ino(), &format!("f{i}"), 0o444, Vec::new)
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        let next = p.readdir(p.root_ino(), 0, 4, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        let next2 = p.readdir(p.root_ino(), next.unwrap(), 100, &mut out).unwrap();
+        assert_eq!(next2, None);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn symlink_target_readable() {
+        let p = procfs();
+        let pid = p.lookup(p.root_ino(), "42").unwrap();
+        let cwd = p.lookup(pid.ino, "cwd").unwrap();
+        assert_eq!(cwd.ftype, FileType::Symlink);
+        assert_eq!(cwd.size, "/home/alice".len() as u64);
+        assert_eq!(p.readlink(cwd.ino).unwrap(), "/home/alice");
+    }
+
+    #[test]
+    fn mutations_rejected() {
+        let p = procfs();
+        assert_eq!(
+            p.create(p.root_ino(), "x", 0o644, 0, 0),
+            Err(FsError::Perm)
+        );
+        assert_eq!(p.unlink(p.root_ino(), "meminfo"), Err(FsError::Perm));
+        assert_eq!(
+            p.rename(p.root_ino(), "42", p.root_ino(), "43"),
+            Err(FsError::Perm)
+        );
+    }
+
+    #[test]
+    fn remove_entry_drops_subtree() {
+        let p = procfs();
+        let root_nlink_before = p.getattr(p.root_ino()).unwrap().nlink;
+        p.remove_entry(p.root_ino(), "42").unwrap();
+        assert_eq!(p.lookup(p.root_ino(), "42"), Err(FsError::NoEnt));
+        assert_eq!(
+            p.getattr(p.root_ino()).unwrap().nlink,
+            root_nlink_before - 1
+        );
+        // Subtree nodes are gone from the registry.
+        assert_eq!(p.statfs().unwrap().files, 2); // root + meminfo
+    }
+
+    #[test]
+    fn is_pseudo_flag_set() {
+        let p = procfs();
+        assert!(p.is_pseudo());
+        assert!(p.supports_fastpath());
+    }
+}

@@ -1,0 +1,166 @@
+//! Boot-time key material and the top-level hashing API.
+
+use crate::multilinear::{self, splitmix64};
+use crate::signature::Signature;
+use crate::state::HashState;
+use crate::{LANES, SCHEDULE_LEN};
+
+/// Boot-time random key material for path-signature hashing.
+///
+/// A `HashKey` holds one cyclic schedule of random 64-bit keys per lane plus
+/// a per-lane initial offset. It is generated once per kernel instance
+/// (`§3.3`: "We choose a random key at boot time for our signature hash
+/// function"), so the same path produces different signatures across kernel
+/// instances and an adversary cannot search for collisions offline.
+pub struct HashKey {
+    /// Per-lane cyclic key schedules; all keys are forced odd so every
+    /// multiplier is invertible modulo 2^64.
+    lanes: [Box<[u64; SCHEDULE_LEN]>; LANES],
+    /// Per-lane initial accumulator value (the `k_0` term of the
+    /// multilinear family).
+    init: [u64; LANES],
+}
+
+impl HashKey {
+    /// Creates key material deterministically from `seed`.
+    ///
+    /// Tests pass a fixed seed for reproducibility; a kernel passes entropy
+    /// (see [`HashKey::from_entropy`]).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut init = [0u64; LANES];
+        let mut lanes: Vec<Box<[u64; SCHEDULE_LEN]>> = Vec::with_capacity(LANES);
+        for lane_init in init.iter_mut() {
+            *lane_init = splitmix64(&mut x);
+            let mut sched = Box::new([0u64; SCHEDULE_LEN]);
+            for k in sched.iter_mut() {
+                // Odd multipliers keep every key invertible mod 2^64.
+                *k = splitmix64(&mut x) | 1;
+            }
+            lanes.push(sched);
+        }
+        let lanes: [Box<[u64; SCHEDULE_LEN]>; LANES] =
+            lanes.try_into().unwrap_or_else(|_| unreachable!());
+        HashKey { lanes, init }
+    }
+
+    /// Creates key material from OS entropy (what a real boot would do).
+    pub fn from_entropy() -> Self {
+        // `RandomState` seeds itself from OS entropy; hashing two fixed
+        // values extracts two independent 64-bit samples.
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        let rs = RandomState::new();
+        let mut h1 = rs.build_hasher();
+        h1.write_u64(0x5eed);
+        let mut h2 = rs.build_hasher();
+        h2.write_u64(0xb007);
+        Self::from_seed(h1.finish() ^ h2.finish().rotate_left(32))
+    }
+
+    /// Returns the hash state representing the empty path (the root).
+    pub fn root_state(&self) -> HashState {
+        HashState::new(self.init)
+    }
+
+    /// Feeds one canonical path component into `state`.
+    ///
+    /// The component must be a plain name: not empty, not `"."`, not
+    /// `".."`, and containing no `/`. Callers (the VFS walker) are
+    /// responsible for canonicalization; this is debug-asserted here.
+    pub fn push_component(&self, state: &mut HashState, name: &[u8]) {
+        debug_assert!(!name.is_empty(), "empty component fed to hasher");
+        debug_assert!(name != b"." && name != b"..", "dot component fed to hasher");
+        debug_assert!(!name.contains(&b'/'), "component contains a slash");
+        for lane in 0..LANES {
+            let sched: &[u64; SCHEDULE_LEN] = &self.lanes[lane];
+            let (acc, pos) =
+                multilinear::mix_component(state.acc[lane], state.pos, sched, name, lane as u64);
+            state.acc[lane] = acc;
+            if lane == LANES - 1 {
+                state.pos = pos;
+            }
+        }
+    }
+
+    /// Finalizes `state` into a 256-bit [`Signature`].
+    ///
+    /// Finalization does not modify `state`, so a stored per-dentry state
+    /// can keep being extended by deeper lookups.
+    pub fn finish(&self, state: &HashState) -> Signature {
+        let mut out = [0u64; LANES];
+        for lane in 0..LANES {
+            out[lane] = multilinear::finalize(state.acc[lane], state.pos, lane as u64);
+        }
+        Signature::from_lanes(out)
+    }
+
+    /// Convenience: hashes a sequence of components from the root.
+    pub fn hash_components<'a, I>(&self, comps: I) -> Signature
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut st = self.root_state();
+        for c in comps {
+            self.push_component(&mut st, c);
+        }
+        self.finish(&st)
+    }
+}
+
+impl std::fmt::Debug for HashKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material is secret; never print it.
+        f.write_str("HashKey {{ <secret> }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = HashKey::from_seed(7);
+        let b = HashKey::from_seed(7);
+        let s1 = a.hash_components([b"x".as_slice(), b"y".as_slice()]);
+        let s2 = b.hash_components([b"x".as_slice(), b"y".as_slice()]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashKey::from_seed(1);
+        let b = HashKey::from_seed(2);
+        let p = [b"same".as_slice(), b"path".as_slice()];
+        assert_ne!(a.hash_components(p), b.hash_components(p));
+    }
+
+    #[test]
+    fn resume_equals_whole() {
+        let key = HashKey::from_seed(99);
+        let whole = key.hash_components([b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()]);
+        let mut prefix = key.root_state();
+        key.push_component(&mut prefix, b"a");
+        let stored = prefix; // as if stored in the dentry for /a
+        let mut resumed = stored;
+        key.push_component(&mut resumed, b"bb");
+        key.push_component(&mut resumed, b"ccc");
+        assert_eq!(whole, key.finish(&resumed));
+    }
+
+    #[test]
+    fn debug_does_not_leak() {
+        let key = HashKey::from_seed(3);
+        assert!(!format!("{key:?}").contains('['));
+    }
+
+    #[test]
+    fn entropy_keys_differ() {
+        let a = HashKey::from_entropy();
+        let b = HashKey::from_entropy();
+        let p = [b"etc".as_slice()];
+        // Two fresh boots must disagree on the signature of the same path.
+        assert_ne!(a.hash_components(p), b.hash_components(p));
+    }
+}

@@ -1,0 +1,66 @@
+//! Keyed, resumable path-signature hashing for the direct-lookup fast path.
+//!
+//! This crate implements the signature scheme of §3.3 of *How to Get More
+//! Value From Your File System Directory Cache* (SOSP '15):
+//!
+//! - A **2-universal multilinear hash** (after Lemire & Kaser, "Strongly
+//!   universal string hashing is fast") over the canonicalized path,
+//!   producing 256 bits from four independent 64-bit lanes.
+//! - The hash is **keyed with boot-time randomness**, so signatures are not
+//!   predictable across kernel instances and offline collision search is
+//!   impossible.
+//! - The low 16 bits index the direct-lookup hash table (DLHT) and the
+//!   remaining **240 bits are the signature** compared in place of the full
+//!   path string. Index bits and signature bits are taken from independent
+//!   lanes, so observing bucket residency leaks nothing about the compared
+//!   signature (the paper's side-channel caveat).
+//! - Hashing is **resumable from any prefix**: the intermediate
+//!   [`HashState`] is small and `Copy`, and is stored in each dentry so a
+//!   relative lookup can resume from the current working directory without
+//!   re-hashing its absolute path.
+//!
+//! # Examples
+//!
+//! ```
+//! use dc_sighash::HashKey;
+//!
+//! let key = HashKey::from_seed(42);
+//! let mut st = key.root_state();
+//! key.push_component(&mut st, b"usr");
+//! key.push_component(&mut st, b"include");
+//! let sig = key.finish(&st);
+//!
+//! // Resuming from a stored prefix state is equivalent to hashing the
+//! // whole path at once.
+//! let mut st2 = key.root_state();
+//! key.push_component(&mut st2, b"usr");
+//! let mut st3 = st2; // state stored in the `usr` dentry
+//! key.push_component(&mut st3, b"include");
+//! assert_eq!(sig, key.finish(&st3));
+//! ```
+
+mod key;
+mod multilinear;
+mod signature;
+mod state;
+
+pub use key::HashKey;
+pub use signature::Signature;
+pub use state::HashState;
+
+/// Number of independent 64-bit hash lanes (4 × 64 = 256 bits of output).
+pub const LANES: usize = 4;
+
+/// Length of the cyclic per-lane key schedule, in 64-bit keys.
+///
+/// Linux paths are at most 4096 bytes; with 4-byte words plus one separator
+/// word per component this comfortably covers every legal path before the
+/// schedule wraps. Wrapping mixes the word position into the key selection,
+/// so even pathological inputs keep distinct per-position keys.
+pub const SCHEDULE_LEN: usize = 2048;
+
+/// Bits of the output used to index the DLHT (the paper uses 16).
+pub const INDEX_BITS: u32 = 16;
+
+/// Bits of the output compared as the path signature (the paper uses 240).
+pub const SIGNATURE_BITS: u32 = 240;

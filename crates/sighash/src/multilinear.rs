@@ -1,0 +1,166 @@
+//! The per-lane multilinear mixing primitive.
+//!
+//! Each lane computes `acc = k_0 + Σ k_p · w_p (mod 2^64)` over the stream
+//! of 32-bit words derived from the path, with per-position random odd keys
+//! `k_p`. With 32-bit words and 64-bit keys this family is
+//! 2^-32-almost-universal per lane; four independent lanes bring the
+//! pairwise collision probability below 2^-128 even against adversarial
+//! component choices, matching the paper's brute-force analysis (§3.3).
+//!
+//! A component is fed as its bytes packed little-endian into words, followed
+//! by a separator word tagged with the component length. The length tag
+//! makes the word stream an injective encoding of the component sequence
+//! (zero-padding of the final word cannot be confused with real bytes, and
+//! `("ab","c")` cannot collide with `("a","bc")` structurally).
+
+use crate::SCHEDULE_LEN;
+
+/// 64-bit SplitMix step; used for key-schedule generation and finalization.
+pub(crate) fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Final avalanche (the `fmix64` finisher).
+fn fmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+/// Marker OR-ed into a separator word; component lengths are far below it.
+const SEPARATOR_TAG: u32 = 0x8000_0000;
+
+/// Golden-ratio constant used to perturb words once the cyclic key schedule
+/// wraps, keeping distinct positions distinct beyond `SCHEDULE_LEN` words.
+const WRAP_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn mix_word(acc: u64, pos: u32, sched: &[u64; SCHEDULE_LEN], word: u32) -> u64 {
+    let idx = (pos as usize) % SCHEDULE_LEN;
+    let wrap = (pos as usize / SCHEDULE_LEN) as u64;
+    let m = (word as u64) ^ wrap.wrapping_mul(WRAP_SALT);
+    acc.wrapping_add(sched[idx].wrapping_mul(m))
+}
+
+/// Mixes one path component (bytes plus a length-tagged separator) into a
+/// lane accumulator, returning the new `(acc, pos)`.
+#[inline]
+pub(crate) fn mix_component(
+    mut acc: u64,
+    mut pos: u32,
+    sched: &[u64; SCHEDULE_LEN],
+    name: &[u8],
+    _lane: u64,
+) -> (u64, u32) {
+    let mut chunks = name.chunks_exact(4);
+    for chunk in &mut chunks {
+        let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        acc = mix_word(acc, pos, sched, w);
+        pos = pos.wrapping_add(1);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 4];
+        last[..rem.len()].copy_from_slice(rem);
+        let w = u32::from_le_bytes(last);
+        acc = mix_word(acc, pos, sched, w);
+        pos = pos.wrapping_add(1);
+    }
+    // Length-tagged separator word: makes the encoding injective.
+    let sep = SEPARATOR_TAG | (name.len() as u32 & 0x7fff_ffff);
+    acc = mix_word(acc, pos, sched, sep);
+    pos = pos.wrapping_add(1);
+    (acc, pos)
+}
+
+/// Finalizes a lane accumulator into 64 output bits.
+///
+/// The stream position and lane index are folded in so prefixes of a path
+/// never share a signature with the path itself, and lanes stay independent
+/// even if their accumulators coincide.
+#[inline]
+pub(crate) fn finalize(acc: u64, pos: u32, lane: u64) -> u64 {
+    fmix64(acc ^ ((pos as u64) << 1 | 1) ^ lane.wrapping_mul(WRAP_SALT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashKey;
+
+    #[test]
+    fn boundary_shift_changes_hash() {
+        // ("ab","c") must differ from ("a","bc") and from ("abc").
+        let key = HashKey::from_seed(11);
+        let s1 = key.hash_components([b"ab".as_slice(), b"c".as_slice()]);
+        let s2 = key.hash_components([b"a".as_slice(), b"bc".as_slice()]);
+        let s3 = key.hash_components([b"abc".as_slice()]);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn padding_is_not_confusable() {
+        // A name with explicit NUL-ish tail bytes must differ from the
+        // zero-padded shorter name occupying the same words.
+        let key = HashKey::from_seed(12);
+        let s_short = key.hash_components([b"abcd".as_slice()]);
+        let s_long = key.hash_components([b"abcd\0\0\0".as_slice()]);
+        assert_ne!(s_short, s_long);
+    }
+
+    #[test]
+    fn prefix_differs_from_whole() {
+        let key = HashKey::from_seed(13);
+        let p = key.hash_components([b"usr".as_slice()]);
+        let q = key.hash_components([b"usr".as_slice(), b"lib".as_slice()]);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn long_paths_past_schedule_wrap() {
+        // Feed more words than SCHEDULE_LEN and check distinct tails still
+        // produce distinct signatures.
+        let key = HashKey::from_seed(14);
+        let comp = vec![b'x'; 64]; // 16 words + separator per component
+        let n = (SCHEDULE_LEN / 17) + 8; // force wrap-around
+        let mut a = key.root_state();
+        let mut b = key.root_state();
+        for _ in 0..n {
+            key.push_component(&mut a, &comp);
+            key.push_component(&mut b, &comp);
+        }
+        key.push_component(&mut a, b"tail-one");
+        key.push_component(&mut b, b"tail-two");
+        assert_ne!(key.finish(&a), key.finish(&b));
+    }
+
+    #[test]
+    fn no_collisions_on_small_corpus() {
+        // Smoke test: hash a few thousand distinct synthetic paths and
+        // require zero full-signature collisions.
+        let key = HashKey::from_seed(15);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..40u32 {
+            for j in 0..40u32 {
+                for k in 0..4u32 {
+                    let a = format!("d{i}");
+                    let b = format!("e{j}");
+                    let c = format!("f{k}");
+                    let sig = key.hash_components([
+                        a.as_bytes(),
+                        b.as_bytes(),
+                        c.as_bytes(),
+                    ]);
+                    assert!(seen.insert(sig), "collision at {a}/{b}/{c}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 40 * 40 * 4);
+    }
+}

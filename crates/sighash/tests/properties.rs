@@ -1,0 +1,99 @@
+//! Property tests for the path-signature hash (§3.3 requirements).
+
+use dc_sighash::{HashKey, Signature};
+use proptest::prelude::*;
+
+fn component() -> impl Strategy<Value = Vec<u8>> {
+    // Arbitrary non-slash, non-empty byte strings up to NAME_MAX-ish.
+    prop::collection::vec(
+        prop::num::u8::ANY.prop_filter("no slash", |&b| b != b'/'),
+        1..64,
+    )
+    .prop_filter("no dots", |v| v != b"." && v != b"..")
+}
+
+fn components() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(component(), 0..12)
+}
+
+proptest! {
+    /// Resuming from any stored prefix state is equivalent to hashing the
+    /// whole path at once — the property that makes relative lookups
+    /// resumable from cwd dentries (§3.1).
+    #[test]
+    fn resume_from_any_prefix_matches_whole(comps in components(), split in 0usize..13) {
+        let key = HashKey::from_seed(0x5eed);
+        let split = split.min(comps.len());
+        let mut whole = key.root_state();
+        for c in &comps {
+            key.push_component(&mut whole, c);
+        }
+        let mut prefix = key.root_state();
+        for c in &comps[..split] {
+            key.push_component(&mut prefix, c);
+        }
+        let stored = prefix; // Copy, as a dentry would hold it
+        let mut resumed = stored;
+        for c in &comps[split..] {
+            key.push_component(&mut resumed, c);
+        }
+        prop_assert_eq!(key.finish(&whole), key.finish(&resumed));
+        // And the intermediate state itself is identical.
+        prop_assert_eq!(whole, resumed);
+    }
+
+    /// Distinct component sequences essentially never collide (240-bit
+    /// signatures; a generated collision would be astronomical).
+    #[test]
+    fn distinct_paths_get_distinct_signatures(a in components(), b in components()) {
+        prop_assume!(a != b);
+        let key = HashKey::from_seed(0x5eed);
+        let sa = key.hash_components(a.iter().map(|c| c.as_slice()));
+        let sb = key.hash_components(b.iter().map(|c| c.as_slice()));
+        prop_assert_ne!(sa, sb);
+    }
+
+    /// Signatures are deterministic per key and disagree across keys.
+    #[test]
+    fn keyed_determinism(comps in components()) {
+        prop_assume!(!comps.is_empty());
+        let k1 = HashKey::from_seed(1);
+        let k1b = HashKey::from_seed(1);
+        let k2 = HashKey::from_seed(2);
+        let s1 = k1.hash_components(comps.iter().map(|c| c.as_slice()));
+        let s1b = k1b.hash_components(comps.iter().map(|c| c.as_slice()));
+        let s2 = k2.hash_components(comps.iter().map(|c| c.as_slice()));
+        prop_assert_eq!(s1, s1b);
+        prop_assert_ne!(s1, s2);
+    }
+
+    /// The 240 compared bits round-trip through storage, and the bucket
+    /// index stays in range for every table size used.
+    #[test]
+    fn sig240_round_trip_and_index_range(comps in components()) {
+        let key = HashKey::from_seed(3);
+        let sig = key.hash_components(comps.iter().map(|c| c.as_slice()));
+        prop_assert_eq!(Signature::from_sig240(sig.sig240()), sig);
+        for shift in [4usize, 8, 12, 16] {
+            prop_assert!(sig.bucket_index_for(1 << shift) < (1 << shift));
+        }
+    }
+
+    /// Concatenation boundaries are unambiguous: moving a byte between
+    /// adjacent components changes the signature.
+    #[test]
+    fn component_boundaries_are_injective(
+        mut a in component(), b in component()
+    ) {
+        let key = HashKey::from_seed(4);
+        prop_assume!(a.len() >= 2);
+        let orig = key.hash_components([a.as_slice(), b.as_slice()]);
+        // Move the last byte of `a` to the front of `b`.
+        let moved = a.pop().unwrap();
+        let mut b2 = vec![moved];
+        b2.extend_from_slice(&b);
+        prop_assume!(!a.is_empty());
+        let shifted = key.hash_components([a.as_slice(), b2.as_slice()]);
+        prop_assert_ne!(orig, shifted);
+    }
+}

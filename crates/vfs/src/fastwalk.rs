@@ -1,0 +1,314 @@
+//! The fastpath: single-hash-lookup path resolution (§3).
+//!
+//! A fastpath lookup is: resume the signature hash from the anchor
+//! dentry's stored state, feed the components, probe the namespace's DLHT
+//! once, validate the memoized prefix check in the credential's PCC, and
+//! perform the final object's own permission check inline. *Any* miss —
+//! missing hash state, DLHT miss, PCC miss, version mismatch, stale mount
+//! hint, partial dentry — falls back to the slowpath, which repopulates
+//! the caches (§3.1).
+//!
+//! Dot-dot components are either preprocessed lexically (Plan 9 mode) or
+//! verified with an extra fastpath probe per `..` (POSIX mode), as
+//! compared in Figure 6 (§4.2). Symlinks encountered at the final
+//! component chain through the link's recorded target signature; literal
+//! paths crossing symlinks mid-path hit the alias dentries created by the
+//! slowpath (§4.2).
+
+use crate::kernel::Kernel;
+use crate::path::{ParsedPath, PathRef, WalkResult};
+use crate::process::Process;
+use dc_cred::MAY_EXEC;
+use dc_fs::{FileType, FsError, FsResult};
+use dcache_core::{Dentry, DentryState, HashState, Pcc};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Maximum symlink-signature chain length on the fastpath.
+const MAX_LINK_CHAIN: u32 = 40;
+
+impl Kernel {
+    /// Attempts a direct lookup. `None` means "fall back to the slowpath";
+    /// `Some(Err(_))` is a definitive answer (e.g. a negative-dentry hit).
+    pub(crate) fn fast_resolve(
+        &self,
+        proc: &Process,
+        start: Option<&PathRef>,
+        parsed: &ParsedPath<'_>,
+        follow_last: bool,
+    ) -> Option<FsResult<WalkResult>> {
+        let stats = &self.dcache.stats;
+        stats.fast_attempts.fetch_add(1, Ordering::Relaxed);
+        let ns = proc.namespace();
+        let cred = proc.cred();
+        let root = proc.root();
+        let mut anchor = if parsed.absolute {
+            root.clone()
+        } else {
+            start.cloned().unwrap_or_else(|| proc.cwd())
+        };
+        let pcc = self.dcache.pcc_for(&cred, ns.id);
+        let lexical = self.dcache.config.lexical_dotdot;
+
+        // Phase 1: reduce components against the anchor, handling "..".
+        let mut pending: Vec<&str> = Vec::with_capacity(parsed.components.len());
+        for &c in &parsed.components {
+            if c != ".." {
+                pending.push(c);
+                continue;
+            }
+            if !lexical {
+                // POSIX mode: one extra fastpath permission probe per
+                // dot-dot (§4.2).
+                self.posix_dotdot_check(&ns, &pcc, &anchor, &pending, &cred)?;
+            }
+            if pending.pop().is_none() {
+                // Climbing above the anchor.
+                if Arc::ptr_eq(&anchor.dentry, &root.dentry)
+                    && anchor.mount.id == root.mount.id
+                {
+                    continue; // ".." at the process root stays put
+                }
+                anchor = climb_one(&anchor)?;
+                anchor.dentry.hash_state()?; // must be resumable
+            }
+        }
+
+        // Phase 2: hash the reduced path.
+        let mut h: HashState = anchor.dentry.hash_state()?;
+        for c in &pending {
+            self.dcache.key.push_component(&mut h, c.as_bytes());
+        }
+
+        // Anchor-only results (e.g. "/", "a/.." lexical) short-circuit.
+        if pending.is_empty() {
+            let dentry = anchor.dentry.clone();
+            let inode = dentry.inode()?; // partial/negative anchors: fallback
+            if parsed.require_dir && !inode.is_dir() {
+                return Some(Err(FsError::NotDir));
+            }
+            stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Ok(WalkResult {
+                mount: anchor.mount.clone(),
+                dentry,
+                inode: Some(inode),
+            }));
+        }
+
+        let sig = self.dcache.key.finish(&h);
+        let Some(first) = self.dcache.dlht_lookup(ns.id, &sig) else {
+            stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if self.dcache.config.fastpath_always_miss {
+            // Figure 6 synthetic: pay the whole fastpath, then miss at
+            // the PCC and fall back.
+            stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+
+        // Phase 3: validate the hit, dereferencing aliases and (when
+        // following) chaining through symlink target signatures.
+        let mut obj = first;
+        let mut chain = 0u32;
+        loop {
+            chain += 1;
+            if chain > MAX_LINK_CHAIN {
+                return Some(Err(FsError::Loop));
+            }
+            // Prefix check for the literal dentry we matched. On a PCC
+            // miss the check may simply "not have executed recently"
+            // (§3.1): since a live DLHT entry proves the path mapping is
+            // structurally current (structural changes evict entries),
+            // the prefix check can be re-executed over the in-memory
+            // ancestor chain — far cheaper than the full slowpath. Any
+            // doubt (permission failure, odd ancestors, path-sensitive
+            // LSMs) still falls back.
+            let seq_sample = obj.seq();
+            if !pcc.check(obj.id(), seq_sample) {
+                if self.fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred).is_none() {
+                    stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                stats.fast_revalidations.fetch_add(1, Ordering::Relaxed);
+            }
+            // Alias dentries redirect to the real object (§4.2); the
+            // recorded seq pins the translation's validity.
+            if let Some((target, target_seq)) = obj.alias_target() {
+                if target.is_dead() || target.seq() != target_seq {
+                    stats.fast_miss_seq.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                // The target's own prefix must also be validated (§4.2:
+                // "The PCC is separately checked for the target dentry").
+                obj = target;
+                continue;
+            }
+            // Final-position symlink: follow via the recorded target
+            // signature without touching the link body.
+            let is_link = obj
+                .inode()
+                .map(|i| i.ftype() == FileType::Symlink)
+                .unwrap_or(false);
+            if is_link && follow_last {
+                let lsig = obj.link_sig()?;
+                let Some(next) = self.dcache.dlht_lookup(ns.id, &lsig) else {
+                    stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                };
+                obj = next;
+                continue;
+            }
+            break;
+        }
+
+        // Partial dentries need a slowpath upgrade.
+        if obj.with_state(|s| matches!(s, DentryState::Partial { .. })) {
+            return None;
+        }
+        // Negative hit: a definitive cached absence (§5.2).
+        if let Some(kind) = obj.neg_kind() {
+            if !self.dcache.config.negative_dentries {
+                return None;
+            }
+            stats.fast_neg_hits.fetch_add(1, Ordering::Relaxed);
+            stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Err(kind.error()));
+        }
+        let inode = obj.inode()?;
+        // Mount validation via the recorded hint (§4.3).
+        let mount = ns.mount_by_id(obj.mount_hint())?;
+        if mount.sb.id != obj.sb() || !mount.sb.fs.supports_fastpath() {
+            return None;
+        }
+        if parsed.require_dir && !inode.is_dir() {
+            return Some(Err(FsError::NotDir));
+        }
+        stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+        Some(Ok(WalkResult {
+            mount,
+            dentry: obj,
+            inode: Some(inode),
+        }))
+    }
+
+    /// Re-executes a prefix check over the cached ancestor chain of a
+    /// DLHT-resident dentry: search permission on every positive ancestor
+    /// directory, hopping mounts toward the namespace root. Succeeding
+    /// memoizes the result; any irregularity returns `None` and the full
+    /// slowpath decides (preserving directory-reference semantics for
+    /// cwd-relative access and precise errno reporting).
+    fn fast_revalidate(
+        &self,
+        ns: &crate::namespace::MountNamespace,
+        pcc: &Pcc,
+        obj: &Arc<Dentry>,
+        seq_sample: u64,
+        cred: &dc_cred::Cred,
+    ) -> Option<()> {
+        if self.security.needs_path() {
+            return None; // path reconstruction: let the slowpath do it
+        }
+        let mut mount = ns.mount_by_id(obj.mount_hint())?;
+        if mount.sb.id != obj.sb() {
+            return None;
+        }
+        let mut d = obj.clone();
+        loop {
+            // Hop over mount roots to the mountpoint they cover.
+            while Arc::ptr_eq(&d, &mount.root) {
+                match mount.parent.clone() {
+                    Some((pm, mp)) => {
+                        mount = pm;
+                        d = mp;
+                    }
+                    None => return self.finish_revalidate(pcc, obj, seq_sample),
+                }
+            }
+            let parent = d.parent()?;
+            // Search permission on every positive ancestor directory;
+            // symlink hops in alias chains carry no permission of their
+            // own and are skipped, anything unexpected falls back.
+            match parent.inode() {
+                Some(inode) if inode.is_dir() => {
+                    if self.permission(cred, &inode, MAY_EXEC, None).is_err() {
+                        return None;
+                    }
+                }
+                Some(inode) if inode.ftype() == FileType::Symlink => {}
+                Some(_) => return None,
+                None => return None, // negative/partial ancestor: slowpath
+            }
+            d = parent;
+        }
+    }
+
+    fn finish_revalidate(
+        &self,
+        pcc: &Pcc,
+        obj: &Arc<Dentry>,
+        seq_sample: u64,
+    ) -> Option<()> {
+        if obj.is_dead() || obj.seq() != seq_sample {
+            return None; // raced with an invalidation; be conservative
+        }
+        pcc.insert(obj.id(), seq_sample);
+        Some(())
+    }
+
+    /// POSIX-mode dot-dot verification: resolve the prefix built so far
+    /// with one extra fastpath probe and re-check permission to search it
+    /// (§4.2). Returns `None` to force the slowpath.
+    fn posix_dotdot_check(
+        &self,
+        ns: &crate::namespace::MountNamespace,
+        pcc: &Pcc,
+        anchor: &PathRef,
+        pending: &[&str],
+        cred: &dc_cred::Cred,
+    ) -> Option<()> {
+        let dentry: Arc<Dentry> = if pending.is_empty() {
+            anchor.dentry.clone()
+        } else {
+            let mut h: HashState = anchor.dentry.hash_state()?;
+            for c in pending {
+                self.dcache.key.push_component(&mut h, c.as_bytes());
+            }
+            let sig = self.dcache.key.finish(&h);
+            self.dcache.dlht_lookup(ns.id, &sig)?
+        };
+        // The prefix must be a real directory (a symlink prefix needs the
+        // slowpath: ".." is relative to the link *target*).
+        let inode = dentry.inode()?;
+        if !inode.is_dir() {
+            return None;
+        }
+        // Prefix check for the intermediate + inline search permission.
+        let at_root = Arc::ptr_eq(&dentry, &ns.root_mount().root);
+        if !at_root && !pcc.check(dentry.id(), dentry.seq()) {
+            return None;
+        }
+        if self
+            .permission(cred, &inode, MAY_EXEC, None)
+            .is_err()
+        {
+            return None; // let the slowpath produce the precise error
+        }
+        Some(())
+    }
+}
+
+/// One mount-aware upward step (shared by fastpath anchor climbing).
+fn climb_one(at: &PathRef) -> Option<PathRef> {
+    let mut pos = at.clone();
+    while Arc::ptr_eq(&pos.dentry, &pos.mount.root) {
+        match pos.mount.parent.clone() {
+            Some((pm, mp)) => pos = PathRef::new(pm, mp),
+            None => break,
+        }
+    }
+    match pos.dentry.parent() {
+        Some(p) => Some(PathRef::new(pos.mount.clone(), p)),
+        None => Some(pos), // namespace root
+    }
+}

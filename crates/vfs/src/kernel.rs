@@ -1,0 +1,276 @@
+//! The kernel object: construction and global state.
+
+use crate::icache::Icache;
+use crate::mount::{Mount, MountFlags, SuperBlock};
+use crate::namespace::MountNamespace;
+use crate::path::PathRef;
+use crate::process::Process;
+use crate::timing::SyscallTiming;
+use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
+use dc_cred::{Cred, SecurityStack};
+use dc_fs::{FileSystem, FsResult, MemFs, MemFsConfig};
+use dcache_core::{Dcache, DcacheConfig};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// The assembled kernel: dcache, security stack, inode cache, mount
+/// namespaces, and the syscall surface (implemented across the
+/// `syscalls` modules).
+pub struct Kernel {
+    /// The directory cache (the paper's contribution lives here).
+    pub dcache: Arc<Dcache>,
+    /// The LSM chain.
+    pub security: SecurityStack,
+    /// The inode cache.
+    pub(crate) icache: Icache,
+    /// Per-syscall-class timing (Figure 1).
+    pub timing: SyscallTiming,
+    namespaces: RwLock<HashMap<u64, Arc<MountNamespace>>>,
+    init_ns: Arc<MountNamespace>,
+    init_process: Arc<Process>,
+    next_sb: AtomicU64,
+    next_mount: AtomicU64,
+    next_ns: AtomicU64,
+    next_pid: AtomicU64,
+    /// Serializes whole walks in `lock_walk` mode (the pre-RCU kernel
+    /// approximation for the Figure 2 sweep).
+    pub(crate) lock_walk_mutex: Mutex<()>,
+    /// Entropy pool for mkstemp-style name generation.
+    tmp_rng: AtomicU64,
+    /// Superblock registry: one superblock (and dentry tree) per mounted
+    /// file-system instance, so mount aliases share dentries (§4.3).
+    pub(crate) superblocks: Mutex<Vec<(Weak<dyn FileSystem>, Arc<SuperBlock>)>>,
+}
+
+/// Builds a [`Kernel`], mounting a root file system.
+pub struct KernelBuilder {
+    config: DcacheConfig,
+    security: SecurityStack,
+    root_fs: Option<Arc<dyn FileSystem>>,
+    root_flags: MountFlags,
+}
+
+impl KernelBuilder {
+    /// Starts a builder with the given dcache configuration, a DAC-only
+    /// security stack, and (unless overridden) a fresh memfs root.
+    pub fn new(config: DcacheConfig) -> KernelBuilder {
+        KernelBuilder {
+            config,
+            security: SecurityStack::dac_only(),
+            root_fs: None,
+            root_flags: MountFlags::default(),
+        }
+    }
+
+    /// Replaces the security stack.
+    pub fn security(mut self, stack: SecurityStack) -> Self {
+        self.security = stack;
+        self
+    }
+
+    /// Uses an explicit root file system instead of a fresh memfs.
+    pub fn root_fs(mut self, fs: Arc<dyn FileSystem>) -> Self {
+        self.root_fs = Some(fs);
+        self
+    }
+
+    /// Sets root mount flags.
+    pub fn root_flags(mut self, flags: MountFlags) -> Self {
+        self.root_flags = flags;
+        self
+    }
+
+    /// Builds the kernel: mounts the root, creates the init namespace and
+    /// the init (root-credentialed) process.
+    pub fn build(self) -> FsResult<Arc<Kernel>> {
+        let dcache = Dcache::new(self.config);
+        let root_fs = match self.root_fs {
+            Some(fs) => fs,
+            None => {
+                let disk = Arc::new(CachedDisk::new(DiskConfig {
+                    capacity_blocks: 1 << 18, // 1 GiB
+                    latency: LatencyModel::free(),
+                    ..Default::default()
+                }));
+                let memfs = MemFs::mkfs(
+                    disk,
+                    MemFsConfig {
+                        max_inodes: 1 << 18,
+                        ..Default::default()
+                    },
+                )?;
+                memfs as Arc<dyn FileSystem>
+            }
+        };
+        let kernel = Kernel::assemble(dcache, self.security, root_fs, self.root_flags)?;
+        Ok(kernel)
+    }
+}
+
+impl Kernel {
+    fn assemble(
+        dcache: Arc<Dcache>,
+        security: SecurityStack,
+        root_fs: Arc<dyn FileSystem>,
+        root_flags: MountFlags,
+    ) -> FsResult<Arc<Kernel>> {
+        let icache = Icache::new();
+        let sb_id = 1u64;
+        let root_attr = root_fs.getattr(root_fs.root_ino())?;
+        let root_inode = icache.get_or_create(sb_id, &root_fs, root_attr);
+        let root_dentry = dcache.new_root(sb_id, root_inode);
+        let sb = Arc::new(SuperBlock {
+            id: sb_id,
+            fs: root_fs,
+            root: root_dentry,
+        });
+        let root_mount = Mount::new_root(1, sb, root_flags);
+        root_mount.root.set_mount_hint(root_mount.id);
+        let init_ns = MountNamespace::new(0, root_mount.clone());
+        let root_ref = PathRef::new(root_mount, init_ns.root_mount().root.clone());
+        let init_process = Process::new(
+            1,
+            Cred::root(),
+            init_ns.clone(),
+            root_ref.clone(),
+            root_ref,
+        );
+        let mut namespaces = HashMap::new();
+        namespaces.insert(init_ns.id, init_ns.clone());
+        let sb_registry: Vec<(Weak<dyn FileSystem>, Arc<SuperBlock>)> = vec![(
+            Arc::downgrade(&init_ns.root_mount().sb.fs),
+            init_ns.root_mount().sb.clone(),
+        )];
+        Ok(Arc::new(Kernel {
+            dcache,
+            security,
+            icache,
+            timing: SyscallTiming::new(),
+            namespaces: RwLock::new(namespaces),
+            init_ns,
+            init_process,
+            next_sb: AtomicU64::new(2),
+            next_mount: AtomicU64::new(2),
+            next_ns: AtomicU64::new(1),
+            next_pid: AtomicU64::new(2),
+            lock_walk_mutex: Mutex::new(()),
+            tmp_rng: AtomicU64::new(0x9e3779b97f4a7c15),
+            superblocks: Mutex::new(sb_registry),
+        }))
+    }
+
+    /// The init process (pid 1, root credentials, at `/`).
+    pub fn init_process(&self) -> Arc<Process> {
+        self.init_process.clone()
+    }
+
+    /// The initial mount namespace.
+    pub fn init_namespace(&self) -> Arc<MountNamespace> {
+        self.init_ns.clone()
+    }
+
+    /// Spawns a process inheriting `parent`'s credentials, namespace,
+    /// root, and working directory (`fork` as far as the VFS cares).
+    pub fn spawn(&self, parent: &Process) -> Arc<Process> {
+        Process::new(
+            self.next_pid.fetch_add(1, Ordering::Relaxed),
+            parent.cred(),
+            parent.namespace(),
+            parent.root(),
+            parent.cwd(),
+        )
+    }
+
+    /// Spawns a process with explicit credentials.
+    pub fn spawn_with_cred(&self, parent: &Process, cred: Arc<Cred>) -> Arc<Process> {
+        let p = self.spawn(parent);
+        p.set_cred(cred);
+        p
+    }
+
+    /// Changes a process's credentials through the prepare/commit cycle;
+    /// unchanged contents share the old cred and its PCC (§4.1).
+    pub fn setuid(&self, proc: &Process, uid: u32, gid: u32) -> Arc<Cred> {
+        let old = proc.cred();
+        let mut prepared = dc_cred::prepare_creds(&old);
+        prepared.uid = uid;
+        prepared.gid = gid;
+        let committed = dc_cred::commit_creds(&old, prepared);
+        proc.set_cred(committed.clone());
+        committed
+    }
+
+    /// A pseudo-random value for temporary-file naming.
+    pub(crate) fn tmp_rand(&self) -> u64 {
+        let x = self.tmp_rng.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) & 0xff_ffff
+    }
+
+    /// Allocates a superblock id (mounts).
+    pub(crate) fn alloc_sb_id(&self) -> u64 {
+        self.next_sb.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a mount id.
+    pub(crate) fn alloc_mount_id(&self) -> u64 {
+        self.next_mount.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a namespace id.
+    pub(crate) fn alloc_ns_id(&self) -> u64 {
+        self.next_ns.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a namespace.
+    pub(crate) fn register_namespace(&self, ns: Arc<MountNamespace>) {
+        self.namespaces.write().insert(ns.id, ns);
+    }
+
+    /// Drops every unpinned dentry and flushes all PCCs and, if the root
+    /// file system is a memfs, its page cache: the cold-cache reset used
+    /// by Table 2.
+    pub fn drop_caches(&self) {
+        self.dcache.drop_unused();
+        self.dcache.flush_all_pccs();
+        for ns in self.namespaces.read().values() {
+            for m in ns.mounts_snapshot() {
+                let _ = m.sb.fs.sync();
+            }
+        }
+        let root_mount = self.init_ns.root_mount();
+        if let Some(memfs) = crate::kernel::as_memfs(&root_mount.sb.fs) {
+            memfs.disk().drop_caches();
+        }
+    }
+
+    /// Resets every statistics counter (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.dcache.stats.reset();
+        self.timing.reset();
+        let root_mount = self.init_ns.root_mount();
+        root_mount.sb.fs.stats().reset();
+        if let Some(memfs) = as_memfs(&root_mount.sb.fs) {
+            memfs.disk().reset_stats();
+        }
+    }
+}
+
+/// Downcasts a file system to memfs (cold-cache plumbing).
+pub(crate) fn as_memfs(fs: &Arc<dyn FileSystem>) -> Option<&MemFs> {
+    fs.as_any().downcast_ref::<MemFs>()
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("config", &self.dcache.config)
+            .field("lsms", &self.security.module_names())
+            .field("dentries", &self.dcache.live())
+            .finish()
+    }
+}

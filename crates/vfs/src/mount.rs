@@ -1,0 +1,95 @@
+//! Superblocks and mounts.
+
+use dc_fs::FileSystem;
+use dcache_core::{Dentry, SbId};
+use std::sync::Arc;
+
+/// Per-mount option flags that influence permission checks (§4.3,
+/// "Mount options").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MountFlags {
+    /// Reject writes through this mount (`EROFS`).
+    pub read_only: bool,
+    /// Ignore suid/sgid bits on this mount.
+    pub nosuid: bool,
+    /// Refuse execute permission on regular files on this mount.
+    pub noexec: bool,
+}
+
+/// One mounted file-system instance (superblock).
+///
+/// The superblock pins the file system's root dentry, which anchors the
+/// in-memory dentry tree for that file system.
+pub struct SuperBlock {
+    /// Unique superblock id (keys the inode cache).
+    pub id: SbId,
+    /// The low-level file system.
+    pub fs: Arc<dyn FileSystem>,
+    /// Root dentry of the file system (pinned).
+    pub root: Arc<Dentry>,
+}
+
+/// A mount: a superblock (or a subtree of one, for bind mounts) grafted
+/// onto a mountpoint (Linux `struct vfsmount`).
+pub struct Mount {
+    /// Unique mount id within the kernel; the fastpath stores this in each
+    /// dentry's mount hint (§4.3).
+    pub id: u64,
+    /// The mounted superblock.
+    pub sb: Arc<SuperBlock>,
+    /// Root dentry of this mount: `sb.root` for normal mounts, an interior
+    /// dentry for bind mounts.
+    pub root: Arc<Dentry>,
+    /// Option flags.
+    pub flags: MountFlags,
+    /// Where this mount hangs: parent mount and mountpoint dentry; `None`
+    /// for a namespace's root mount.
+    pub parent: Option<(Arc<Mount>, Arc<Dentry>)>,
+}
+
+impl Mount {
+    /// A namespace root mount.
+    pub fn new_root(id: u64, sb: Arc<SuperBlock>, flags: MountFlags) -> Arc<Mount> {
+        let root = sb.root.clone();
+        Arc::new(Mount {
+            id,
+            sb,
+            root,
+            flags,
+            parent: None,
+        })
+    }
+
+    /// A child mount of `parent` at `mountpoint`.
+    pub fn new_child(
+        id: u64,
+        sb: Arc<SuperBlock>,
+        root: Arc<Dentry>,
+        flags: MountFlags,
+        parent: Arc<Mount>,
+        mountpoint: Arc<Dentry>,
+    ) -> Arc<Mount> {
+        Arc::new(Mount {
+            id,
+            sb,
+            root,
+            flags,
+            parent: Some((parent, mountpoint)),
+        })
+    }
+}
+
+impl std::fmt::Debug for Mount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mount")
+            .field("id", &self.id)
+            .field("sb", &self.sb.id)
+            .field("fs", &self.sb.fs.fs_type())
+            .field("flags", &self.flags)
+            .field(
+                "at",
+                &self.parent.as_ref().map(|(m, d)| (m.id, d.id())),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,103 @@
+//! Mount namespaces (§4.3).
+
+use crate::mount::Mount;
+use dcache_core::{DentryId, NsId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A mount namespace: a private view of the mount tree.
+///
+/// Each namespace owns a private direct-lookup hash table (allocated
+/// lazily by the dcache keyed on [`MountNamespace::id`]), so the same path
+/// and signature resolve to different dentries inside and outside the
+/// namespace, and prefix check caches are namespace-private (§4.3).
+pub struct MountNamespace {
+    /// Namespace id; keys the DLHT and per-cred PCC maps.
+    pub id: NsId,
+    /// Root mount of the namespace.
+    root: RwLock<Arc<Mount>>,
+    /// Mountpoint index: (parent mount id, mountpoint dentry id) → child.
+    children: RwLock<HashMap<(u64, DentryId), Arc<Mount>>>,
+    /// All mounts by id (fastpath mount-hint validation).
+    by_id: RwLock<HashMap<u64, Arc<Mount>>>,
+}
+
+impl MountNamespace {
+    /// A namespace rooted at `root`.
+    pub fn new(id: NsId, root: Arc<Mount>) -> Arc<MountNamespace> {
+        let mut by_id = HashMap::new();
+        by_id.insert(root.id, root.clone());
+        Arc::new(MountNamespace {
+            id,
+            root: RwLock::new(root),
+            children: RwLock::new(HashMap::new()),
+            by_id: RwLock::new(by_id),
+        })
+    }
+
+    /// The namespace's root mount.
+    pub fn root_mount(&self) -> Arc<Mount> {
+        self.root.read().clone()
+    }
+
+    /// Registers a mount at its mountpoint.
+    pub fn add_mount(&self, mount: Arc<Mount>) {
+        if let Some((parent, mp)) = &mount.parent {
+            self.children
+                .write()
+                .insert((parent.id, mp.id()), mount.clone());
+        }
+        self.by_id.write().insert(mount.id, mount);
+    }
+
+    /// Unregisters a mount; returns it if it was present.
+    pub fn remove_mount(&self, mount_id: u64) -> Option<Arc<Mount>> {
+        let m = self.by_id.write().remove(&mount_id)?;
+        if let Some((parent, mp)) = &m.parent {
+            self.children.write().remove(&(parent.id, mp.id()));
+        }
+        Some(m)
+    }
+
+    /// The mount hanging at `(parent mount, mountpoint dentry)`, if any —
+    /// the walk's mountpoint-crossing probe.
+    pub fn mount_at(&self, parent_mount: u64, mountpoint: DentryId) -> Option<Arc<Mount>> {
+        self.children
+            .read()
+            .get(&(parent_mount, mountpoint))
+            .cloned()
+    }
+
+    /// True if any mount hangs below `mountpoint` under `parent_mount` —
+    /// mounted-on directories are busy for rename/rmdir purposes.
+    pub fn is_mountpoint(&self, parent_mount: u64, mountpoint: DentryId) -> bool {
+        self.children
+            .read()
+            .contains_key(&(parent_mount, mountpoint))
+    }
+
+    /// Resolves a mount id (fastpath mount-hint validation, §4.3).
+    pub fn mount_by_id(&self, id: u64) -> Option<Arc<Mount>> {
+        self.by_id.read().get(&id).cloned()
+    }
+
+    /// Whether this namespace has any child mounts (diagnostics).
+    pub fn mount_count(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// Snapshot of all mounts (umount -a, namespace teardown).
+    pub fn mounts_snapshot(&self) -> Vec<Arc<Mount>> {
+        self.by_id.read().values().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for MountNamespace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MountNamespace")
+            .field("id", &self.id)
+            .field("mounts", &self.mount_count())
+            .finish()
+    }
+}

@@ -1,0 +1,182 @@
+//! Path parsing and walk-result types.
+
+use crate::mount::Mount;
+use dc_fs::{FsError, FsResult};
+use dcache_core::{Dentry, Inode};
+use std::sync::Arc;
+
+/// Maximum accepted path length (Linux `PATH_MAX`).
+pub const PATH_MAX: usize = 4096;
+
+/// Maximum accepted component length (Linux `NAME_MAX`).
+pub const NAME_MAX: usize = 255;
+
+/// A position in the mounted namespace: a mount plus a dentry within it
+/// (Linux's `struct path`).
+#[derive(Clone)]
+pub struct PathRef {
+    /// The vfsmount.
+    pub mount: Arc<Mount>,
+    /// The dentry.
+    pub dentry: Arc<Dentry>,
+}
+
+impl PathRef {
+    /// Bundles a mount and dentry.
+    pub fn new(mount: Arc<Mount>, dentry: Arc<Dentry>) -> Self {
+        PathRef { mount, dentry }
+    }
+}
+
+impl std::fmt::Debug for PathRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PathRef(mount {}, dentry {} {:?})",
+            self.mount.id,
+            self.dentry.id(),
+            self.dentry.name()
+        )
+    }
+}
+
+/// Outcome of a successful path resolution.
+///
+/// `dentry` may be **negative** when the final component does not exist;
+/// callers that need an object (stat, open without `O_CREAT`) convert that
+/// to `ENOENT`/`ENOTDIR`, while creating callers use the negative dentry
+/// directly.
+#[derive(Clone)]
+pub struct WalkResult {
+    /// Mount the result lives in.
+    pub mount: Arc<Mount>,
+    /// Final dentry (positive or negative).
+    pub dentry: Arc<Dentry>,
+    /// The inode for positive results.
+    pub inode: Option<Arc<Inode>>,
+}
+
+impl WalkResult {
+    /// The inode, or the negative dentry's error.
+    pub fn require_inode(&self) -> FsResult<&Arc<Inode>> {
+        match &self.inode {
+            Some(i) => Ok(i),
+            None => Err(self
+                .dentry
+                .neg_kind()
+                .map(|k| k.error())
+                .unwrap_or(FsError::NoEnt)),
+        }
+    }
+
+    /// True when the result is a cached absence.
+    pub fn is_negative(&self) -> bool {
+        self.inode.is_none()
+    }
+}
+
+/// A parsed path: its components plus trailing-slash semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPath<'a> {
+    /// Whether the path is absolute.
+    pub absolute: bool,
+    /// Raw components, `"."` and `".."` included (canonicalization of
+    /// dot-dot is walk-mode-dependent, §4.2).
+    pub components: Vec<&'a str>,
+    /// Path ended in `/` or `/.` — the final component must be a
+    /// directory.
+    pub require_dir: bool,
+}
+
+/// Splits and validates a path.
+///
+/// Rejects empty paths (`ENOENT`, POSIX), overlong paths
+/// (`ENAMETOOLONG`), overlong components (`ENAMETOOLONG`), and embedded
+/// NULs (`EINVAL`). Repeated slashes collapse; `"."` components are
+/// dropped except for their trailing-slash effect.
+pub fn split_path(path: &str) -> FsResult<ParsedPath<'_>> {
+    if path.is_empty() {
+        return Err(FsError::NoEnt);
+    }
+    if path.len() > PATH_MAX {
+        return Err(FsError::NameTooLong);
+    }
+    if path.contains('\0') {
+        return Err(FsError::Inval);
+    }
+    let absolute = path.starts_with('/');
+    let mut components = Vec::new();
+    let mut require_dir = path.ends_with('/');
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue;
+        }
+        if comp.len() > NAME_MAX {
+            return Err(FsError::NameTooLong);
+        }
+        if comp == "." {
+            continue;
+        }
+        components.push(comp);
+    }
+    // A trailing "." (e.g. "a/b/.") also requires the target to be a
+    // directory, as does "..".
+    if let Some(last) = path.rsplit('/').next() {
+        if last == "." || last == ".." {
+            require_dir = true;
+        }
+    }
+    Ok(ParsedPath {
+        absolute,
+        components,
+        require_dir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_collapses() {
+        let p = split_path("/usr//lib/./x").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.components, vec!["usr", "lib", "x"]);
+        assert!(!p.require_dir);
+    }
+
+    #[test]
+    fn relative_paths() {
+        let p = split_path("a/b").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.components, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dotdot_is_preserved() {
+        let p = split_path("a/../b/..").unwrap();
+        assert_eq!(p.components, vec!["a", "..", "b", ".."]);
+        assert!(p.require_dir);
+    }
+
+    #[test]
+    fn trailing_slash_requires_dir() {
+        assert!(split_path("a/b/").unwrap().require_dir);
+        assert!(split_path("a/b/.").unwrap().require_dir);
+        assert!(!split_path("a/b").unwrap().require_dir);
+        // Root alone is a directory request.
+        let root = split_path("/").unwrap();
+        assert!(root.components.is_empty());
+        assert!(root.require_dir);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        assert_eq!(split_path(""), Err(FsError::NoEnt));
+        assert_eq!(split_path("a\0b"), Err(FsError::Inval));
+        let long_comp = "x".repeat(300);
+        assert_eq!(split_path(&long_comp), Err(FsError::NameTooLong));
+        let long_path = "a/".repeat(3000);
+        assert_eq!(split_path(&long_path), Err(FsError::NameTooLong));
+    }
+}

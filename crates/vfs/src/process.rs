@@ -1,0 +1,132 @@
+//! Processes: credentials, namespace, working directory, file table.
+
+use crate::handle::Handle;
+use crate::namespace::MountNamespace;
+use crate::path::PathRef;
+use dc_cred::Cred;
+use dc_fs::{FsError, FsResult};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum open file descriptors per process.
+const FD_LIMIT: usize = 4096;
+
+/// A process, as far as the VFS cares: credentials (copy-on-write,
+/// §4.1), a mount namespace, root and current working directories, and a
+/// file-descriptor table.
+pub struct Process {
+    /// Process id.
+    pub pid: u64,
+    cred: RwLock<Arc<Cred>>,
+    ns: RwLock<Arc<MountNamespace>>,
+    root: RwLock<PathRef>,
+    cwd: RwLock<PathRef>,
+    fds: Mutex<HashMap<u32, Arc<Handle>>>,
+    next_fd: Mutex<u32>,
+}
+
+impl Process {
+    /// Creates a process at the given root/cwd.
+    pub fn new(
+        pid: u64,
+        cred: Arc<Cred>,
+        ns: Arc<MountNamespace>,
+        root: PathRef,
+        cwd: PathRef,
+    ) -> Arc<Process> {
+        Arc::new(Process {
+            pid,
+            cred: RwLock::new(cred),
+            ns: RwLock::new(ns),
+            root: RwLock::new(root),
+            cwd: RwLock::new(cwd),
+            fds: Mutex::new(HashMap::new()),
+            next_fd: Mutex::new(3), // 0-2 reserved by convention
+        })
+    }
+
+    /// Current credentials.
+    pub fn cred(&self) -> Arc<Cred> {
+        self.cred.read().clone()
+    }
+
+    /// Installs committed credentials (`commit_creds`).
+    pub fn set_cred(&self, cred: Arc<Cred>) {
+        *self.cred.write() = cred;
+    }
+
+    /// Current mount namespace.
+    pub fn namespace(&self) -> Arc<MountNamespace> {
+        self.ns.read().clone()
+    }
+
+    /// Switches namespace (`unshare`/`setns`).
+    pub fn set_namespace(&self, ns: Arc<MountNamespace>) {
+        *self.ns.write() = ns;
+    }
+
+    /// The process root (changed by `chroot`).
+    pub fn root(&self) -> PathRef {
+        self.root.read().clone()
+    }
+
+    /// Sets the process root.
+    pub fn set_root(&self, root: PathRef) {
+        *self.root.write() = root;
+    }
+
+    /// Current working directory.
+    pub fn cwd(&self) -> PathRef {
+        self.cwd.read().clone()
+    }
+
+    /// Sets the working directory (`chdir`). Holding the dentry here pins
+    /// it against cache eviction, preserving Unix directory-reference
+    /// semantics (§3.2, "Directory References").
+    pub fn set_cwd(&self, cwd: PathRef) {
+        *self.cwd.write() = cwd;
+    }
+
+    /// Installs a handle, returning its descriptor.
+    pub fn install_fd(&self, handle: Arc<Handle>) -> FsResult<u32> {
+        let mut fds = self.fds.lock();
+        if fds.len() >= FD_LIMIT {
+            return Err(FsError::MFile);
+        }
+        let mut next = self.next_fd.lock();
+        while fds.contains_key(&next) {
+            *next = next.wrapping_add(1).max(3);
+        }
+        let fd = *next;
+        *next = next.wrapping_add(1).max(3);
+        fds.insert(fd, handle);
+        Ok(fd)
+    }
+
+    /// Resolves a descriptor.
+    pub fn fd(&self, fd: u32) -> FsResult<Arc<Handle>> {
+        self.fds.lock().get(&fd).cloned().ok_or(FsError::BadF)
+    }
+
+    /// Removes a descriptor, returning its handle.
+    pub fn take_fd(&self, fd: u32) -> FsResult<Arc<Handle>> {
+        self.fds.lock().remove(&fd).ok_or(FsError::BadF)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_fds(&self) -> usize {
+        self.fds.lock().len()
+    }
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("uid", &self.cred().uid)
+            .field("ns", &self.namespace().id)
+            .field("fds", &self.open_fds())
+            .finish()
+    }
+}

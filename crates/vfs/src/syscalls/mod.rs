@@ -1,0 +1,163 @@
+//! The POSIX-flavored syscall surface, grouped by family.
+
+mod dir;
+mod io;
+mod meta;
+mod mountctl;
+mod name;
+mod open;
+mod stat;
+
+use crate::kernel::Kernel;
+use crate::mount::Mount;
+use crate::path::WalkResult;
+use dc_cred::{Cred, MAY_EXEC, MAY_WRITE};
+use dc_fs::{FsError, FsResult, InodeAttr, MODE_STICKY};
+use dcache_core::{Dentry, DentryState, Inode, NegKind, FLAG_DIR_COMPLETE};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+impl Kernel {
+    /// Checks write+search permission on a parent directory and the
+    /// mount's read-only flag — the gate for every namespace mutation.
+    pub(crate) fn check_dir_mutable(
+        &self,
+        cred: &Cred,
+        parent: &WalkResult,
+        path_hint: Option<&str>,
+    ) -> FsResult<()> {
+        if parent.mount.flags.read_only {
+            return Err(FsError::RoFs);
+        }
+        let inode = parent.require_inode()?;
+        // Path-sensitive LSMs fail closed without a path; reconstruct it
+        // when the caller did not have one at hand.
+        let computed = (path_hint.is_none() && self.security.needs_path()).then(|| {
+            self.vfs_path_of(&crate::path::PathRef::new(
+                parent.mount.clone(),
+                parent.dentry.clone(),
+            ))
+        });
+        self.permission(
+            cred,
+            inode,
+            MAY_WRITE | MAY_EXEC,
+            path_hint.or(computed.as_deref()),
+        )
+    }
+
+    /// Reconstructs a path hint only when some LSM needs one.
+    pub(crate) fn path_hint(&self, r: &WalkResult) -> Option<String> {
+        self.security.needs_path().then(|| {
+            self.vfs_path_of(&crate::path::PathRef::new(
+                r.mount.clone(),
+                r.dentry.clone(),
+            ))
+        })
+    }
+
+    /// POSIX sticky-bit deletion rule: in a sticky directory only root,
+    /// the directory owner, or the entry owner may remove/rename it.
+    pub(crate) fn sticky_ok(cred: &Cred, parent: &InodeAttr, target: &InodeAttr) -> bool {
+        if parent.mode & MODE_STICKY == 0 {
+            return true;
+        }
+        cred.uid == 0 || cred.uid == target.uid || cred.uid == parent.uid
+    }
+
+    /// Single-component lookup under a held `dir_lock`: per-parent cache
+    /// probe, completeness short-circuit, then the low-level file system.
+    /// Returns a positive or negative dentry.
+    pub(crate) fn lookup_one_locked(
+        &self,
+        mount: &Arc<Mount>,
+        parent: &Arc<Dentry>,
+        name: &str,
+    ) -> FsResult<Arc<Dentry>> {
+        if let Some(c) = self.dcache.d_lookup(parent, name) {
+            if !c.is_dead() {
+                if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
+                    // The caller holds the dir lock; upgrade inline.
+                    let ino = c.with_state(|s| match s {
+                        DentryState::Partial { ino, .. } => *ino,
+                        _ => unreachable!(),
+                    });
+                    match mount.sb.fs.getattr(ino) {
+                        Ok(attr) => {
+                            let inode =
+                                self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
+                            c.set_state(DentryState::Positive(inode));
+                        }
+                        Err(FsError::NoEnt) => {
+                            self.dcache.make_negative(&c, NegKind::Enoent)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                return Ok(c);
+            }
+        }
+        let fs = &mount.sb.fs;
+        let dir_ino = parent.inode().ok_or(FsError::NoEnt)?.ino;
+        if self.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
+            self.dcache
+                .stats
+                .complete_neg_avoided
+                .fetch_add(1, Ordering::Relaxed);
+            if self.negatives_allowed(fs) {
+                return Ok(self
+                    .dcache
+                    .d_alloc(parent, name, DentryState::Negative(NegKind::Enoent)));
+            }
+            return Err(FsError::NoEnt);
+        }
+        self.dcache.stats.miss_fs.fetch_add(1, Ordering::Relaxed);
+        match fs.lookup(dir_ino, name) {
+            Ok(attr) => {
+                let inode = self.icache.get_or_create(mount.sb.id, fs, attr);
+                Ok(self
+                    .dcache
+                    .d_alloc(parent, name, DentryState::Positive(inode)))
+            }
+            Err(FsError::NoEnt) => {
+                if self.negatives_allowed(fs) {
+                    Ok(self
+                        .dcache
+                        .d_alloc(parent, name, DentryState::Negative(NegKind::Enoent)))
+                } else {
+                    Err(FsError::NoEnt)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Installs a freshly-created object into the dcache: flips an
+    /// existing negative dentry positive (evicting stale deep-negative
+    /// children, §5.2) or allocates a new child. Caller holds the
+    /// parent's `dir_lock`.
+    pub(crate) fn instantiate_created(
+        &self,
+        parent: &Arc<Dentry>,
+        existing: Option<Arc<Dentry>>,
+        name: &str,
+        inode: Arc<Inode>,
+    ) -> Arc<Dentry> {
+        match existing {
+            Some(d) if !d.is_dead() => {
+                debug_assert!(d.is_negative());
+                for ch in d.children_snapshot() {
+                    self.dcache.unhash_subtree(&ch);
+                }
+                d.clear_link_sig();
+                d.set_state(DentryState::Positive(inode));
+                // The entry appeared: parent listings change.
+                parent.bump_children_version();
+                d
+            }
+            _ => self
+                .dcache
+                .d_alloc(parent, name, DentryState::Positive(inode)),
+        }
+    }
+}

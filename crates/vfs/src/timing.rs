@@ -1,0 +1,182 @@
+//! Per-syscall-class wall-clock accounting (the ftrace analog behind
+//! Figure 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Syscall classes, matching the Figure 1 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallClass {
+    /// `access`, `stat`, `lstat`, `fstatat`.
+    AccessStat,
+    /// `open`, `openat`, `creat`.
+    Open,
+    /// `chmod`, `chown`.
+    ChmodChown,
+    /// `unlink`, `rmdir`.
+    Unlink,
+    /// `rename`, `link`, `symlink`, `mkdir` — other metadata mutations.
+    OtherMeta,
+    /// `readdir`/`getdents`.
+    Readdir,
+    /// Data-plane reads and writes.
+    Io,
+    /// Everything else.
+    Other,
+}
+
+/// Index range for the class table.
+const NCLASSES: usize = 8;
+
+impl SyscallClass {
+    fn idx(self) -> usize {
+        match self {
+            SyscallClass::AccessStat => 0,
+            SyscallClass::Open => 1,
+            SyscallClass::ChmodChown => 2,
+            SyscallClass::Unlink => 3,
+            SyscallClass::OtherMeta => 4,
+            SyscallClass::Readdir => 5,
+            SyscallClass::Io => 6,
+            SyscallClass::Other => 7,
+        }
+    }
+
+    /// All classes, in table order.
+    pub fn all() -> [SyscallClass; NCLASSES] {
+        [
+            SyscallClass::AccessStat,
+            SyscallClass::Open,
+            SyscallClass::ChmodChown,
+            SyscallClass::Unlink,
+            SyscallClass::OtherMeta,
+            SyscallClass::Readdir,
+            SyscallClass::Io,
+            SyscallClass::Other,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyscallClass::AccessStat => "access/stat",
+            SyscallClass::Open => "open",
+            SyscallClass::ChmodChown => "chmod/chown",
+            SyscallClass::Unlink => "unlink",
+            SyscallClass::OtherMeta => "other-meta",
+            SyscallClass::Readdir => "readdir",
+            SyscallClass::Io => "io",
+            SyscallClass::Other => "other",
+        }
+    }
+}
+
+/// Accumulated `(calls, nanoseconds)` per class.
+#[derive(Debug, Default)]
+pub struct SyscallTiming {
+    calls: [AtomicU64; NCLASSES],
+    nanos: [AtomicU64; NCLASSES],
+}
+
+impl SyscallTiming {
+    /// Fresh zeroed table.
+    pub fn new() -> SyscallTiming {
+        SyscallTiming::default()
+    }
+
+    /// Times `f` under `class`.
+    #[inline]
+    pub fn record<T>(&self, class: SyscallClass, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_nanos() as u64;
+        let i = class.idx();
+        self.calls[i].fetch_add(1, Ordering::Relaxed);
+        self.nanos[i].fetch_add(dt, Ordering::Relaxed);
+        out
+    }
+
+    /// `(calls, total_ns)` for one class.
+    pub fn get(&self, class: SyscallClass) -> (u64, u64) {
+        let i = class.idx();
+        (
+            self.calls[i].load(Ordering::Relaxed),
+            self.nanos[i].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total nanoseconds across the path-based classes (Figure 1's
+    /// numerator: access/stat, open, chmod/chown, unlink).
+    pub fn path_syscall_ns(&self) -> u64 {
+        [
+            SyscallClass::AccessStat,
+            SyscallClass::Open,
+            SyscallClass::ChmodChown,
+            SyscallClass::Unlink,
+        ]
+        .iter()
+        .map(|c| self.get(*c).1)
+        .sum()
+    }
+
+    /// Total nanoseconds across every class.
+    pub fn total_ns(&self) -> u64 {
+        self.nanos.iter().map(|n| n.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes the table.
+    pub fn reset(&self) {
+        for i in 0..NCLASSES {
+            self.calls[i].store(0, Ordering::Relaxed);
+            self.nanos[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let t = SyscallTiming::new();
+        let v = t.record(SyscallClass::Open, || 42);
+        assert_eq!(v, 42);
+        t.record(SyscallClass::Open, || ());
+        t.record(SyscallClass::Io, || ());
+        let (calls, ns) = t.get(SyscallClass::Open);
+        assert_eq!(calls, 2);
+        assert!(ns > 0);
+        assert_eq!(t.get(SyscallClass::Io).0, 1);
+        assert_eq!(t.get(SyscallClass::Unlink).0, 0);
+    }
+
+    #[test]
+    fn path_syscall_ns_excludes_io() {
+        let t = SyscallTiming::new();
+        t.record(SyscallClass::AccessStat, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        t.record(SyscallClass::Io, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert!(t.path_syscall_ns() > 0);
+        assert!(t.total_ns() > t.path_syscall_ns());
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = SyscallTiming::new();
+        t.record(SyscallClass::Other, || ());
+        t.reset();
+        assert_eq!(t.total_ns(), 0);
+        assert_eq!(t.get(SyscallClass::Other).0, 0);
+    }
+
+    #[test]
+    fn labels_cover_all() {
+        for c in SyscallClass::all() {
+            assert!(!c.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,990 @@
+//! The slowpath: Linux-style component-at-a-time path resolution.
+//!
+//! This is both the baseline under evaluation ("unmodified kernel") and
+//! the fallback + cache-filler for the fastpath. Structure (§2.2, §3.2):
+//!
+//! - per component: permission check on the directory, per-parent hash
+//!   lookup, miss → low-level FS call under the parent's `dir_lock`;
+//! - optimistic synchronization: the walk validates against the global
+//!   rename seqlock and retries (bounded, then excludes writers) — the
+//!   RCU-walk/ref-walk split;
+//! - while walking (optimized configurations) it computes the running
+//!   path signature, stores resumable hash states in dentries, and queues
+//!   DLHT/PCC publications that are applied only if no shootdown ran
+//!   concurrently (`invalidation` counter), with rollback on a lost race;
+//! - negative dentries, deep negative chains, directory-completeness
+//!   short-circuits, and symlink alias creation all happen here, policy
+//!   driven by [`dcache_core::DcacheConfig`].
+
+use crate::kernel::Kernel;
+use crate::mount::Mount;
+use crate::namespace::MountNamespace;
+use crate::path::{split_path, ParsedPath, PathRef, WalkResult};
+use crate::process::Process;
+use dc_cred::{Cred, PermCtx, MAY_EXEC};
+use dc_fs::{FileSystem, FsError, FsResult};
+use dcache_core::{
+    Dentry, DentryState, HashState, Inode, NegKind, Pcc, Signature, FLAG_DIR_COMPLETE,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Maximum nested symlink depth (Linux's limit).
+const MAX_LINK_DEPTH: u32 = 40;
+
+/// Bounded optimistic retries before excluding renames.
+const MAX_OPTIMISTIC: u32 = 4;
+
+/// Result of a parent-mode resolution (for create/unlink/rename).
+pub(crate) struct ParentResult {
+    /// The parent directory (always positive).
+    pub parent: WalkResult,
+    /// The final component name.
+    pub name: String,
+    /// The path had a trailing slash — the target must be a directory.
+    pub require_dir: bool,
+}
+
+/// A queued cache publication, applied after walk validation (§3.2).
+enum Publish {
+    Dlht {
+        dentry: Arc<Dentry>,
+        sig: Signature,
+        state: HashState,
+        mount: u64,
+    },
+    Pcc {
+        id: u64,
+        seq: u64,
+    },
+}
+
+impl Kernel {
+    /// Resolves `path` for `proc` (fastpath first when configured).
+    pub(crate) fn resolve(
+        &self,
+        proc: &Process,
+        path: &str,
+        follow_last: bool,
+    ) -> FsResult<WalkResult> {
+        self.resolve_from(proc, None, path, follow_last)
+    }
+
+    /// Resolves `path`, starting relative paths at `start` (the `*at()`
+    /// family) or the process cwd.
+    pub(crate) fn resolve_from(
+        &self,
+        proc: &Process,
+        start: Option<PathRef>,
+        path: &str,
+        follow_last: bool,
+    ) -> FsResult<WalkResult> {
+        let parsed = split_path(path)?;
+        self.dcache.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        if self.dcache.config.fastpath {
+            if let Some(out) = self.fast_resolve(proc, start.as_ref(), &parsed, follow_last) {
+                return out;
+            }
+        }
+        match self.slow_resolve(proc, start, &parsed, follow_last, false)? {
+            WalkOutput::Full(r) => Ok(r),
+            WalkOutput::Parent(..) => unreachable!("full mode returned parent"),
+        }
+    }
+
+    /// Resolves everything but the final component; the caller mutates
+    /// `name` under the returned parent.
+    pub(crate) fn resolve_parent(&self, proc: &Process, path: &str) -> FsResult<ParentResult> {
+        self.resolve_parent_from(proc, None, path)
+    }
+
+    /// Parent-mode resolution with an explicit start (the `*at()` family).
+    pub(crate) fn resolve_parent_from(
+        &self,
+        proc: &Process,
+        start: Option<PathRef>,
+        path: &str,
+    ) -> FsResult<ParentResult> {
+        let parsed = split_path(path)?;
+        self.dcache.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        match self.slow_resolve(proc, start, &parsed, true, true)? {
+            WalkOutput::Parent(parent, name, require_dir) => Ok(ParentResult {
+                parent,
+                name,
+                require_dir,
+            }),
+            WalkOutput::Full(_) => unreachable!("parent mode returned full"),
+        }
+    }
+
+    /// One LSM-stack permission check.
+    pub(crate) fn permission(
+        &self,
+        cred: &Cred,
+        inode: &Inode,
+        mask: u32,
+        path: Option<&str>,
+    ) -> FsResult<()> {
+        let attr = inode.attr();
+        self.security.permission(cred, &PermCtx { attr: &attr, path }, mask)
+    }
+
+    /// Whether negative dentries may be created on `fs` (§5.2).
+    pub(crate) fn negatives_allowed(&self, fs: &Arc<dyn FileSystem>) -> bool {
+        let c = &self.dcache.config;
+        if !c.negative_dentries {
+            return false;
+        }
+        if fs.is_pseudo() && !c.neg_in_pseudo {
+            return false;
+        }
+        true
+    }
+
+    /// Reconstructs the canonical namespace path of a position (used for
+    /// path-sensitive LSMs and `getcwd`).
+    pub(crate) fn vfs_path_of(&self, at: &PathRef) -> String {
+        let mut names: Vec<Arc<str>> = Vec::new();
+        let mut mount = at.mount.clone();
+        let mut d = at.dentry.clone();
+        loop {
+            if Arc::ptr_eq(&d, &mount.root) {
+                match mount.parent.clone() {
+                    Some((pm, mp)) => {
+                        mount = pm;
+                        d = mp;
+                    }
+                    None => break,
+                }
+            } else {
+                match d.parent() {
+                    Some(p) => {
+                        names.push(d.name());
+                        d = p;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if names.is_empty() {
+            return "/".to_string();
+        }
+        let mut s = String::new();
+        for n in names.iter().rev() {
+            s.push('/');
+            s.push_str(n);
+        }
+        s
+    }
+
+    /// Rebuilds (and caches) the resumable hash state for a position by
+    /// climbing to the nearest ancestor with a cached state (§3.1).
+    pub(crate) fn rebuild_hash_state(&self, at: &PathRef) -> Option<HashState> {
+        let mut names: Vec<Arc<str>> = Vec::new();
+        let mut mount = at.mount.clone();
+        let mut d = at.dentry.clone();
+        let base = loop {
+            if let Some(h) = d.hash_state() {
+                break h;
+            }
+            if Arc::ptr_eq(&d, &mount.root) {
+                match mount.parent.clone() {
+                    Some((pm, mp)) => {
+                        mount = pm;
+                        d = mp;
+                    }
+                    None => break self.dcache.key.root_state(),
+                }
+            } else {
+                match d.parent() {
+                    Some(p) => {
+                        names.push(d.name());
+                        d = p;
+                    }
+                    None => return None,
+                }
+            }
+        };
+        let mut h = base;
+        for n in names.iter().rev() {
+            self.dcache.key.push_component(&mut h, n.as_bytes());
+        }
+        at.dentry.store_hash_state(h);
+        Some(h)
+    }
+
+    fn slow_resolve(
+        &self,
+        proc: &Process,
+        start: Option<PathRef>,
+        parsed: &ParsedPath<'_>,
+        follow_last: bool,
+        parent_mode: bool,
+    ) -> FsResult<WalkOutput> {
+        self.dcache.stats.slow_walks.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let _serial = self
+                .dcache
+                .config
+                .lock_walk
+                .then(|| self.lock_walk_mutex.lock());
+            if attempts > MAX_OPTIMISTIC {
+                // Contended with structural changes: exclude writers.
+                let _w = self.dcache.rename_lock.write();
+                let mut w = SlowWalk::new(self, proc, start.clone(), parsed.absolute);
+                let out = w.run(parsed, follow_last, parent_mode);
+                // No concurrent rename is possible; publish directly.
+                let inv0 = w.inv0;
+                self.apply_publishes(w, inv0);
+                return out;
+            }
+            let rseq = self.dcache.rename_lock.read_begin();
+            let mut w = SlowWalk::new(self, proc, start.clone(), parsed.absolute);
+            let out = w.run(parsed, follow_last, parent_mode);
+            if self.dcache.rename_lock.read_retry(rseq) {
+                self.dcache.stats.slow_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let inv0 = w.inv0;
+            let publishes_ok = self.apply_publishes(w, inv0);
+            let _ = publishes_ok;
+            return out;
+        }
+    }
+
+    /// Applies queued publications; rolls back if a shootdown raced
+    /// (read-before/read-after on the invalidation counter, §3.2).
+    fn apply_publishes(&self, w: SlowWalk<'_>, inv0: u64) -> bool {
+        if w.publishes.is_empty() {
+            return true;
+        }
+        let ns = w.ns.clone();
+        let pcc = w.pcc.clone();
+        for p in &w.publishes {
+            match p {
+                Publish::Dlht {
+                    dentry,
+                    sig,
+                    state,
+                    mount,
+                } => {
+                    dentry.store_hash_state(*state);
+                    dentry.set_mount_hint(*mount);
+                    self.dcache.dlht_insert(ns.id, *sig, dentry);
+                }
+                Publish::Pcc { id, seq } => {
+                    if let Some(pcc) = &pcc {
+                        pcc.insert(*id, *seq);
+                    }
+                }
+            }
+        }
+        if self.dcache.invalidation_counter() != inv0 {
+            // Lost a race with a shootdown: undo everything we added.
+            for p in &w.publishes {
+                match p {
+                    Publish::Dlht { dentry, .. } => {
+                        dentry.clear_hash_state();
+                        self.dcache.dlht_remove(dentry);
+                    }
+                    Publish::Pcc { id, .. } => {
+                        if let Some(pcc) = &pcc {
+                            pcc.forget(*id);
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Output of a slow resolution.
+pub(crate) enum WalkOutput {
+    /// Full mode: the final object.
+    Full(WalkResult),
+    /// Parent mode: parent directory, final name, trailing-slash flag.
+    Parent(WalkResult, String, bool),
+}
+
+struct SlowWalk<'k> {
+    k: &'k Kernel,
+    cred: Arc<Cred>,
+    ns: Arc<MountNamespace>,
+    root: PathRef,
+    cur: PathRef,
+    /// Fastpath-support machinery enabled (publishing, hashing).
+    fast: bool,
+    pcc: Option<Arc<Pcc>>,
+    /// Running literal-path hash state; `None` disables DLHT publishing.
+    hstate: Option<HashState>,
+    /// Set while the literal path has diverged from the canonical path
+    /// (inside a symlink'd suffix): the tail of the alias chain (§4.2).
+    alias_parent: Option<Arc<Dentry>>,
+    /// PCC publication allowed: the walk is anchored at the namespace
+    /// root, or the anchor itself had a valid memoized prefix check
+    /// (the §3.2 directory-reference rule).
+    pcc_ok: bool,
+    /// Canonical path of `cur`, maintained only when an LSM needs paths.
+    path_str: Option<String>,
+    link_depth: u32,
+    publishes: Vec<Publish>,
+    inv0: u64,
+}
+
+impl<'k> SlowWalk<'k> {
+    fn new(k: &'k Kernel, proc: &Process, start: Option<PathRef>, absolute: bool) -> Self {
+        let cred = proc.cred();
+        let ns = proc.namespace();
+        let root = proc.root();
+        let anchor = if absolute {
+            root.clone()
+        } else {
+            start.unwrap_or_else(|| proc.cwd())
+        };
+        let fast = k.dcache.config.fastpath;
+        let pcc = fast.then(|| k.dcache.pcc_for(&cred, ns.id));
+        let hstate = if fast {
+            anchor
+                .dentry
+                .hash_state()
+                .or_else(|| k.rebuild_hash_state(&anchor))
+        } else {
+            None
+        };
+        let at_ns_root = Arc::ptr_eq(&anchor.dentry, &ns.root_mount().root);
+        let pcc_ok = fast
+            && (at_ns_root
+                || pcc
+                    .as_ref()
+                    .is_some_and(|p| p.check(anchor.dentry.id(), anchor.dentry.seq())));
+        let path_str = k
+            .security
+            .needs_path()
+            .then(|| k.vfs_path_of(&anchor));
+        let inv0 = k.dcache.invalidation_counter();
+        SlowWalk {
+            k,
+            cred,
+            ns,
+            root,
+            cur: anchor,
+            fast,
+            pcc,
+            hstate,
+            alias_parent: None,
+            pcc_ok,
+            path_str,
+            link_depth: 0,
+            publishes: Vec::new(),
+            inv0,
+        }
+    }
+
+    fn run(
+        &mut self,
+        parsed: &ParsedPath<'_>,
+        follow_last: bool,
+        parent_mode: bool,
+    ) -> FsResult<WalkOutput> {
+        let comps: Vec<&str> = if self.k.dcache.config.lexical_dotdot {
+            lexical_simplify(&parsed.components)
+        } else {
+            parsed.components.clone()
+        };
+        if parent_mode {
+            let Some((last, rest)) = comps.split_last() else {
+                return Err(FsError::Busy); // mutating "/" itself
+            };
+            if *last == ".." {
+                return Err(FsError::Inval);
+            }
+            self.walk_components(rest, true)?;
+            self.ensure_cur_dir()?;
+            self.check_exec()?;
+            let parent = WalkResult {
+                mount: self.cur.mount.clone(),
+                dentry: self.cur.dentry.clone(),
+                inode: self.cur.dentry.inode(),
+            };
+            return Ok(WalkOutput::Parent(
+                parent,
+                (*last).to_string(),
+                parsed.require_dir,
+            ));
+        }
+        self.walk_components(&comps, follow_last)?;
+        if parsed.require_dir {
+            self.ensure_cur_dir()?;
+        }
+        let inode = self.cur.dentry.inode();
+        if inode.is_none() {
+            // The anchor itself can never be negative; a negative final
+            // component already returned its error inside the walk.
+            return Err(self
+                .cur
+                .dentry
+                .neg_kind()
+                .map(|k| k.error())
+                .unwrap_or(FsError::NoEnt));
+        }
+        Ok(WalkOutput::Full(WalkResult {
+            mount: self.cur.mount.clone(),
+            dentry: self.cur.dentry.clone(),
+            inode,
+        }))
+    }
+
+    fn walk_components(&mut self, comps: &[&str], follow_last: bool) -> FsResult<()> {
+        for (i, name) in comps.iter().enumerate() {
+            let is_last = i + 1 == comps.len();
+            self.step(name, is_last, follow_last)?;
+        }
+        Ok(())
+    }
+
+    fn fs(&self) -> Arc<dyn FileSystem> {
+        self.cur.mount.sb.fs.clone()
+    }
+
+    fn step(&mut self, name: &str, is_last: bool, follow_last: bool) -> FsResult<()> {
+        self.k.dcache.stats.slow_steps.fetch_add(1, Ordering::Relaxed);
+        if name == ".." {
+            return self.step_dotdot();
+        }
+        // Fabricated walking below negative dentries / non-directories.
+        if self.pre_step(name, is_last)? {
+            return Ok(()); // descended into a fabricated negative child
+        }
+        self.check_exec()?;
+        let child = self.lookup_child(name)?;
+        // Extend the literal hash state.
+        if let Some(mut h) = self.hstate {
+            self.k.dcache.key.push_component(&mut h, name.as_bytes());
+            self.hstate = Some(h);
+        }
+        // Classify.
+        let is_symlink = child
+            .inode()
+            .map(|i| i.ftype() == dc_fs::FileType::Symlink)
+            .unwrap_or(false);
+        if is_symlink && (!is_last || follow_last) {
+            // Publish the symlink dentry under the literal path, then
+            // divert into the target.
+            self.publish_step(&child, self.cur.mount.id);
+            self.push_path_seg(name);
+            return self.enter_symlink(child, is_last);
+        }
+        if child.is_negative() {
+            self.publish_step(&child, self.cur.mount.id);
+            let kind = child.neg_kind().expect("negative dentry has a kind");
+            if is_last {
+                self.cur = PathRef::new(self.cur.mount.clone(), child);
+                return Err(kind.error());
+            }
+            if self.k.dcache.config.deep_negative
+                && self.k.negatives_allowed(&self.fs())
+            {
+                self.cur = PathRef::new(self.cur.mount.clone(), child);
+                self.push_path_seg(name);
+                return Ok(());
+            }
+            return Err(match kind {
+                NegKind::Enoent => FsError::NoEnt,
+                NegKind::Enotdir => FsError::NotDir,
+            });
+        }
+        // Positive (or just-upgraded partial): cross mountpoints.
+        let mut next = PathRef::new(self.cur.mount.clone(), child);
+        while let Some(m) = self.ns.mount_at(next.mount.id, next.dentry.id()) {
+            let mroot = m.root.clone();
+            next = PathRef::new(m, mroot);
+        }
+        self.publish_step(&next.dentry, next.mount.id);
+        self.push_path_seg(name);
+        self.cur = next;
+        Ok(())
+    }
+
+    /// Handles stepping when `cur` is not a positive directory: either
+    /// fabricates a deep negative child (§5.2) and descends into it
+    /// (`Ok(true)`), surfaces the matching error, or reports `Ok(false)`
+    /// when `cur` is a real directory and the normal step should run.
+    fn pre_step(&mut self, name: &str, is_last: bool) -> FsResult<bool> {
+        let kind = match self.classify_cur() {
+            CurKind::Dir => return Ok(false),
+            CurKind::Partial => {
+                self.upgrade_partial_cur()?;
+                return self.pre_step(name, is_last);
+            }
+            CurKind::NonDir => NegKind::Enotdir,
+            CurKind::Negative(k) => k,
+        };
+        let deep_ok = self.k.dcache.config.deep_negative
+            && self.k.negatives_allowed(&self.fs())
+            && !self.cur.dentry.is_dead();
+        if !deep_ok {
+            return Err(kind.error());
+        }
+        // Fabricate (or find) the negative child and keep descending so
+        // the full dead path lands in the DLHT.
+        let parent = self.cur.dentry.clone();
+        let child = {
+            let _g = parent.dir_lock().lock();
+            match self.k.dcache.d_lookup(&parent, name) {
+                Some(c) => c,
+                None => {
+                    let c = self
+                        .k
+                        .dcache
+                        .d_alloc(&parent, name, DentryState::Negative(kind));
+                    self.k
+                        .dcache
+                        .stats
+                        .neg_deep_created
+                        .fetch_add(1, Ordering::Relaxed);
+                    c
+                }
+            }
+        };
+        if !child.is_negative() {
+            // A positive child under a negative parent cannot arise
+            // through the VFS (parents must exist to create children);
+            // answer negatively regardless.
+            return Err(kind.error());
+        }
+        if let Some(mut h) = self.hstate {
+            self.k.dcache.key.push_component(&mut h, name.as_bytes());
+            self.hstate = Some(h);
+        }
+        self.publish_step(&child, self.cur.mount.id);
+        self.cur = PathRef::new(self.cur.mount.clone(), child);
+        self.push_path_seg(name);
+        if is_last {
+            return Err(kind.error());
+        }
+        Ok(true)
+    }
+
+    fn classify_cur(&self) -> CurKind {
+        self.cur.dentry.with_state(|s| match s {
+            DentryState::Positive(i) => {
+                if i.is_dir() {
+                    CurKind::Dir
+                } else {
+                    CurKind::NonDir
+                }
+            }
+            DentryState::Partial { ftype, .. } => {
+                if ftype.is_dir() {
+                    CurKind::Partial
+                } else {
+                    CurKind::NonDir
+                }
+            }
+            DentryState::Negative(k) => CurKind::Negative(*k),
+            DentryState::SymlinkAlias { .. } => CurKind::NonDir,
+        })
+    }
+
+    /// Upgrades a partial `cur` into a positive dentry via `getattr`.
+    fn upgrade_partial_cur(&mut self) -> FsResult<()> {
+        let d = self.cur.dentry.clone();
+        upgrade_partial(self.k, &self.cur.mount, &d)
+    }
+
+    fn ensure_cur_dir(&mut self) -> FsResult<()> {
+        match self.classify_cur() {
+            CurKind::Dir => Ok(()),
+            CurKind::Partial => {
+                self.upgrade_partial_cur()?;
+                self.ensure_cur_dir()
+            }
+            CurKind::NonDir => Err(FsError::NotDir),
+            CurKind::Negative(k) => Err(k.error()),
+        }
+    }
+
+    fn check_exec(&mut self) -> FsResult<()> {
+        let inode = self
+            .cur
+            .dentry
+            .inode()
+            .ok_or(FsError::NoEnt)?;
+        self.k.permission(
+            &self.cred,
+            &inode,
+            MAY_EXEC,
+            self.path_str.as_deref(),
+        )
+    }
+
+    /// Finds or instantiates the child dentry for `name` under `cur`.
+    fn lookup_child(&mut self, name: &str) -> FsResult<Arc<Dentry>> {
+        let parent = self.cur.dentry.clone();
+        let stats = &self.k.dcache.stats;
+        for _ in 0..8 {
+            if let Some(c) = self.k.dcache.d_lookup(&parent, name) {
+                if c.is_dead() {
+                    continue;
+                }
+                if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
+                    upgrade_partial(self.k, &self.cur.mount, &c)?;
+                }
+                if c.is_negative() {
+                    stats.hit_negative.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    stats.hit_positive.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(c);
+            }
+            // Miss. Completeness short-circuit (§5.1): a complete
+            // directory proves absence without calling the file system.
+            let fs = self.fs();
+            let dir_ino = parent.inode().ok_or(FsError::NoEnt)?.ino;
+            let _g = parent.dir_lock().lock();
+            if let Some(c) = self.k.dcache.d_lookup(&parent, name) {
+                if c.is_dead() {
+                    continue;
+                }
+                drop(_g);
+                continue; // reclassify through the hit path
+            }
+            if self.k.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
+                stats
+                    .complete_neg_avoided
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.k.negatives_allowed(&fs) {
+                    let c = self.k.dcache.d_alloc(
+                        &parent,
+                        name,
+                        DentryState::Negative(NegKind::Enoent),
+                    );
+                    return Ok(c);
+                }
+                return Err(FsError::NoEnt);
+            }
+            stats.miss_fs.fetch_add(1, Ordering::Relaxed);
+            match fs.lookup(dir_ino, name) {
+                Ok(attr) => {
+                    let inode =
+                        self.k
+                            .icache
+                            .get_or_create(self.cur.mount.sb.id, &fs, attr);
+                    return Ok(self.k.dcache.d_alloc(
+                        &parent,
+                        name,
+                        DentryState::Positive(inode),
+                    ));
+                }
+                Err(FsError::NoEnt) => {
+                    if self.k.negatives_allowed(&fs) {
+                        return Ok(self.k.dcache.d_alloc(
+                            &parent,
+                            name,
+                            DentryState::Negative(NegKind::Enoent),
+                        ));
+                    }
+                    return Err(FsError::NoEnt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FsError::Io) // persistent eviction race; effectively unreachable
+    }
+
+    /// Publishes `dentry` (DLHT under the current literal signature, PCC
+    /// prefix check) — queued, applied post-validation.
+    fn publish_step(&mut self, dentry: &Arc<Dentry>, mount_id: u64) {
+        if !self.fast || !self.cur.mount.sb.fs.supports_fastpath() {
+            return;
+        }
+        if self.pcc_ok {
+            // Skip the queue when the memoized check is already current;
+            // repeated slowpath walks (mutation-heavy workloads) would
+            // otherwise re-publish every component every time.
+            let already = self
+                .pcc
+                .as_ref()
+                .is_some_and(|p| p.check(dentry.id(), dentry.seq()));
+            if !already {
+                self.publishes.push(Publish::Pcc {
+                    id: dentry.id(),
+                    seq: dentry.seq(),
+                });
+            }
+        }
+        let Some(h) = self.hstate else { return };
+        match &self.alias_parent {
+            None => {
+                // Invariant: a dentry whose stored hash state equals the
+                // running state is already published in the DLHT under
+                // this signature (stores and membership move together,
+                // and structural shootdowns clear both).
+                if dentry.hash_state() == Some(h) && dentry.mount_hint() == mount_id {
+                    return;
+                }
+                let sig = self.k.dcache.key.finish(&h);
+                self.publishes.push(Publish::Dlht {
+                    dentry: dentry.clone(),
+                    sig,
+                    state: h,
+                    mount: mount_id,
+                });
+            }
+            Some(ap) => {
+                // The literal path diverged at a symlink: publish an alias
+                // child carrying the redirect (§4.2).
+                let sig = self.k.dcache.key.finish(&h);
+                let ap = ap.clone();
+                let name = dentry.name();
+                let alias = {
+                    let _g = ap.dir_lock().lock();
+                    match self.k.dcache.d_lookup(&ap, &name) {
+                        Some(a)
+                            if a.alias_target()
+                                .is_some_and(|(t, s)| {
+                                    Arc::ptr_eq(&t, dentry) && s == t.seq()
+                                }) =>
+                        {
+                            a
+                        }
+                        Some(a) => {
+                            // Stale alias: retarget it.
+                            a.set_state(DentryState::SymlinkAlias {
+                                target: dentry.clone(),
+                                target_seq: dentry.seq(),
+                            });
+                            a
+                        }
+                        None => {
+                            let a = self.k.dcache.d_alloc(
+                                &ap,
+                                &name,
+                                DentryState::SymlinkAlias {
+                                    target: dentry.clone(),
+                                    target_seq: dentry.seq(),
+                                },
+                            );
+                            self.k
+                                .dcache
+                                .stats
+                                .symlink_aliases
+                                .fetch_add(1, Ordering::Relaxed);
+                            a
+                        }
+                    }
+                };
+                if self.pcc_ok {
+                    self.publishes.push(Publish::Pcc {
+                        id: alias.id(),
+                        seq: alias.seq(),
+                    });
+                }
+                self.publishes.push(Publish::Dlht {
+                    dentry: alias.clone(),
+                    sig,
+                    state: h,
+                    mount: mount_id,
+                });
+                self.alias_parent = Some(alias);
+            }
+        }
+    }
+
+    fn push_path_seg(&mut self, name: &str) {
+        if let Some(p) = &mut self.path_str {
+            if !p.ends_with('/') {
+                p.push('/');
+            }
+            p.push_str(name);
+        }
+    }
+
+    fn step_dotdot(&mut self) -> FsResult<()> {
+        // Entering ".." still requires search permission on the current
+        // directory, and the current position must be a real directory.
+        self.ensure_cur_dir()?;
+        self.check_exec()?;
+        // Stop at the process root (POSIX: ".." at the root is the root).
+        if Arc::ptr_eq(&self.cur.dentry, &self.root.dentry)
+            && self.cur.mount.id == self.root.mount.id
+        {
+            return Ok(());
+        }
+        // Hop over mount roots to the mountpoint, possibly repeatedly.
+        let mut pos = self.cur.clone();
+        while Arc::ptr_eq(&pos.dentry, &pos.mount.root) {
+            match pos.mount.parent.clone() {
+                Some((pm, mp)) => pos = PathRef::new(pm, mp),
+                None => break, // namespace root: ".." stays put
+            }
+        }
+        if let Some(parent) = pos.dentry.parent() {
+            pos = PathRef::new(pos.mount.clone(), parent);
+        }
+        self.cur = pos;
+        // The literal path no longer matches simple extension: reload the
+        // canonical state from the parent and drop any alias chain.
+        self.alias_parent = None;
+        self.hstate = if self.fast {
+            self.cur.dentry.hash_state()
+        } else {
+            None
+        };
+        if let Some(p) = &mut self.path_str {
+            *p = self.k.vfs_path_of(&self.cur);
+        }
+        Ok(())
+    }
+
+    fn enter_symlink(&mut self, link: Arc<Dentry>, _was_last: bool) -> FsResult<()> {
+        self.link_depth += 1;
+        if self.link_depth > MAX_LINK_DEPTH {
+            return Err(FsError::Loop);
+        }
+        let link_inode = link.inode().ok_or(FsError::NoEnt)?;
+        let target = self.fs().readlink(link_inode.ino)?;
+        let tparsed = split_path(&target)?;
+        // Literal context to restore afterwards.
+        let saved_hstate = self.hstate;
+        let saved_alias = self.alias_parent.take();
+        // The sub-walk resolves the target path, whose literal form IS
+        // canonical; anchor its hash state accordingly.
+        if tparsed.absolute {
+            self.cur = self.root.clone();
+            self.hstate = if self.fast {
+                self.cur
+                    .dentry
+                    .hash_state()
+                    .or_else(|| self.k.rebuild_hash_state(&self.cur))
+            } else {
+                None
+            };
+            if let Some(p) = &mut self.path_str {
+                *p = self.k.vfs_path_of(&self.cur);
+            }
+        } else {
+            self.hstate = if self.fast {
+                if saved_alias.is_none() {
+                    // `cur` (the dir containing the link) is canonical;
+                    // its own stored state anchors the target.
+                    self.cur.dentry.hash_state()
+                } else {
+                    self.cur.dentry.hash_state()
+                }
+            } else {
+                None
+            };
+        }
+        let comps: Vec<&str> = if self.k.dcache.config.lexical_dotdot {
+            lexical_simplify(&tparsed.components)
+        } else {
+            tparsed.components.clone()
+        };
+        self.walk_components(&comps, true)?;
+        if tparsed.require_dir {
+            self.ensure_cur_dir()?;
+        }
+        // Record the target's signature in the symlink dentry so the
+        // fastpath can chain through it (§4.2).
+        if self.fast && self.alias_parent.is_none() {
+            if let Some(h) = self.hstate {
+                link.store_link_sig(self.k.dcache.key.finish(&h));
+            }
+        }
+        // Restore literal tracking; subsequent components extend the alias
+        // chain below the link dentry.
+        self.hstate = saved_hstate;
+        if self.fast {
+            if saved_alias.is_some() {
+                // Nested symlink inside an alias chain: stop publishing
+                // the literal suffix (rare; correctness unaffected).
+                self.alias_parent = None;
+                self.hstate = None;
+            } else {
+                self.alias_parent = Some(link);
+            }
+        }
+        Ok(())
+    }
+}
+
+enum CurKind {
+    Dir,
+    Partial,
+    NonDir,
+    Negative(NegKind),
+}
+
+/// Upgrades a partial dentry (readdir-born, §5.1) into a positive one.
+pub(crate) fn upgrade_partial(
+    k: &Kernel,
+    mount: &Arc<Mount>,
+    d: &Arc<Dentry>,
+) -> FsResult<()> {
+    let parent = d.parent().ok_or(FsError::NoEnt)?;
+    let _g = parent.dir_lock().lock();
+    let ino = match d.with_state(|s| match s {
+        DentryState::Partial { ino, .. } => Some(*ino),
+        _ => None,
+    }) {
+        Some(ino) => ino,
+        None => return Ok(()), // someone else upgraded it
+    };
+    let fs = mount.sb.fs.clone();
+    match fs.getattr(ino) {
+        Ok(attr) => {
+            let inode = k.icache.get_or_create(mount.sb.id, &fs, attr);
+            d.set_state(DentryState::Positive(inode));
+            Ok(())
+        }
+        Err(FsError::NoEnt) => {
+            // The object vanished below us; the dentry becomes negative.
+            k.dcache.make_negative(d, NegKind::Enoent);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Plan 9 lexical dot-dot preprocessing (§4.2): `a/../b` → `b`. Leading
+/// `..` (above the anchor) are preserved and walked normally.
+fn lexical_simplify<'a>(comps: &[&'a str]) -> Vec<&'a str> {
+    let mut out: Vec<&'a str> = Vec::with_capacity(comps.len());
+    for &c in comps {
+        if c == ".." {
+            match out.last() {
+                Some(&prev) if prev != ".." => {
+                    out.pop();
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_simplify_pops_and_preserves_leading() {
+        assert_eq!(lexical_simplify(&["a", "..", "b"]), vec!["b"]);
+        assert_eq!(
+            lexical_simplify(&["..", "..", "x"]),
+            vec!["..", "..", "x"]
+        );
+        assert_eq!(
+            lexical_simplify(&["a", "b", "..", "..", "c"]),
+            vec!["c"]
+        );
+        assert_eq!(lexical_simplify(&["a", "..", "..", "b"]), vec!["..", "b"]);
+    }
+}

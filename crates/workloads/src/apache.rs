@@ -1,0 +1,66 @@
+//! The Apache auto-index workload (Table 3): every request generates a
+//! directory listing page — readdir plus a stat per entry plus HTML
+//! assembly, uncached by the server.
+
+use dc_vfs::{FsResult, Kernel, Process};
+use std::time::Instant;
+
+/// Generates one directory-listing page, returning the HTML.
+pub fn listing_request(k: &Kernel, p: &Process, dir: &str) -> FsResult<String> {
+    let entries = k.list_dir(p, dir)?;
+    let mut html = String::with_capacity(128 + entries.len() * 96);
+    html.push_str("<html><head><title>Index</title></head><body><table>\n");
+    for e in &entries {
+        let attr = k.stat(p, &format!("{dir}/{}", e.name))?;
+        html.push_str(&format!(
+            "<tr><td><a href=\"{0}\">{0}</a></td><td>{1}</td><td>{2}</td></tr>\n",
+            e.name, attr.size, attr.mtime
+        ));
+    }
+    html.push_str("</table></body></html>\n");
+    Ok(html)
+}
+
+/// Serves listing requests for roughly `duration_ms`; returns req/sec.
+pub fn serve(k: &Kernel, p: &Process, dir: &str, duration_ms: u64) -> FsResult<f64> {
+    let t0 = Instant::now();
+    let budget = std::time::Duration::from_millis(duration_ms);
+    let mut reqs = 0u64;
+    while t0.elapsed() < budget {
+        let page = listing_request(k, p, dir)?;
+        std::hint::black_box(&page);
+        reqs += 1;
+    }
+    Ok(reqs as f64 / t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_flat_dir;
+    use dc_vfs::KernelBuilder;
+    use dcache_core::DcacheConfig;
+
+    #[test]
+    fn listing_contains_every_entry() {
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(14))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        build_flat_dir(&k, &p, "/www", 30).unwrap();
+        let page = listing_request(&k, &p, "/www").unwrap();
+        for i in 0..30 {
+            assert!(page.contains(&format!("f{i:06}")));
+        }
+    }
+
+    #[test]
+    fn serve_reports_rate() {
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(15))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        build_flat_dir(&k, &p, "/www", 10).unwrap();
+        assert!(serve(&k, &p, "/www", 30).unwrap() > 0.0);
+    }
+}

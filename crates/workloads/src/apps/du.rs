@@ -1,0 +1,64 @@
+//! `du -s <root>`: recursive size accounting with `*at()` lookups.
+
+use super::{AppReport, PathTally};
+use dc_vfs::{FsResult, Kernel, OpenFlags, Process};
+use std::time::Instant;
+
+/// Runs the emulator; returns the report and the total size in bytes.
+pub fn du_s(k: &Kernel, p: &Process, root: &str) -> FsResult<(AppReport, u64)> {
+    let t0 = Instant::now();
+    let mut tally = PathTally::default();
+    let mut total = 0u64;
+    let mut visited = 0u64;
+    let mut stack = vec![root.to_string()];
+    while let Some(dir) = stack.pop() {
+        tally.record(&dir);
+        let dirfd = k.open(p, &dir, OpenFlags::directory(), 0)?;
+        loop {
+            let batch = k.readdir(p, dirfd, 256)?;
+            if batch.is_empty() {
+                break;
+            }
+            for e in batch {
+                visited += 1;
+                tally.record(&e.name);
+                let attr = k.fstatat(p, dirfd, &e.name, true)?;
+                if attr.ftype.is_dir() {
+                    stack.push(format!("{dir}/{}", e.name));
+                } else {
+                    total += attr.size;
+                }
+            }
+        }
+        k.close(p, dirfd)?;
+    }
+    Ok((
+        tally.into_report("du -s", t0.elapsed().as_nanos() as u64, visited),
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_flat_dir;
+    use dc_vfs::KernelBuilder;
+    use dcache_core::DcacheConfig;
+
+    #[test]
+    fn du_sums_file_sizes() {
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(6))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        build_flat_dir(&k, &p, "/data", 20).unwrap();
+        let fd = k
+            .open(&p, "/data/f000000", OpenFlags::read_write(), 0)
+            .unwrap();
+        k.write_fd(&p, fd, &[0u8; 1234]).unwrap();
+        k.close(&p, fd).unwrap();
+        let (report, total) = du_s(&k, &p, "/data").unwrap();
+        assert_eq!(total, 1234);
+        assert_eq!(report.work_items, 20);
+    }
+}

@@ -1,0 +1,90 @@
+//! Application emulators for Tables 1–2 and Figure 1.
+//!
+//! Each emulator issues the syscall mix that dominates the real tool's
+//! interaction with the directory cache (per the paper's Table 1 path
+//! statistics: `find`/`du`/`updatedb` use single-component `*at()` calls,
+//! `tar`/`make` walk 3–4 component paths, `make` generates ~20% negative
+//! lookups, `git` lstats every tracked file).
+
+mod du;
+mod find;
+mod git;
+mod make;
+mod rm;
+mod tar;
+mod updatedb;
+
+pub use du::du_s;
+pub use find::find_name;
+pub use git::{git_diff, git_status, git_write_index};
+pub use make::make_build;
+pub use rm::rm_r;
+pub use tar::tar_extract;
+pub use updatedb::updatedb;
+
+/// What an emulated application run reports.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Tool name (table row label).
+    pub name: &'static str,
+    /// Wall-clock time, nanoseconds.
+    pub wall_ns: u64,
+    /// Path-based syscalls issued.
+    pub path_ops: u64,
+    /// Total bytes across path arguments (Table 1's `l` column).
+    pub path_bytes: u64,
+    /// Total components across path arguments (Table 1's `#` column).
+    pub path_components: u64,
+    /// Tool-specific operation count (files visited, objects built, …).
+    pub work_items: u64,
+}
+
+impl AppReport {
+    /// Average path length in bytes.
+    pub fn avg_path_len(&self) -> f64 {
+        if self.path_ops == 0 {
+            return 0.0;
+        }
+        self.path_bytes as f64 / self.path_ops as f64
+    }
+
+    /// Average components per path.
+    pub fn avg_components(&self) -> f64 {
+        if self.path_ops == 0 {
+            return 0.0;
+        }
+        self.path_components as f64 / self.path_ops as f64
+    }
+
+    /// Wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+}
+
+/// Accumulates path-argument statistics while an emulator runs.
+#[derive(Debug, Default)]
+pub(crate) struct PathTally {
+    ops: u64,
+    bytes: u64,
+    components: u64,
+}
+
+impl PathTally {
+    pub fn record(&mut self, path: &str) {
+        self.ops += 1;
+        self.bytes += path.len() as u64;
+        self.components += path.split('/').filter(|c| !c.is_empty() && *c != ".").count() as u64;
+    }
+
+    pub fn into_report(self, name: &'static str, wall_ns: u64, work_items: u64) -> AppReport {
+        AppReport {
+            name,
+            wall_ns,
+            path_ops: self.ops,
+            path_bytes: self.bytes,
+            path_components: self.components,
+            work_items,
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `rm -r <root>`: post-order recursive deletion via readdir + unlinkat.
+
+use super::{AppReport, PathTally};
+use dc_vfs::{FsResult, Kernel, Process};
+use std::time::Instant;
+
+/// Deletes the whole subtree, root included.
+pub fn rm_r(k: &Kernel, p: &Process, root: &str) -> FsResult<AppReport> {
+    let t0 = Instant::now();
+    let mut tally = PathTally::default();
+    let mut removed = 0u64;
+    rm_dir(k, p, root, &mut tally, &mut removed)?;
+    tally.record(root);
+    k.rmdir(p, root)?;
+    removed += 1;
+    Ok(tally.into_report("rm -r", t0.elapsed().as_nanos() as u64, removed))
+}
+
+fn rm_dir(
+    k: &Kernel,
+    p: &Process,
+    dir: &str,
+    tally: &mut PathTally,
+    removed: &mut u64,
+) -> FsResult<()> {
+    let entries = k.list_dir(p, dir)?;
+    for e in entries {
+        let full = format!("{dir}/{}", e.name);
+        tally.record(&full);
+        if e.ftype.is_dir() {
+            rm_dir(k, p, &full, tally, removed)?;
+            k.rmdir(p, &full)?;
+        } else {
+            k.unlink(p, &full)?;
+        }
+        *removed += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{build_tree, TreeSpec};
+    use dc_vfs::{FsError, KernelBuilder};
+    use dcache_core::DcacheConfig;
+
+    #[test]
+    fn rm_removes_everything() {
+        for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+            let k = KernelBuilder::new(config.with_seed(9)).build().unwrap();
+            let p = k.init_process();
+            let m = build_tree(&k, &p, "/gone", &TreeSpec::source_like(100)).unwrap();
+            let report = rm_r(&k, &p, "/gone").unwrap();
+            assert_eq!(report.work_items as usize, m.len());
+            assert_eq!(k.stat(&p, "/gone"), Err(FsError::NoEnt));
+        }
+    }
+}

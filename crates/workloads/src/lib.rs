@@ -1,0 +1,30 @@
+//! Workload generators and application emulators for the evaluation.
+//!
+//! Everything the paper's §6 drives against the kernel lives here:
+//!
+//! - [`tree`] — file-tree builders (Linux-source-like hierarchies, flat
+//!   directories of parametric size) plus a manifest of created paths.
+//! - [`lmbench`] — the extended LMBench `lat_syscall` patterns of
+//!   Figure 6 (`1-comp` … `8-comp`, `link-f`, `link-d`, `neg-f`, `neg-d`,
+//!   `1-dotdot`, `4-dotdot`) with latency measurement helpers.
+//! - [`apps`] — emulators for the command-line applications of Tables 1–2
+//!   (`find`, `tar x`, `rm -r`, `make`, `du -s`, `updatedb`,
+//!   `git status`, `git diff`): each issues the same syscall mix the real
+//!   tool is dominated by and reports wall time plus path statistics.
+//! - [`maildir`] — the Dovecot IMAP maildir server simulation of
+//!   Figure 10 (mark/unmark = rename + directory re-read).
+//! - [`apache`] — the Apache directory-listing generator of Table 3.
+//! - [`traces`] — iBench-style syscall trace recording and replay, so a
+//!   captured workload can drive A/B comparisons across configurations.
+//! - [`measure`] — simple timing/statistics helpers shared by the
+//!   benchmark harness (median-of-N, ops/sec runners).
+
+pub mod apache;
+pub mod apps;
+pub mod lmbench;
+pub mod maildir;
+pub mod measure;
+pub mod traces;
+pub mod tree;
+
+pub use measure::{ops_per_sec, time_ns, Summary};

@@ -1,0 +1,223 @@
+//! The extended LMBench `lat_syscall` patterns of Figure 6.
+
+use crate::measure::{latency_ns, Summary};
+use dc_vfs::{Kernel, OpenFlags, Process};
+use dc_fs::FsResult;
+
+/// The path patterns measured in Figure 6. `default` is the paper's
+/// `/usr/include/gcc-x86_64-linux-gnu/sys/types.h` analog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// `/usr/include/gcc-x86_64-linux-gnu/sys/types.h`.
+    Default,
+    /// `FFF` — one component.
+    Comp1,
+    /// `XXX/FFF`.
+    Comp2,
+    /// `XXX/YYY/ZZZ/FFF`.
+    Comp4,
+    /// `XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF`.
+    Comp8,
+    /// `XXX/YYY/ZZZ/LLL → FFF` — final-component symlink.
+    LinkF,
+    /// `LLL/YYY/ZZZ/FFF` with `LLL → XXX` — leading-component symlink.
+    LinkD,
+    /// `XXX/YYY/ZZZ/NNN` — final component not found.
+    NegF,
+    /// `NNN/XXX/YYY/FFF` — leading component not found.
+    NegD,
+    /// `XXX/../FFF`.
+    DotDot1,
+    /// `XXX/YYY/../../AAA/BBB/../../FFF`.
+    DotDot4,
+}
+
+impl Pattern {
+    /// Every pattern, in the figure's order.
+    pub fn all() -> [Pattern; 11] {
+        [
+            Pattern::Default,
+            Pattern::Comp1,
+            Pattern::Comp2,
+            Pattern::Comp4,
+            Pattern::Comp8,
+            Pattern::LinkF,
+            Pattern::LinkD,
+            Pattern::NegF,
+            Pattern::NegD,
+            Pattern::DotDot1,
+            Pattern::DotDot4,
+        ]
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Default => "default",
+            Pattern::Comp1 => "1-comp",
+            Pattern::Comp2 => "2-comp",
+            Pattern::Comp4 => "4-comp",
+            Pattern::Comp8 => "8-comp",
+            Pattern::LinkF => "link-f",
+            Pattern::LinkD => "link-d",
+            Pattern::NegF => "neg-f",
+            Pattern::NegD => "neg-d",
+            Pattern::DotDot1 => "1-dotdot",
+            Pattern::DotDot4 => "4-dotdot",
+        }
+    }
+
+    /// The path the measurement loop uses (relative to `/lm`).
+    pub fn path(self) -> &'static str {
+        match self {
+            Pattern::Default => "/lm/usr/include/gcc-x86_64-linux-gnu/sys/types.h",
+            Pattern::Comp1 => "/lm/FFF",
+            Pattern::Comp2 => "/lm/XXX/FFF",
+            Pattern::Comp4 => "/lm/XXX/YYY/ZZZ/FFF",
+            Pattern::Comp8 => "/lm/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF",
+            Pattern::LinkF => "/lm/XXX/YYY/ZZZ/LLL",
+            Pattern::LinkD => "/lm/LLL/YYY/ZZZ/FFF",
+            Pattern::NegF => "/lm/XXX/YYY/ZZZ/NNN",
+            Pattern::NegD => "/lm/NNN/XXX/YYY/FFF",
+            Pattern::DotDot1 => "/lm/XXX/../FFF",
+            Pattern::DotDot4 => "/lm/XXX/YYY/../../AAA/BBB/../../FFF",
+        }
+    }
+
+    /// Whether lookups of this pattern are expected to fail (negative).
+    pub fn is_negative(self) -> bool {
+        matches!(self, Pattern::NegF | Pattern::NegD)
+    }
+}
+
+/// Builds the `/lm` fixture all patterns resolve against.
+pub fn setup(k: &Kernel, p: &Process) -> FsResult<()> {
+    k.mkdir(p, "/lm", 0o755)?;
+    // The "default" deep include path.
+    for d in [
+        "/lm/usr",
+        "/lm/usr/include",
+        "/lm/usr/include/gcc-x86_64-linux-gnu",
+        "/lm/usr/include/gcc-x86_64-linux-gnu/sys",
+    ] {
+        k.mkdir(p, d, 0o755)?;
+    }
+    touch(k, p, "/lm/usr/include/gcc-x86_64-linux-gnu/sys/types.h")?;
+    // The synthetic component ladder.
+    for d in [
+        "/lm/XXX",
+        "/lm/XXX/YYY",
+        "/lm/XXX/YYY/ZZZ",
+        "/lm/XXX/YYY/ZZZ/AAA",
+        "/lm/XXX/YYY/ZZZ/AAA/BBB",
+        "/lm/XXX/YYY/ZZZ/AAA/BBB/CCC",
+        "/lm/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD",
+        "/lm/AAA",
+        "/lm/AAA/BBB",
+    ] {
+        k.mkdir(p, d, 0o755)?;
+    }
+    for f in [
+        "/lm/FFF",
+        "/lm/XXX/FFF",
+        "/lm/XXX/YYY/ZZZ/FFF",
+        "/lm/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF",
+    ] {
+        touch(k, p, f)?;
+    }
+    // link-f: final symlink to a file; link-d: leading symlink to XXX.
+    k.symlink(p, "FFF", "/lm/XXX/YYY/ZZZ/LLL")?;
+    k.symlink(p, "XXX", "/lm/LLL")?;
+    Ok(())
+}
+
+fn touch(k: &Kernel, p: &Process, path: &str) -> FsResult<()> {
+    let fd = k.open(p, path, OpenFlags::create(), 0o644)?;
+    k.close(p, fd)
+}
+
+/// Measures `stat` latency for a pattern.
+pub fn stat_latency(k: &Kernel, p: &Process, pat: Pattern, batches: usize) -> Summary {
+    let path = pat.path();
+    let negative = pat.is_negative();
+    latency_ns(batches, 2000, || {
+        let r = k.stat(p, path);
+        debug_assert_eq!(r.is_err(), negative);
+        std::hint::black_box(&r);
+    })
+}
+
+/// Measures `open`+`close` latency for a pattern.
+pub fn open_latency(k: &Kernel, p: &Process, pat: Pattern, batches: usize) -> Summary {
+    let path = pat.path();
+    latency_ns(batches, 2000, || {
+        if let Ok(fd) = k.open(p, path, OpenFlags::read_only(), 0) {
+            let _ = k.close(p, fd);
+        }
+    })
+}
+
+/// Measures `fstatat`-style one-component lookups under an open dirfd
+/// (the `*at()` discussion in §6.1).
+pub fn fstatat_latency(k: &Kernel, p: &Process, batches: usize) -> FsResult<Summary> {
+    let dirfd = k.open(p, "/lm/XXX", OpenFlags::directory(), 0)?;
+    let s = latency_ns(batches, 2000, || {
+        let _ = std::hint::black_box(k.fstatat(p, dirfd, "FFF", false));
+    });
+    k.close(p, dirfd)?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_vfs::KernelBuilder;
+    use dcache_core::DcacheConfig;
+
+    #[test]
+    fn fixture_serves_every_pattern() {
+        for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+            let k = KernelBuilder::new(config.with_seed(2)).build().unwrap();
+            let p = k.init_process();
+            setup(&k, &p).unwrap();
+            for pat in Pattern::all() {
+                let r = k.stat(&p, pat.path());
+                assert_eq!(
+                    r.is_err(),
+                    pat.is_negative(),
+                    "pattern {} gave {r:?}",
+                    pat.label()
+                );
+                // Twice: the second round exercises cached entries.
+                let r2 = k.stat(&p, pat.path());
+                assert_eq!(r2.is_err(), pat.is_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn lexical_mode_resolves_dotdot_patterns() {
+        let k = KernelBuilder::new(DcacheConfig::optimized_lexical().with_seed(3))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        setup(&k, &p).unwrap();
+        assert!(k.stat(&p, Pattern::DotDot1.path()).is_ok());
+        assert!(k.stat(&p, Pattern::DotDot4.path()).is_ok());
+    }
+
+    #[test]
+    fn latency_helpers_return_sane_numbers() {
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(4))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        setup(&k, &p).unwrap();
+        let s = stat_latency(&k, &p, Pattern::Comp4, 3);
+        assert!(s.mean_ns > 0.0 && s.mean_ns < 1_000_000.0);
+        let o = open_latency(&k, &p, Pattern::Comp1, 3);
+        assert!(o.mean_ns > 0.0);
+        let f = fstatat_latency(&k, &p, 3).unwrap();
+        assert!(f.mean_ns > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Syscall trace recording and replay.
+//!
+//! The paper motivates its work with the iBench system-call traces
+//! ("between 10–20% of all system calls … do a path lookup", §1). This
+//! module provides the equivalent instrument for this stack: a compact
+//! trace of path-based operations that can be captured from any workload
+//! run and replayed against any kernel configuration, so captured
+//! real-world behavior can drive A/B comparisons.
+
+use dc_vfs::{FsResult, Kernel, OpenFlags, Process};
+use std::time::Instant;
+
+/// One recorded path-based operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `stat(path)`.
+    Stat(String),
+    /// `lstat(path)`.
+    Lstat(String),
+    /// `open(path)` + `close` (read-only).
+    Open(String),
+    /// `open(path, O_CREAT)` + `close`.
+    Create(String),
+    /// `mkdir(path)`.
+    Mkdir(String),
+    /// `unlink(path)`.
+    Unlink(String),
+    /// `rename(old, new)`.
+    Rename(String, String),
+    /// Full directory listing.
+    List(String),
+    /// `access(path, F_OK)`.
+    Access(String),
+}
+
+impl TraceOp {
+    /// Serializes to one trace line (`op<TAB>path[<TAB>path2]`).
+    pub fn to_line(&self) -> String {
+        match self {
+            TraceOp::Stat(p) => format!("stat\t{p}"),
+            TraceOp::Lstat(p) => format!("lstat\t{p}"),
+            TraceOp::Open(p) => format!("open\t{p}"),
+            TraceOp::Create(p) => format!("creat\t{p}"),
+            TraceOp::Mkdir(p) => format!("mkdir\t{p}"),
+            TraceOp::Unlink(p) => format!("unlink\t{p}"),
+            TraceOp::Rename(a, b) => format!("rename\t{a}\t{b}"),
+            TraceOp::List(p) => format!("list\t{p}"),
+            TraceOp::Access(p) => format!("access\t{p}"),
+        }
+    }
+
+    /// Parses one trace line; `None` for blanks/comments/garbage.
+    pub fn from_line(line: &str) -> Option<TraceOp> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let mut parts = line.split('\t');
+        let op = parts.next()?;
+        let a = parts.next()?.to_string();
+        Some(match op {
+            "stat" => TraceOp::Stat(a),
+            "lstat" => TraceOp::Lstat(a),
+            "open" => TraceOp::Open(a),
+            "creat" => TraceOp::Create(a),
+            "mkdir" => TraceOp::Mkdir(a),
+            "unlink" => TraceOp::Unlink(a),
+            "rename" => TraceOp::Rename(a, parts.next()?.to_string()),
+            "list" => TraceOp::List(a),
+            "access" => TraceOp::Access(a),
+            _ => return None,
+        })
+    }
+}
+
+/// A recorded trace.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// The operations, in order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Records one operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Serializes the whole trace.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.ops.len() * 32);
+        out.push_str("# dcache-rs trace v1\n");
+        for op in &self.ops {
+            out.push_str(&op.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a serialized trace (unknown lines are skipped).
+    pub fn from_text(text: &str) -> Trace {
+        Trace {
+            ops: text.lines().filter_map(TraceOp::from_line).collect(),
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Outcome of replaying a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Operations replayed.
+    pub ops: usize,
+    /// Operations that returned an error (errors are legal — traces may
+    /// reference paths that no longer exist; they must simply match
+    /// across configurations).
+    pub errors: usize,
+    /// Wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ReplayReport {
+    /// Mean nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Replays `trace` against a kernel, tolerating per-op errors.
+pub fn replay(k: &Kernel, p: &Process, trace: &Trace) -> FsResult<ReplayReport> {
+    let t0 = Instant::now();
+    let mut errors = 0usize;
+    for op in &trace.ops {
+        let r: Result<(), dc_vfs::FsError> = match op {
+            TraceOp::Stat(path) => k.stat(p, path).map(|_| ()),
+            TraceOp::Lstat(path) => k.lstat(p, path).map(|_| ()),
+            TraceOp::Open(path) => k
+                .open(p, path, OpenFlags::read_only(), 0)
+                .and_then(|fd| k.close(p, fd)),
+            TraceOp::Create(path) => k
+                .open(p, path, OpenFlags::create(), 0o644)
+                .and_then(|fd| k.close(p, fd)),
+            TraceOp::Mkdir(path) => k.mkdir(p, path, 0o755),
+            TraceOp::Unlink(path) => k.unlink(p, path),
+            TraceOp::Rename(a, b) => k.rename(p, a, b),
+            TraceOp::List(path) => k.list_dir(p, path).map(|_| ()),
+            TraceOp::Access(path) => k.access(p, path, 0),
+        };
+        if r.is_err() {
+            errors += 1;
+        }
+    }
+    Ok(ReplayReport {
+        ops: trace.ops.len(),
+        errors,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Captures a trace from a recording closure: the closure receives a
+/// recorder and drives it; the recorder both executes and logs.
+pub struct Recorder<'k> {
+    kernel: &'k Kernel,
+    proc: &'k Process,
+    trace: Trace,
+}
+
+impl<'k> Recorder<'k> {
+    /// Starts recording against `kernel`/`proc`.
+    pub fn new(kernel: &'k Kernel, proc: &'k Process) -> Recorder<'k> {
+        Recorder {
+            kernel,
+            proc,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Executes + records a stat.
+    pub fn stat(&mut self, path: &str) -> FsResult<()> {
+        self.trace.push(TraceOp::Stat(path.to_string()));
+        self.kernel.stat(self.proc, path).map(|_| ())
+    }
+
+    /// Executes + records an open/close.
+    pub fn open(&mut self, path: &str) -> FsResult<()> {
+        self.trace.push(TraceOp::Open(path.to_string()));
+        let fd = self.kernel.open(self.proc, path, OpenFlags::read_only(), 0)?;
+        self.kernel.close(self.proc, fd)
+    }
+
+    /// Executes + records a create.
+    pub fn create(&mut self, path: &str) -> FsResult<()> {
+        self.trace.push(TraceOp::Create(path.to_string()));
+        let fd = self
+            .kernel
+            .open(self.proc, path, OpenFlags::create(), 0o644)?;
+        self.kernel.close(self.proc, fd)
+    }
+
+    /// Executes + records a mkdir.
+    pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        self.trace.push(TraceOp::Mkdir(path.to_string()));
+        self.kernel.mkdir(self.proc, path, 0o755)
+    }
+
+    /// Executes + records a rename.
+    pub fn rename(&mut self, a: &str, b: &str) -> FsResult<()> {
+        self.trace
+            .push(TraceOp::Rename(a.to_string(), b.to_string()));
+        self.kernel.rename(self.proc, a, b)
+    }
+
+    /// Finishes recording, yielding the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_vfs::KernelBuilder;
+    use dcache_core::DcacheConfig;
+
+    #[test]
+    fn trace_round_trips_through_text() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Mkdir("/a".into()));
+        t.push(TraceOp::Create("/a/f".into()));
+        t.push(TraceOp::Rename("/a/f".into(), "/a/g".into()));
+        t.push(TraceOp::Stat("/a/g".into()));
+        t.push(TraceOp::List("/a".into()));
+        let text = t.to_text();
+        let back = Trace::from_text(&text);
+        assert_eq!(back.ops, t.ops);
+        // Garbage and comments are skipped.
+        let messy = format!("# header\n\nnonsense line\n{}", text);
+        assert_eq!(Trace::from_text(&messy).ops, t.ops);
+    }
+
+    #[test]
+    fn record_then_replay_on_both_configs() {
+        // Record against one kernel…
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(21))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        let mut rec = Recorder::new(&k, &p);
+        rec.mkdir("/proj").unwrap();
+        rec.create("/proj/main.c").unwrap();
+        rec.stat("/proj/main.c").unwrap();
+        rec.rename("/proj/main.c", "/proj/main.old").unwrap();
+        let _ = rec.stat("/proj/main.c"); // recorded miss
+        let trace = rec.finish();
+        assert_eq!(trace.len(), 5);
+        // …replay on fresh kernels of both configurations; the error
+        // profile must match.
+        let mut reports = Vec::new();
+        for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+            let k2 = KernelBuilder::new(config.with_seed(22)).build().unwrap();
+            let p2 = k2.init_process();
+            let r = replay(&k2, &p2, &trace).unwrap();
+            assert_eq!(r.ops, 5);
+            reports.push(r.errors);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], 1); // exactly the recorded miss
+    }
+
+    #[test]
+    fn replay_tolerates_dangling_paths() {
+        let trace = Trace::from_text(
+            "stat\t/definitely/not/here\nunlink\t/nor/this\nrename\t/a\t/b\n",
+        );
+        let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(23))
+            .build()
+            .unwrap();
+        let p = k.init_process();
+        let r = replay(&k, &p, &trace).unwrap();
+        assert_eq!(r.ops, 3);
+        assert_eq!(r.errors, 3);
+        assert!(r.ns_per_op() > 0.0);
+    }
+}

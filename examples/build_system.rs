@@ -1,0 +1,46 @@
+//! A `make`-style build over a source tree: header search paths generate
+//! heavy negative-lookup traffic (the paper reports ~20% negative
+//! dentries for `make`, Table 1), and the include-dir probing shows what
+//! deep negative dentries and directory completeness buy.
+//!
+//! Run with `cargo run --release --example build_system`.
+
+use dcache_repro::workloads::apps::make_build;
+use dcache_repro::workloads::tree::{build_tree, TreeSpec};
+use dcache_repro::{DcacheConfig, KernelBuilder};
+use std::sync::atomic::Ordering;
+
+fn main() {
+    for (name, config) in [
+        ("unmodified", DcacheConfig::baseline()),
+        ("optimized ", DcacheConfig::optimized()),
+    ] {
+        let kernel = KernelBuilder::new(config).build().expect("kernel");
+        let shell = kernel.init_process();
+        let manifest =
+            build_tree(&kernel, &shell, "/project", &TreeSpec::source_like(800)).unwrap();
+        // First build: cold compile (creates all the .o files).
+        let first = make_build(&kernel, &shell, &manifest, "/project").unwrap();
+        // Rebuild: the warm, lookup-bound case make users feel.
+        kernel.reset_stats();
+        let rebuild = make_build(&kernel, &shell, &manifest, "/project").unwrap();
+        let stats = &kernel.dcache.stats;
+        let negs = stats.hit_negative.load(Ordering::Relaxed)
+            + stats.fast_neg_hits.load(Ordering::Relaxed)
+            + stats.complete_neg_avoided.load(Ordering::Relaxed);
+        println!(
+            "{name}: cold build {:>7.2} ms, rebuild {:>7.2} ms  \
+             (objects: {}, cached-negative answers: {negs}, hit rate {:.1}%)",
+            first.wall_ns as f64 / 1e6,
+            rebuild.wall_ns as f64 / 1e6,
+            rebuild.work_items,
+            stats.hit_rate() * 100.0,
+        );
+    }
+    println!(
+        "\nEvery compilation probes include directories that do not hold \
+         the header; the optimized cache answers those misses from \
+         negative dentries and complete directories without touching the \
+         file system."
+    );
+}

@@ -1,0 +1,221 @@
+//! Coherence of the fastpath caches (§3.2): permission and structure
+//! changes must be visible through the DLHT/PCC immediately, with no
+//! window in which a stale memoized check grants access.
+
+use dcache_repro::cred::Cred;
+use dcache_repro::fs::FsError;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn optimized() -> (Arc<Kernel>, Arc<Process>) {
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(99))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    (k, p)
+}
+
+fn touch(k: &Kernel, p: &Arc<Process>, path: &str) {
+    let fd = k.open(p, path, OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+}
+
+#[test]
+fn rename_invalidates_dlht_entries_for_whole_subtree() {
+    let (k, p) = optimized();
+    k.mkdir(&p, "/a", 0o755).unwrap();
+    k.mkdir(&p, "/a/b", 0o755).unwrap();
+    k.mkdir(&p, "/a/b/c", 0o755).unwrap();
+    touch(&k, &p, "/a/b/c/leaf");
+    // Warm every level so the whole subtree is in the DLHT.
+    for path in ["/a", "/a/b", "/a/b/c", "/a/b/c/leaf"] {
+        for _ in 0..2 {
+            k.stat(&p, path).unwrap();
+        }
+    }
+    let visits_before = k.shootdown_visits();
+    k.rename(&p, "/a/b", "/a/z").unwrap();
+    // The shootdown walked b, c, leaf (at least).
+    assert!(k.shootdown_visits() - visits_before >= 3);
+    // Every old path now misses; every new path resolves.
+    assert_eq!(k.stat(&p, "/a/b/c/leaf"), Err(FsError::NoEnt));
+    assert_eq!(k.stat(&p, "/a/b"), Err(FsError::NoEnt));
+    assert!(k.stat(&p, "/a/z/c/leaf").is_ok());
+    // And repeats of the new path take the fastpath again.
+    let before = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+    for _ in 0..4 {
+        k.stat(&p, "/a/z/c/leaf").unwrap();
+    }
+    assert!(k.dcache.stats.fast_hits.load(Ordering::Relaxed) >= before + 4);
+}
+
+#[test]
+fn chmod_blocks_fastpath_reuse_for_other_creds() {
+    let (k, root) = optimized();
+    k.mkdir(&root, "/p", 0o755).unwrap();
+    k.mkdir(&root, "/p/q", 0o755).unwrap();
+    touch(&k, &root, "/p/q/f");
+    let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    // Warm alice's PCC thoroughly.
+    for _ in 0..5 {
+        assert!(k.stat(&alice, "/p/q/f").is_ok());
+    }
+    // Flip permissions back and forth; every state must be enforced.
+    for round in 0..4 {
+        let mode = if round % 2 == 0 { 0o700 } else { 0o755 };
+        k.chmod(&root, "/p", mode).unwrap();
+        let r = k.stat(&alice, "/p/q/f");
+        if mode == 0o700 {
+            assert_eq!(r, Err(FsError::Access), "round {round}");
+        } else {
+            assert!(r.is_ok(), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn pcc_is_not_shared_across_credentials() {
+    let (k, root) = optimized();
+    k.mkdir(&root, "/home", 0o755).unwrap();
+    k.mkdir(&root, "/home/alice", 0o700).unwrap();
+    k.chown(&root, "/home/alice", Some(1000), Some(1000)).unwrap();
+    touch(&k, &root, "/home/alice/diary");
+    k.chown(&root, "/home/alice/diary", Some(1000), Some(1000))
+        .unwrap();
+    let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    let bob = k.spawn_with_cred(&root, Cred::user(1001, 1001));
+    // Alice warms HER memoized checks (and the shared DLHT).
+    for _ in 0..5 {
+        assert!(k.stat(&alice, "/home/alice/diary").is_ok());
+    }
+    // Bob hits the same DLHT entry but must fail his own prefix check.
+    for _ in 0..5 {
+        assert_eq!(k.stat(&bob, "/home/alice/diary"), Err(FsError::Access));
+    }
+    // And alice still succeeds afterwards.
+    assert!(k.stat(&alice, "/home/alice/diary").is_ok());
+}
+
+#[test]
+fn forked_processes_share_pcc_until_setuid() {
+    let (k, root) = optimized();
+    k.mkdir(&root, "/srv", 0o755).unwrap();
+    touch(&k, &root, "/srv/app");
+    let worker1 = k.spawn(&root);
+    let worker2 = k.spawn(&root);
+    // Identical creds → the very same cred object → shared PCC (§4.1).
+    assert_eq!(worker1.cred().id(), worker2.cred().id());
+    k.stat(&worker1, "/srv/app").unwrap();
+    let before = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+    k.stat(&worker2, "/srv/app").unwrap();
+    assert!(
+        k.dcache.stats.fast_hits.load(Ordering::Relaxed) > before,
+        "sibling with the shared cred should ride the warmed PCC"
+    );
+    // setuid forks the cred; the new credential re-validates on its own.
+    k.setuid(&worker2, 1000, 1000);
+    assert_ne!(worker1.cred().id(), worker2.cred().id());
+    assert!(k.stat(&worker2, "/srv/app").is_ok());
+}
+
+#[test]
+fn symlink_replacement_invalidates_cached_translation() {
+    let (k, p) = optimized();
+    k.mkdir(&p, "/t1", 0o755).unwrap();
+    k.mkdir(&p, "/t2", 0o755).unwrap();
+    touch(&k, &p, "/t1/inner");
+    let fd = k.open(&p, "/t2/inner", OpenFlags::create(), 0o644).unwrap();
+    k.write_fd(&p, fd, b"version-2").unwrap();
+    k.close(&p, fd).unwrap();
+    k.symlink(&p, "/t1", "/cur").unwrap();
+    // Warm the alias and target-signature machinery.
+    for _ in 0..4 {
+        assert_eq!(k.stat(&p, "/cur/inner").unwrap().size, 0);
+    }
+    // Atomically retarget: the idiomatic symlink flip.
+    k.symlink(&p, "/t2", "/cur.new").unwrap();
+    k.rename(&p, "/cur.new", "/cur").unwrap();
+    for _ in 0..4 {
+        assert_eq!(
+            k.stat(&p, "/cur/inner").unwrap().size,
+            9,
+            "stale symlink translation served"
+        );
+    }
+    // Unlink the link entirely: paths through it die.
+    k.unlink(&p, "/cur").unwrap();
+    assert_eq!(k.stat(&p, "/cur/inner"), Err(FsError::NoEnt));
+}
+
+#[test]
+fn eviction_under_capacity_pressure_preserves_correctness() {
+    let k = KernelBuilder::new(
+        DcacheConfig::optimized().with_seed(100).with_capacity(128),
+    )
+    .build()
+    .unwrap();
+    let p = k.init_process();
+    // Far more files than the dentry budget.
+    k.mkdir(&p, "/big", 0o755).unwrap();
+    for i in 0..600 {
+        touch(&k, &p, &format!("/big/f{i:03}"));
+    }
+    assert!(
+        k.dcache.live() <= 300,
+        "cache failed to shrink (live={})",
+        k.dcache.live()
+    );
+    assert!(k.dcache.stats.evictions.load(Ordering::Relaxed) > 0);
+    // Every file is still reachable (refill through the slowpath).
+    for i in (0..600).step_by(37) {
+        assert!(k.stat(&p, &format!("/big/f{i:03}")).is_ok());
+    }
+    // Misses behave too.
+    assert_eq!(k.stat(&p, "/big/f999"), Err(FsError::NoEnt));
+}
+
+#[test]
+fn version_counter_invalidation_of_wraparound_flush() {
+    let (k, p) = optimized();
+    k.mkdir(&p, "/w", 0o755).unwrap();
+    touch(&k, &p, "/w/f");
+    for _ in 0..3 {
+        k.stat(&p, "/w/f").unwrap();
+    }
+    // The paper's 2^32-wraparound contingency: flush every PCC. The
+    // next lookup re-executes the prefix check (via the cheap ancestor
+    // revalidation) and keeps working.
+    k.dcache.flush_all_pccs();
+    let reval_before = k.dcache.stats.fast_revalidations.load(Ordering::Relaxed);
+    assert!(k.stat(&p, "/w/f").is_ok());
+    assert!(
+        k.dcache.stats.fast_revalidations.load(Ordering::Relaxed) > reval_before,
+        "flushed PCC entry should be recovered by chain revalidation"
+    );
+    // Re-warmed.
+    let hits_before = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+    k.stat(&p, "/w/f").unwrap();
+    assert!(k.dcache.stats.fast_hits.load(Ordering::Relaxed) > hits_before);
+}
+
+#[test]
+fn hardlink_via_second_path_keeps_coherent_attrs() {
+    let (k, p) = optimized();
+    k.mkdir(&p, "/x", 0o755).unwrap();
+    k.mkdir(&p, "/y", 0o755).unwrap();
+    touch(&k, &p, "/x/file");
+    k.link(&p, "/x/file", "/y/alias").unwrap();
+    for _ in 0..3 {
+        k.stat(&p, "/x/file").unwrap();
+        k.stat(&p, "/y/alias").unwrap();
+    }
+    // chmod through one name is visible through the other immediately,
+    // including on the fastpath.
+    k.chmod(&p, "/y/alias", 0o600).unwrap();
+    assert_eq!(k.stat(&p, "/x/file").unwrap().mode, 0o600);
+    // Unlink one name: the other keeps working with nlink 1.
+    k.unlink(&p, "/x/file").unwrap();
+    assert_eq!(k.stat(&p, "/y/alias").unwrap().nlink, 1);
+    assert_eq!(k.stat(&p, "/x/file"), Err(FsError::NoEnt));
+}

@@ -1,0 +1,135 @@
+//! Cold-cache behavior: drop_caches, device-latency accounting, and
+//! correctness of refills (the Table 2 machinery).
+
+use dcache_repro::blockdev::{CachedDisk, DiskConfig, LatencyModel};
+use dcache_repro::fs::{FileSystem, MemFs, MemFsConfig};
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+fn kernel_with_disk(config: DcacheConfig) -> (Arc<Kernel>, Arc<Process>, Arc<CachedDisk>) {
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 1 << 16,
+        latency: LatencyModel::new(1000, 1000, false), // virtual accounting only
+        ..Default::default()
+    }));
+    let fs = MemFs::mkfs(
+        disk.clone(),
+        MemFsConfig {
+            max_inodes: 1 << 14,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let k = KernelBuilder::new(config.with_seed(131))
+        .root_fs(fs as Arc<dyn FileSystem>)
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    (k, p, disk)
+}
+
+#[test]
+fn drop_caches_forces_device_reads_and_correct_refill() {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let (k, p, disk) = kernel_with_disk(config);
+        k.mkdir(&p, "/data", 0o755).unwrap();
+        for i in 0..40 {
+            let fd = k
+                .open(&p, &format!("/data/f{i:02}"), OpenFlags::create(), 0o644)
+                .unwrap();
+            k.write_fd(&p, fd, format!("payload {i}").as_bytes()).unwrap();
+            k.close(&p, fd).unwrap();
+        }
+        // Warm pass: no device reads needed afterwards.
+        for i in 0..40 {
+            k.stat(&p, &format!("/data/f{i:02}")).unwrap();
+        }
+        disk.reset_stats();
+        for i in 0..40 {
+            k.stat(&p, &format!("/data/f{i:02}")).unwrap();
+        }
+        assert_eq!(
+            disk.stats().device_reads,
+            0,
+            "warm stats should not touch the device"
+        );
+        // Cold: everything must be refetched, and stay correct.
+        k.drop_caches();
+        disk.reset_stats();
+        for i in 0..40 {
+            let a = k.stat(&p, &format!("/data/f{i:02}")).unwrap();
+            assert_eq!(a.size, format!("payload {i}").len() as u64);
+        }
+        let s = disk.stats();
+        assert!(s.device_reads > 0, "cold pass never reached the device");
+        assert!(s.simulated_io_ns > 0, "latency accounting missing");
+        // Contents survive the round trip.
+        let fd = k.open(&p, "/data/f00", OpenFlags::read_only(), 0).unwrap();
+        assert_eq!(&k.read_fd(&p, fd, 64).unwrap()[..], b"payload 0");
+        k.close(&p, fd).unwrap();
+    }
+}
+
+#[test]
+fn cold_cache_is_slower_than_warm_in_accounted_io() {
+    let (k, p, disk) = kernel_with_disk(DcacheConfig::optimized());
+    k.mkdir(&p, "/t", 0o755).unwrap();
+    for i in 0..20 {
+        let fd = k
+            .open(&p, &format!("/t/x{i}"), OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&p, fd).unwrap();
+    }
+    // Warm accounted I/O for a scan.
+    let scan = |k: &Kernel, p: &Arc<Process>| {
+        for i in 0..20 {
+            k.stat(p, &format!("/t/x{i}")).unwrap();
+        }
+    };
+    scan(&k, &p);
+    disk.reset_stats();
+    scan(&k, &p);
+    let warm_ns = disk.stats().simulated_io_ns;
+    k.drop_caches();
+    disk.reset_stats();
+    scan(&k, &p);
+    let cold_ns = disk.stats().simulated_io_ns;
+    assert!(
+        cold_ns > warm_ns,
+        "cold scan ({cold_ns} ns) should out-cost warm scan ({warm_ns} ns)"
+    );
+}
+
+#[test]
+fn remount_after_sync_preserves_everything() {
+    let (k, p, disk) = kernel_with_disk(DcacheConfig::optimized());
+    k.mkdir(&p, "/persist", 0o750).unwrap();
+    k.mkdir(&p, "/persist/deep", 0o755).unwrap();
+    let fd = k
+        .open(&p, "/persist/deep/file", OpenFlags::create(), 0o640)
+        .unwrap();
+    k.write_fd(&p, fd, b"durable bytes").unwrap();
+    k.close(&p, fd).unwrap();
+    k.symlink(&p, "/persist/deep/file", "/persist/link").unwrap();
+    // Flush everything and build a brand-new kernel over the same disk.
+    k.init_namespace().root_mount().sb.fs.sync().unwrap();
+    disk.drop_caches();
+    let fs2 = MemFs::mount(disk).unwrap();
+    let k2 = KernelBuilder::new(DcacheConfig::optimized().with_seed(132))
+        .root_fs(fs2 as Arc<dyn FileSystem>)
+        .build()
+        .unwrap();
+    let p2 = k2.init_process();
+    assert_eq!(k2.stat(&p2, "/persist").unwrap().mode, 0o750);
+    assert_eq!(k2.stat(&p2, "/persist/deep/file").unwrap().size, 13);
+    assert_eq!(k2.stat(&p2, "/persist/link").unwrap().size, 13);
+    assert_eq!(
+        k2.readlink_path(&p2, "/persist/link").unwrap(),
+        "/persist/deep/file"
+    );
+    let fd = k2
+        .open(&p2, "/persist/deep/file", OpenFlags::read_only(), 0)
+        .unwrap();
+    assert_eq!(&k2.read_fd(&p2, fd, 64).unwrap()[..], b"durable bytes");
+    k2.close(&p2, fd).unwrap();
+}

@@ -1,0 +1,246 @@
+//! Concurrent lookups racing structural changes: the optimistic walk +
+//! seqlock + invalidation-counter protocol of §3.2 under real threads.
+
+use dcache_repro::cred::Cred;
+use dcache_repro::fs::FsError;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn kernel(config: DcacheConfig) -> (Arc<Kernel>, Arc<Process>) {
+    let k = KernelBuilder::new(config.with_seed(123)).build().unwrap();
+    let p = k.init_process();
+    (k, p)
+}
+
+fn touch(k: &Kernel, p: &Arc<Process>, path: &str) {
+    let fd = k.open(p, path, OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+}
+
+#[test]
+fn readers_race_renames_without_stale_results() {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let (k, p) = kernel(config);
+        k.mkdir(&p, "/race", 0o755).unwrap();
+        k.mkdir(&p, "/race/a", 0o755).unwrap();
+        touch(&k, &p, "/race/a/file");
+        let stop = Arc::new(AtomicBool::new(false));
+        let anomalies = Arc::new(AtomicU64::new(0));
+        // Completed renames; readers only judge windows with no flip.
+        let flips = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            // Renamer: flips the directory between two names.
+            {
+                let k = k.clone();
+                let p = k.spawn(&p);
+                let stop = stop.clone();
+                let flips = flips.clone();
+                s.spawn(move || {
+                    let mut flip = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (from, to) = if flip {
+                            ("/race/b", "/race/a")
+                        } else {
+                            ("/race/a", "/race/b")
+                        };
+                        k.rename(&p, from, to).unwrap();
+                        flips.fetch_add(1, Ordering::SeqCst);
+                        flip = !flip;
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                    if flip {
+                        k.rename(&p, "/race/b", "/race/a").unwrap();
+                    }
+                });
+            }
+            // Readers: within a quiescent window (no rename completed
+            // between the two stats), exactly one path must resolve.
+            for _ in 0..4 {
+                let k = k.clone();
+                let p = k.spawn(&p);
+                let stop = stop.clone();
+                let flips = flips.clone();
+                let anomalies = anomalies.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let f0 = flips.load(Ordering::SeqCst);
+                        let a = k.stat(&p, "/race/a/file");
+                        let b = k.stat(&p, "/race/b/file");
+                        let f1 = flips.load(Ordering::SeqCst);
+                        if f0 != f1 {
+                            continue; // a rename interleaved; not judgeable
+                        }
+                        match (a, b) {
+                            (Ok(_), Err(FsError::NoEnt))
+                            | (Err(FsError::NoEnt), Ok(_)) => {}
+                            (x, y) => {
+                                eprintln!("quiescent anomaly: {x:?} {y:?}");
+                                anomalies.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(
+            anomalies.load(Ordering::Relaxed),
+            0,
+            "stale lookups observed"
+        );
+        // Quiesced state is correct.
+        assert!(k.stat(&p, "/race/a/file").is_ok());
+        assert_eq!(k.stat(&p, "/race/b/file"), Err(FsError::NoEnt));
+    }
+}
+
+#[test]
+fn permission_revocation_is_never_raced_past() {
+    let (k, root) = kernel(DcacheConfig::optimized());
+    k.mkdir(&root, "/sec", 0o755).unwrap();
+    k.mkdir(&root, "/sec/inner", 0o755).unwrap();
+    touch(&k, &root, "/sec/inner/file");
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(AtomicU64::new(0));
+    // The gate: even = open, odd = locked. The chmod thread updates the
+    // gate BEFORE granting and AFTER revoking, so a reader observing
+    // "locked" must never succeed.
+    let gate = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        {
+            let k = k.clone();
+            let p = k.spawn(&root);
+            let stop = stop.clone();
+            let gate = gate.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Revoke fully, THEN declare locked — so "gate odd"
+                    // implies the restrictive mode is in force.
+                    k.chmod(&p, "/sec", 0o700).unwrap();
+                    gate.fetch_add(1, Ordering::SeqCst); // odd
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    // Declare open BEFORE granting, for the same reason.
+                    gate.fetch_add(1, Ordering::SeqCst); // even
+                    k.chmod(&p, "/sec", 0o755).unwrap();
+                }
+                k.chmod(&p, "/sec", 0o755).unwrap();
+            });
+        }
+        for _ in 0..4 {
+            let k = k.clone();
+            let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+            let stop = stop.clone();
+            let gate = gate.clone();
+            let violations = violations.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let before = gate.load(Ordering::SeqCst);
+                    let r = k.stat(&alice, "/sec/inner/file");
+                    let after = gate.load(Ordering::SeqCst);
+                    // If the permission was revoked for the entire window
+                    // of the call, success is a violation.
+                    if before == after && before % 2 == 1 && r.is_ok() {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "stale memoized prefix check granted revoked access"
+    );
+}
+
+#[test]
+fn concurrent_creates_in_one_directory() {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let (k, p) = kernel(config);
+        k.mkdir(&p, "/mk", 0o755).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let k = k.clone();
+                let p = k.spawn(&p);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let path = format!("/mk/t{t}-{i}");
+                        let fd = k.open(&p, &path, OpenFlags::create(), 0o644).unwrap();
+                        k.close(&p, fd).unwrap();
+                        assert!(k.stat(&p, &path).is_ok());
+                    }
+                });
+            }
+        });
+        let listing = k.list_dir(&p, "/mk").unwrap();
+        assert_eq!(listing.len(), 400);
+        // Exclusive creation raced from two threads: exactly one winner.
+        let winners = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let k = k.clone();
+                let p = k.spawn(&p);
+                let winners = winners.clone();
+                s.spawn(move || {
+                    if let Ok(fd) = k.open(&p, "/mk/excl", OpenFlags::create_excl(), 0o600) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                        k.close(&p, fd).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+}
+
+#[test]
+fn mkstemp_is_race_free_across_threads() {
+    let (k, p) = kernel(DcacheConfig::optimized());
+    k.mkdir(&p, "/tmp", 0o777).unwrap();
+    let names = parking_lot::Mutex::new(std::collections::HashSet::new());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let k = k.clone();
+            let p = k.spawn(&p);
+            let names = &names;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let (fd, name) = k.mkstemp(&p, "/tmp", "c-").unwrap();
+                    k.close(&p, fd).unwrap();
+                    assert!(names.lock().insert(name), "duplicate temp name");
+                }
+            });
+        }
+    });
+    assert_eq!(k.list_dir(&p, "/tmp").unwrap().len(), 200);
+}
+
+#[test]
+fn lookups_scale_across_threads_without_errors() {
+    for config in [
+        DcacheConfig::baseline(),
+        DcacheConfig::optimized(),
+        DcacheConfig::legacy_lock_walk(),
+    ] {
+        let (k, p) = kernel(config);
+        k.mkdir(&p, "/deep", 0o755).unwrap();
+        k.mkdir(&p, "/deep/a", 0o755).unwrap();
+        k.mkdir(&p, "/deep/a/b", 0o755).unwrap();
+        touch(&k, &p, "/deep/a/b/target");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let k = k.clone();
+                let p = k.spawn(&p);
+                s.spawn(move || {
+                    for _ in 0..2000 {
+                        assert_eq!(k.stat(&p, "/deep/a/b/target").unwrap().ftype.is_dir(), false);
+                    }
+                });
+            }
+        });
+    }
+}

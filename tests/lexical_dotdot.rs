@@ -1,0 +1,137 @@
+//! Plan 9 lexical dot-dot semantics (§4.2): `a/../b` simplifies to `b`
+//! *before* resolution, so symlinks and permissions on `a` no longer
+//! matter — deliberately different semantics from POSIX, compared in
+//! Figure 6.
+
+use dcache_repro::cred::Cred;
+use dcache_repro::fs::FsError;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+fn lexical() -> (Arc<Kernel>, Arc<Process>) {
+    let k = KernelBuilder::new(DcacheConfig::optimized_lexical().with_seed(55))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    (k, p)
+}
+
+fn posix() -> (Arc<Kernel>, Arc<Process>) {
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(55))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    (k, p)
+}
+
+fn setup(k: &Kernel, p: &Arc<Process>) {
+    k.mkdir(p, "/x", 0o755).unwrap();
+    k.mkdir(p, "/x/y", 0o755).unwrap();
+    let fd = k.open(p, "/x/y/target", OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+    let fd = k.open(p, "/x/sibling", OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+    // L is a symlink to /x/y; "/x/L/../sibling" differs between modes:
+    // POSIX resolves L first (→ /x/y/../sibling → /x/sibling is reached
+    // via /x/y's parent /x), lexical pops "L" (→ /x/sibling directly).
+    k.symlink(p, "/x/y", "/x/L").unwrap();
+}
+
+#[test]
+fn simple_dotdot_agrees_between_modes() {
+    for (k, p) in [lexical(), posix()] {
+        setup(&k, &p);
+        assert!(k.stat(&p, "/x/y/../sibling").is_ok());
+        assert!(k.stat(&p, "/x/y/../../x/y/target").is_ok());
+        assert_eq!(k.stat(&p, "/x/y/../nope"), Err(FsError::NoEnt));
+    }
+}
+
+#[test]
+fn symlink_dotdot_differs_where_the_paper_says() {
+    // Here the two modes coincide in *result* (both reach /x/sibling)
+    // but lexical never touches the link. Distinguish with a link whose
+    // target's parent differs from the lexical parent.
+    let (k, p) = posix();
+    setup(&k, &p);
+    k.mkdir(&p, "/elsewhere", 0o755).unwrap();
+    let fd = k
+        .open(&p, "/elsewhere/only-here", OpenFlags::create(), 0o644)
+        .unwrap();
+    k.close(&p, fd).unwrap();
+    k.symlink(&p, "/elsewhere", "/x/jump").unwrap();
+    // POSIX: /x/jump/.. = parent of /elsewhere = / → /x exists.
+    assert!(k.stat(&p, "/x/jump/../x").is_ok());
+    // POSIX: /x/jump/../elsewhere/only-here exists.
+    assert!(k.stat(&p, "/x/jump/../elsewhere/only-here").is_ok());
+
+    let (k, p) = lexical();
+    setup(&k, &p);
+    k.mkdir(&p, "/elsewhere", 0o755).unwrap();
+    k.symlink(&p, "/elsewhere", "/x/jump").unwrap();
+    // Lexical: /x/jump/../x = /x/x — does not exist.
+    assert_eq!(k.stat(&p, "/x/jump/../x"), Err(FsError::NoEnt));
+    // Lexical: /x/jump/../sibling = /x/sibling — exists, link untouched.
+    assert!(k.stat(&p, "/x/jump/../sibling").is_ok());
+}
+
+#[test]
+fn lexical_mode_skips_intermediate_permission_checks() {
+    // POSIX requires search permission on the directory the ".." names;
+    // lexical never visits it.
+    let (k, root) = posix();
+    setup(&k, &root);
+    k.mkdir(&root, "/x/locked", 0o700).unwrap();
+    let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    assert_eq!(
+        k.stat(&alice, "/x/locked/../sibling"),
+        Err(FsError::Access),
+        "POSIX mode must check search permission on the popped dir"
+    );
+
+    let (k, root) = lexical();
+    setup(&k, &root);
+    k.mkdir(&root, "/x/locked", 0o700).unwrap();
+    let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    assert!(
+        k.stat(&alice, "/x/locked/../sibling").is_ok(),
+        "lexical mode pops the component without visiting it"
+    );
+}
+
+#[test]
+fn leading_dotdots_climb_in_both_modes() {
+    for (k, p) in [lexical(), posix()] {
+        setup(&k, &p);
+        k.chdir(&p, "/x/y").unwrap();
+        assert!(k.stat(&p, "../sibling").is_ok());
+        assert!(k.stat(&p, "../../x/y/target").is_ok());
+        // Above the root stays at the root.
+        assert!(k.stat(&p, "../../../../..").is_ok());
+    }
+}
+
+#[test]
+fn lexical_fastpath_hits_on_dotdot_paths() {
+    let (k, p) = lexical();
+    setup(&k, &p);
+    // Warm.
+    k.stat(&p, "/x/y/../sibling").unwrap();
+    let before = k
+        .dcache
+        .stats
+        .fast_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    for _ in 0..5 {
+        k.stat(&p, "/x/y/../sibling").unwrap();
+    }
+    let after = k
+        .dcache
+        .stats
+        .fast_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        after >= before + 5,
+        "lexical dot-dot paths should ride the fastpath"
+    );
+}

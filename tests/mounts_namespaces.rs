@@ -1,0 +1,278 @@
+//! Mounts, bind mounts (mount aliases), mount flags, pseudo file
+//! systems, mount namespaces, and chroot — §4.3 end to end.
+
+use dcache_repro::blockdev::{CachedDisk, DiskConfig};
+use dcache_repro::fs::{FileSystem, FsError, MemFs, MemFsConfig, PseudoFs};
+use dcache_repro::vfs::MountFlags;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+fn both(test: impl Fn(Arc<Kernel>, Arc<Process>)) {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let k = KernelBuilder::new(config.with_seed(88)).build().unwrap();
+        test(k.clone(), k.init_process());
+    }
+}
+
+fn small_memfs() -> Arc<dyn FileSystem> {
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 8192,
+        ..Default::default()
+    }));
+    MemFs::mkfs(
+        disk,
+        MemFsConfig {
+            max_inodes: 4096,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn mount_and_umount_cycle() {
+    both(|k, root| {
+        k.mkdir(&root, "/mnt", 0o755).unwrap();
+        // The mountpoint holds a marker file that the mount covers.
+        k.mkdir(&root, "/mnt/disk", 0o755).unwrap();
+        let fd = k
+            .open(&root, "/mnt/disk/under", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        // Warm the cache on the covered path.
+        for _ in 0..3 {
+            assert!(k.stat(&root, "/mnt/disk/under").is_ok());
+        }
+        let fs = small_memfs();
+        k.mount_fs(&root, fs, "/mnt/disk", MountFlags::default())
+            .unwrap();
+        // The mount covers the old content...
+        assert_eq!(k.stat(&root, "/mnt/disk/under"), Err(FsError::NoEnt));
+        // ...and the new file system is live.
+        let fd = k
+            .open(&root, "/mnt/disk/on-new-fs", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        assert!(k.stat(&root, "/mnt/disk/on-new-fs").is_ok());
+        // Dot-dot climbs out of the mount.
+        assert!(k.stat(&root, "/mnt/disk/..").is_ok());
+        k.chdir(&root, "/mnt/disk").unwrap();
+        assert!(k.stat(&root, "../..").is_ok());
+        k.chdir(&root, "/").unwrap();
+        // Unmount restores the covered content.
+        k.umount(&root, "/mnt/disk").unwrap();
+        assert!(k.stat(&root, "/mnt/disk/under").is_ok());
+        assert_eq!(k.stat(&root, "/mnt/disk/on-new-fs"), Err(FsError::NoEnt));
+    });
+}
+
+#[test]
+fn read_only_mounts_reject_writes() {
+    both(|k, root| {
+        k.mkdir(&root, "/ro", 0o755).unwrap();
+        let fs = small_memfs();
+        // Pre-populate through a scratch mount.
+        k.mkdir(&root, "/scratch", 0o755).unwrap();
+        k.mount_fs(&root, fs.clone(), "/scratch", MountFlags::default())
+            .unwrap();
+        let fd = k
+            .open(&root, "/scratch/data", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        k.umount(&root, "/scratch").unwrap();
+        k.mount_fs(
+            &root,
+            fs,
+            "/ro",
+            MountFlags {
+                read_only: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(k.stat(&root, "/ro/data").is_ok());
+        assert_eq!(
+            k.open(&root, "/ro/new", OpenFlags::create(), 0o644)
+                .unwrap_err(),
+            FsError::RoFs
+        );
+        assert_eq!(
+            k.open(&root, "/ro/data", OpenFlags::read_write(), 0)
+                .unwrap_err(),
+            FsError::RoFs
+        );
+        assert_eq!(k.unlink(&root, "/ro/data"), Err(FsError::RoFs));
+        assert_eq!(k.mkdir(&root, "/ro/dir", 0o755), Err(FsError::RoFs));
+    });
+}
+
+#[test]
+fn bind_mounts_alias_the_same_tree() {
+    both(|k, root| {
+        k.mkdir(&root, "/data", 0o755).unwrap();
+        k.mkdir(&root, "/data/sub", 0o755).unwrap();
+        let fd = k
+            .open(&root, "/data/sub/file", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.write_fd(&root, fd, b"alias me").unwrap();
+        k.close(&root, fd).unwrap();
+        k.mkdir(&root, "/view", 0o755).unwrap();
+        k.bind_mount(&root, "/data", "/view").unwrap();
+        // Same objects through both paths (alternating accesses exercise
+        // the one-signature-per-dentry rule, §4.3).
+        for _ in 0..3 {
+            let a = k.stat(&root, "/data/sub/file").unwrap();
+            let b = k.stat(&root, "/view/sub/file").unwrap();
+            assert_eq!(a.ino, b.ino);
+        }
+        // A write through one view is visible through the other.
+        let fd = k
+            .open(&root, "/view/sub/file", OpenFlags::read_write(), 0)
+            .unwrap();
+        k.write_fd(&root, fd, b"updated!").unwrap();
+        k.close(&root, fd).unwrap();
+        assert_eq!(k.stat(&root, "/data/sub/file").unwrap().size, 8);
+        // Creations through the alias appear in the origin.
+        let fd = k
+            .open(&root, "/view/sub/new", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        assert!(k.stat(&root, "/data/sub/new").is_ok());
+    });
+}
+
+#[test]
+fn pseudo_fs_mounts_and_negative_policy() {
+    for (config, expect_pseudo_negatives) in [
+        (DcacheConfig::baseline(), false),
+        (DcacheConfig::optimized(), true),
+    ] {
+        let k = KernelBuilder::new(config.with_seed(89)).build().unwrap();
+        let root = k.init_process();
+        k.mkdir(&root, "/proc", 0o555).unwrap();
+        let proc_fs = PseudoFs::new(0o555);
+        proc_fs
+            .add_file(proc_fs.root_ino(), "meminfo", 0o444, || {
+                b"MemTotal: 1 kB".to_vec()
+            })
+            .unwrap();
+        let pid = proc_fs.add_dir(proc_fs.root_ino(), "1", 0o555).unwrap();
+        proc_fs
+            .add_file(pid, "status", 0o444, || b"State: R".to_vec())
+            .unwrap();
+        k.mount_fs(
+            &root,
+            proc_fs as Arc<dyn FileSystem>,
+            "/proc",
+            MountFlags::default(),
+        )
+        .unwrap();
+        assert!(k.stat(&root, "/proc/meminfo").is_ok());
+        assert!(k.stat(&root, "/proc/1/status").is_ok());
+        let fd = k
+            .open(&root, "/proc/meminfo", OpenFlags::read_only(), 0)
+            .unwrap();
+        assert_eq!(&k.read_fd(&root, fd, 64).unwrap()[..], b"MemTotal: 1 kB");
+        k.close(&root, fd).unwrap();
+        // Mutations are rejected by the pseudo fs itself.
+        assert_eq!(
+            k.open(&root, "/proc/new", OpenFlags::create(), 0o644)
+                .unwrap_err(),
+            FsError::Perm
+        );
+        // Negative-dentry policy: baseline never caches pseudo-fs misses
+        // (§5.2); the optimized config does.
+        k.reset_stats();
+        for _ in 0..5 {
+            assert_eq!(k.stat(&root, "/proc/42"), Err(FsError::NoEnt));
+        }
+        let neg = k.dcache.stats.negative_rate() > 0.0;
+        assert_eq!(
+            neg, expect_pseudo_negatives,
+            "pseudo-fs negative policy mismatch"
+        );
+    }
+}
+
+#[test]
+fn namespaces_isolate_mounts() {
+    both(|k, root| {
+        k.mkdir(&root, "/shared", 0o755).unwrap();
+        k.mkdir(&root, "/private", 0o755).unwrap();
+        let fd = k
+            .open(&root, "/shared/base", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+
+        let container = k.spawn(&root);
+        let ns = k.unshare_ns(&container).unwrap();
+        assert_ne!(ns.id, root.namespace().id);
+        // A mount made inside the namespace is invisible outside.
+        let fs = small_memfs();
+        k.mount_fs(&container, fs, "/private", MountFlags::default())
+            .unwrap();
+        let fd = k
+            .open(&container, "/private/only-here", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&container, fd).unwrap();
+        assert!(k.stat(&container, "/private/only-here").is_ok());
+        assert_eq!(k.stat(&root, "/private/only-here"), Err(FsError::NoEnt));
+        // The underlying tree is still shared (same superblock).
+        assert!(k.stat(&container, "/shared/base").is_ok());
+        let fd = k
+            .open(&container, "/shared/from-container", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&container, fd).unwrap();
+        assert!(k.stat(&root, "/shared/from-container").is_ok());
+    });
+}
+
+#[test]
+fn chroot_confines_resolution() {
+    both(|k, root| {
+        k.mkdir(&root, "/jail", 0o755).unwrap();
+        k.mkdir(&root, "/jail/etc", 0o755).unwrap();
+        let fd = k
+            .open(&root, "/jail/etc/conf", OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        let fd = k.open(&root, "/topsecret", OpenFlags::create(), 0o644).unwrap();
+        k.close(&root, fd).unwrap();
+
+        let jailed = k.spawn(&root);
+        k.chroot(&jailed, "/jail").unwrap();
+        // Inside, paths are jail-relative.
+        assert!(k.stat(&jailed, "/etc/conf").is_ok());
+        assert_eq!(k.stat(&jailed, "/topsecret"), Err(FsError::NoEnt));
+        // Dot-dot cannot escape the jail.
+        assert_eq!(k.stat(&jailed, "/../topsecret"), Err(FsError::NoEnt));
+        assert_eq!(k.stat(&jailed, "/../../.."), Ok(k.stat(&jailed, "/").unwrap()));
+        // Only root may chroot.
+        let user = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1000, 1000));
+        assert_eq!(k.chroot(&user, "/jail"), Err(FsError::Perm));
+    });
+}
+
+#[test]
+fn umount_busy_and_invalid_cases() {
+    both(|k, root| {
+        k.mkdir(&root, "/m1", 0o755).unwrap();
+        let fs = small_memfs();
+        k.mount_fs(&root, fs.clone(), "/m1", MountFlags::default())
+            .unwrap();
+        k.mkdir(&root, "/m1/inner", 0o755).unwrap();
+        let fs2 = small_memfs();
+        k.mount_fs(&root, fs2, "/m1/inner", MountFlags::default())
+            .unwrap();
+        // Parent mount is busy while a child mount exists.
+        assert_eq!(k.umount(&root, "/m1"), Err(FsError::Busy));
+        k.umount(&root, "/m1/inner").unwrap();
+        k.umount(&root, "/m1").unwrap();
+        // Not a mount root.
+        assert_eq!(k.umount(&root, "/m1"), Err(FsError::Inval));
+        // rmdir of a mountpoint is EBUSY.
+        k.mkdir(&root, "/m2", 0o755).unwrap();
+        k.mount_fs(&root, fs, "/m2", MountFlags::default()).unwrap();
+        assert_eq!(k.rmdir(&root, "/m2"), Err(FsError::Busy));
+    });
+}

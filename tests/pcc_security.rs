@@ -1,0 +1,146 @@
+//! Adversarial checks on the fastpath's security argument (§3.3):
+//! signature-based lookup must never let one credential leverage another
+//! credential's cache state, and cache-internal churn caused by an
+//! adversary must never change what a victim's lookup returns.
+
+use dcache_repro::cred::Cred;
+use dcache_repro::fs::FsError;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+fn world() -> (Arc<Kernel>, Arc<Process>) {
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(0x5ec))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    (k, p)
+}
+
+#[test]
+fn dlht_entries_do_not_leak_access_across_credentials() {
+    let (k, root) = world();
+    // Bob's private tree, fully warmed by Bob.
+    k.mkdir(&root, "/home", 0o755).unwrap();
+    k.mkdir(&root, "/home/bob", 0o700).unwrap();
+    k.chown(&root, "/home/bob", Some(1001), Some(1001)).unwrap();
+    let bob = k.spawn_with_cred(&root, Cred::user(1001, 1001));
+    let fd = k
+        .open(&bob, "/home/bob/secret.txt", OpenFlags::create(), 0o600)
+        .unwrap();
+    k.write_fd(&bob, fd, b"classified").unwrap();
+    k.close(&bob, fd).unwrap();
+    for _ in 0..10 {
+        k.stat(&bob, "/home/bob/secret.txt").unwrap(); // warm DLHT+Bob's PCC
+    }
+    // Alice shares the DLHT (system-wide) but not the PCC. Every probe
+    // must fail the prefix check, hot cache or not.
+    let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    for _ in 0..10 {
+        assert_eq!(
+            k.stat(&alice, "/home/bob/secret.txt"),
+            Err(FsError::Access)
+        );
+        assert_eq!(
+            k.open(&alice, "/home/bob/secret.txt", OpenFlags::read_only(), 0)
+                .unwrap_err(),
+            FsError::Access
+        );
+    }
+    // Bob is unaffected by Alice's failed probes.
+    assert!(k.stat(&bob, "/home/bob/secret.txt").is_ok());
+}
+
+#[test]
+fn adversarial_cache_churn_cannot_redirect_a_victims_lookup() {
+    let (k, root) = world();
+    k.mkdir(&root, "/shared", 0o777).unwrap();
+    let fd = k
+        .open(&root, "/shared/victim.dat", OpenFlags::create(), 0o644)
+        .unwrap();
+    k.write_fd(&root, fd, b"victim-content").unwrap();
+    k.close(&root, fd).unwrap();
+    let victim = k.spawn_with_cred(&root, Cred::user(1000, 1000));
+    let attacker = k.spawn_with_cred(&root, Cred::user(2000, 2000));
+    // The attacker churns the shared DLHT with thousands of lookups of
+    // its own names (including misses that create negative dentries and
+    // deep-negative probes under the victim's path prefix).
+    for i in 0..2000 {
+        let _ = k.stat(&attacker, &format!("/shared/spam-{i}"));
+        let _ = k.stat(&attacker, &format!("/shared/victim.dat/{i}"));
+    }
+    // The victim's lookup still reaches exactly its file.
+    for _ in 0..5 {
+        let a = k.stat(&victim, "/shared/victim.dat").unwrap();
+        assert_eq!(a.size, 14);
+        let fd = k
+            .open(&victim, "/shared/victim.dat", OpenFlags::read_only(), 0)
+            .unwrap();
+        assert_eq!(&k.read_fd(&victim, fd, 64).unwrap()[..], b"victim-content");
+        k.close(&victim, fd).unwrap();
+    }
+}
+
+#[test]
+fn signatures_differ_across_kernel_instances() {
+    // Boot-time keying (§3.3): two kernels assign different signatures
+    // to the same path. (With fixed test seeds the property is the seeds
+    // differing; entropy-keyed kernels differ with overwhelming
+    // probability.)
+    let k1 = KernelBuilder::new(DcacheConfig::optimized())
+        .build()
+        .unwrap();
+    let k2 = KernelBuilder::new(DcacheConfig::optimized())
+        .build()
+        .unwrap();
+    let comps = [b"etc".as_slice(), b"passwd".as_slice()];
+    assert_ne!(
+        k1.dcache.key.hash_components(comps),
+        k2.dcache.key.hash_components(comps)
+    );
+}
+
+#[test]
+fn namespace_private_dlht_and_pcc() {
+    let (k, root) = world();
+    k.mkdir(&root, "/data", 0o755).unwrap();
+    let fd = k.open(&root, "/data/f", OpenFlags::create(), 0o644).unwrap();
+    k.close(&root, fd).unwrap();
+    // Warm the init namespace.
+    for _ in 0..3 {
+        k.stat(&root, "/data/f").unwrap();
+    }
+    // A namespaced process shares the dentry tree but uses its own DLHT
+    // (same signature must not resolve via the init table).
+    let container = k.spawn(&root);
+    k.unshare_ns(&container).unwrap();
+    let miss_before = k
+        .dcache
+        .stats
+        .fast_miss_dlht
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(k.stat(&container, "/data/f").is_ok());
+    assert!(
+        k.dcache
+            .stats
+            .fast_miss_dlht
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > miss_before,
+        "first namespaced lookup must miss its private DLHT"
+    );
+    // And after warming, the namespace rides its own fastpath.
+    let hits_before = k
+        .dcache
+        .stats
+        .fast_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    for _ in 0..3 {
+        k.stat(&container, "/data/f").unwrap();
+    }
+    assert!(
+        k.dcache
+            .stats
+            .fast_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= hits_before + 3
+    );
+}

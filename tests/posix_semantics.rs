@@ -1,0 +1,273 @@
+//! POSIX semantics not covered by the per-crate tests: permission
+//! matrices, sticky bits, credential changes, path-based MAC, and the
+//! `*at()` family — run against both cache configurations.
+
+use dcache_repro::cred::{CredBuilder, MacRule, PathMac, SecurityStack, MAY_READ, MAY_WRITE};
+use dcache_repro::fs::FsError;
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+fn both(test: impl Fn(Arc<Kernel>, Arc<Process>)) {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let k = KernelBuilder::new(config.with_seed(77)).build().unwrap();
+        test(k.clone(), k.init_process());
+    }
+}
+
+#[test]
+fn group_permissions_and_supplementary_groups() {
+    both(|k, root| {
+        k.mkdir(&root, "/shared", 0o750).unwrap();
+        k.chown(&root, "/shared", Some(0), Some(500)).unwrap();
+        let fd = k
+            .open(&root, "/shared/doc", OpenFlags::create(), 0o640)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        k.chown(&root, "/shared/doc", Some(0), Some(500)).unwrap();
+
+        let member = k.spawn_with_cred(
+            &root,
+            CredBuilder::new(1000, 100).with_groups(&[500]).build(),
+        );
+        let outsider = k.spawn_with_cred(&root, CredBuilder::new(1001, 101).build());
+        assert!(k.stat(&member, "/shared/doc").is_ok());
+        assert!(k
+            .open(&member, "/shared/doc", OpenFlags::read_only(), 0)
+            .is_ok());
+        assert_eq!(k.stat(&outsider, "/shared/doc"), Err(FsError::Access));
+        // Member may read but not write (g=r).
+        assert_eq!(
+            k.open(&member, "/shared/doc", OpenFlags::read_write(), 0)
+                .unwrap_err(),
+            FsError::Access
+        );
+    });
+}
+
+#[test]
+fn sticky_bit_restricts_deletion() {
+    both(|k, root| {
+        k.mkdir(&root, "/tmp", 0o777).unwrap();
+        k.chmod(&root, "/tmp", 0o1777).unwrap();
+        let alice = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1000, 1000));
+        let bob = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1001, 1001));
+        let fd = k
+            .open(&alice, "/tmp/alice.dat", OpenFlags::create(), 0o666)
+            .unwrap();
+        k.close(&alice, fd).unwrap();
+        // Bob cannot remove or rename Alice's file in a sticky dir.
+        assert_eq!(k.unlink(&bob, "/tmp/alice.dat"), Err(FsError::Perm));
+        assert_eq!(
+            k.rename(&bob, "/tmp/alice.dat", "/tmp/stolen"),
+            Err(FsError::Perm)
+        );
+        // Alice and root can.
+        assert!(k.rename(&alice, "/tmp/alice.dat", "/tmp/mine").is_ok());
+        assert!(k.unlink(&root, "/tmp/mine").is_ok());
+    });
+}
+
+#[test]
+fn setuid_commit_creates_or_reuses_cred() {
+    both(|k, root| {
+        k.mkdir(&root, "/work", 0o755).unwrap();
+        let p = k.spawn(&root);
+        let before = p.cred().id();
+        // A no-op "setuid" (same ids) must reuse the cred — and with it
+        // the prefix check cache (§4.1).
+        let same = k.setuid(&p, 0, 0);
+        assert_eq!(same.id(), before);
+        // A real change allocates a new cred.
+        let changed = k.setuid(&p, 1000, 1000);
+        assert_ne!(changed.id(), before);
+        assert_eq!(p.cred().uid, 1000);
+        // Dropped privileges are enforced.
+        k.chmod(&root, "/work", 0o700).unwrap();
+        assert_eq!(k.stat(&p, "/work/x"), Err(FsError::Access));
+    });
+}
+
+#[test]
+fn pathmac_lsm_denies_by_path_prefix() {
+    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+        let mut stack = SecurityStack::dac_only();
+        stack.push(Arc::new(PathMac::new(vec![
+            MacRule {
+                uid: Some(1000),
+                path_prefix: "/etc/secret".into(),
+                deny_mask: MAY_READ | MAY_WRITE,
+            },
+            MacRule {
+                uid: None,
+                path_prefix: "/vault".into(),
+                deny_mask: MAY_WRITE,
+            },
+        ])));
+        let k = KernelBuilder::new(config.with_seed(78))
+            .security(stack)
+            .build()
+            .unwrap();
+        let root = k.init_process();
+        k.mkdir(&root, "/etc", 0o755).unwrap();
+        k.mkdir(&root, "/etc/secret", 0o755).unwrap();
+        let fd = k
+            .open(&root, "/etc/secret/key", OpenFlags::create(), 0o666)
+            .unwrap();
+        k.close(&root, fd).unwrap();
+        k.mkdir(&root, "/vault", 0o777).unwrap();
+
+        let alice = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1000, 1000));
+        // MAC denies the read despite permissive mode bits; repeats (the
+        // memoized-PCC path) stay denied.
+        for _ in 0..3 {
+            assert_eq!(
+                k.open(&alice, "/etc/secret/key", OpenFlags::read_only(), 0)
+                    .unwrap_err(),
+                FsError::Access
+            );
+        }
+        // stat (no read intent) still passes DAC+MAC search rules.
+        assert!(k.stat(&alice, "/etc/secret/key").is_ok());
+        // The wildcard rule binds root too (mandatory, not discretionary).
+        assert_eq!(
+            k.open(&root, "/vault/w", OpenFlags::create(), 0o644)
+                .unwrap_err(),
+            FsError::Access
+        );
+    }
+}
+
+#[test]
+fn at_family_with_moving_dirfd() {
+    both(|k, root| {
+        k.mkdir(&root, "/a", 0o755).unwrap();
+        k.mkdir(&root, "/a/sub", 0o755).unwrap();
+        let fd = k.open(&root, "/a/sub/f", OpenFlags::create(), 0o644).unwrap();
+        k.close(&root, fd).unwrap();
+        let dirfd = k.open(&root, "/a/sub", OpenFlags::directory(), 0).unwrap();
+        assert!(k.fstatat(&root, dirfd, "f", false).is_ok());
+        // Renaming the directory does not invalidate the handle: lookups
+        // through the dirfd keep working on the moved directory.
+        k.rename(&root, "/a/sub", "/a/moved").unwrap();
+        assert!(k.fstatat(&root, dirfd, "f", false).is_ok());
+        assert_eq!(k.stat(&root, "/a/sub/f"), Err(FsError::NoEnt));
+        assert!(k.stat(&root, "/a/moved/f").is_ok());
+        // unlinkat through the handle.
+        k.unlinkat(&root, dirfd, "f", false).unwrap();
+        assert_eq!(k.fstatat(&root, dirfd, "f", false), Err(FsError::NoEnt));
+        k.close(&root, dirfd).unwrap();
+    });
+}
+
+#[test]
+fn open_flags_matrix() {
+    both(|k, root| {
+        let fd = k.open(&root, "/f", OpenFlags::create(), 0o644).unwrap();
+        k.write_fd(&root, fd, b"0123456789").unwrap();
+        k.close(&root, fd).unwrap();
+        // O_EXCL on existing.
+        assert_eq!(
+            k.open(&root, "/f", OpenFlags::create_excl(), 0o644)
+                .unwrap_err(),
+            FsError::Exist
+        );
+        // O_TRUNC empties.
+        let fd = k.open(&root, "/f", OpenFlags::create(), 0o644).unwrap();
+        k.close(&root, fd).unwrap();
+        assert_eq!(k.stat(&root, "/f").unwrap().size, 0);
+        // O_APPEND writes at the end.
+        let mut fl = OpenFlags::read_write();
+        fl.append = true;
+        let fd = k.open(&root, "/f", fl, 0).unwrap();
+        k.write_fd(&root, fd, b"aa").unwrap();
+        k.write_fd(&root, fd, b"bb").unwrap();
+        k.close(&root, fd).unwrap();
+        assert_eq!(k.stat(&root, "/f").unwrap().size, 4);
+        // O_DIRECTORY on a file.
+        assert_eq!(
+            k.open(&root, "/f", OpenFlags::directory(), 0).unwrap_err(),
+            FsError::NotDir
+        );
+        // Write to a directory.
+        k.mkdir(&root, "/d", 0o755).unwrap();
+        assert_eq!(
+            k.open(&root, "/d", OpenFlags::read_write(), 0).unwrap_err(),
+            FsError::IsDir
+        );
+        // O_NOFOLLOW on a symlink.
+        k.symlink(&root, "/f", "/lnk").unwrap();
+        let mut nf = OpenFlags::read_only();
+        nf.nofollow = true;
+        assert_eq!(k.open(&root, "/lnk", nf, 0).unwrap_err(), FsError::Loop);
+    });
+}
+
+#[test]
+fn io_through_handles() {
+    both(|k, root| {
+        let fd = k.open(&root, "/io", OpenFlags::create(), 0o644).unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(k.write_fd(&root, fd, &payload).unwrap(), payload.len());
+        k.close(&root, fd).unwrap();
+        let fd = k.open(&root, "/io", OpenFlags::read_only(), 0).unwrap();
+        let first = k.read_fd(&root, fd, 4096).unwrap();
+        assert_eq!(&first[..], &payload[..4096]);
+        let second = k.read_fd(&root, fd, 4096).unwrap();
+        assert_eq!(&second[..], &payload[4096..8192]);
+        let mid = k.pread(&root, fd, 100, 64).unwrap();
+        assert_eq!(&mid[..], &payload[100..164]);
+        k.lseek(&root, fd, 9990).unwrap();
+        assert_eq!(k.read_fd(&root, fd, 100).unwrap().len(), 10);
+        // Reads on a write-only handle are EBADF.
+        k.close(&root, fd).unwrap();
+        let mut wo = OpenFlags::default();
+        wo.write = true;
+        let fd = k.open(&root, "/io", wo, 0).unwrap();
+        assert_eq!(k.read_fd(&root, fd, 1), Err(FsError::BadF));
+        k.close(&root, fd).unwrap();
+        // fstat on a closed fd.
+        assert_eq!(k.fstat(&root, fd), Err(FsError::BadF));
+    });
+}
+
+#[test]
+fn unlinked_open_file_semantics() {
+    both(|k, root| {
+        let fd = k.open(&root, "/ghost", OpenFlags::create(), 0o644).unwrap();
+        k.write_fd(&root, fd, b"boo").unwrap();
+        k.unlink(&root, "/ghost").unwrap();
+        // The path is gone...
+        assert_eq!(k.stat(&root, "/ghost"), Err(FsError::NoEnt));
+        // ...but the handle still answers fstat from the cached inode.
+        assert_eq!(k.fstat(&root, fd).unwrap().size, 3);
+        k.close(&root, fd).unwrap();
+    });
+}
+
+#[test]
+fn chown_rules() {
+    both(|k, root| {
+        let fd = k.open(&root, "/owned", OpenFlags::create(), 0o644).unwrap();
+        k.close(&root, fd).unwrap();
+        k.chown(&root, "/owned", Some(1000), Some(100)).unwrap();
+        let owner = k.spawn_with_cred(
+            &root,
+            CredBuilder::new(1000, 100).with_groups(&[200]).build(),
+        );
+        // Owner may change the group to one they belong to...
+        assert!(k.chown(&owner, "/owned", None, Some(200)).is_ok());
+        // ...but not give the file away or join foreign groups.
+        assert_eq!(
+            k.chown(&owner, "/owned", Some(1001), None),
+            Err(FsError::Perm)
+        );
+        assert_eq!(
+            k.chown(&owner, "/owned", None, Some(999)),
+            Err(FsError::Perm)
+        );
+        // chmod is owner-or-root.
+        assert!(k.chmod(&owner, "/owned", 0o600).is_ok());
+        let other = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1001, 101));
+        assert_eq!(k.chmod(&other, "/owned", 0o777), Err(FsError::Perm));
+    });
+}
