@@ -9,11 +9,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dc_bench::setup::{config_pair, kernel_with};
 use dc_vfs::OpenFlags;
+use dc_workloads::apache;
 use dc_workloads::apps::{find_name, updatedb};
 use dc_workloads::lmbench::{self, Pattern};
 use dc_workloads::maildir::MaildirSim;
 use dc_workloads::tree::{build_flat_dir, build_subtree, build_tree, TreeSpec};
-use dc_workloads::apache;
 use dcache_core::DcacheConfig;
 
 /// Figure 2/6: stat latency per path pattern, per configuration.
@@ -22,18 +22,19 @@ fn bench_stat_patterns(c: &mut Criterion) {
     for (name, config) in config_pair() {
         let s = kernel_with(config);
         lmbench::setup(&s.kernel, &s.proc).unwrap();
-        for pat in [Pattern::Comp1, Pattern::Comp4, Pattern::Comp8, Pattern::NegF] {
+        for pat in [
+            Pattern::Comp1,
+            Pattern::Comp4,
+            Pattern::Comp8,
+            Pattern::NegF,
+        ] {
             // Warm both paths.
             let _ = s.kernel.stat(&s.proc, pat.path());
-            g.bench_with_input(
-                BenchmarkId::new(name, pat.label()),
-                &pat,
-                |b, pat| {
-                    b.iter(|| {
-                        let _ = std::hint::black_box(s.kernel.stat(&s.proc, pat.path()));
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, pat.label()), &pat, |b, pat| {
+                b.iter(|| {
+                    let _ = std::hint::black_box(s.kernel.stat(&s.proc, pat.path()));
+                })
+            });
         }
     }
     g.finish();
@@ -105,9 +106,7 @@ fn bench_mkstemp(c: &mut Criterion) {
             b.iter(|| {
                 let (fd, nm) = s.kernel.mkstemp(&s.proc, "/tmp1000", "t-").unwrap();
                 s.kernel.close(&s.proc, fd).unwrap();
-                s.kernel
-                    .unlink(&s.proc, &format!("/tmp1000/{nm}"))
-                    .unwrap();
+                s.kernel.unlink(&s.proc, &format!("/tmp1000/{nm}")).unwrap();
             })
         });
     }
@@ -141,9 +140,7 @@ fn bench_apache(c: &mut Criterion) {
         let _ = apache::listing_request(&s.kernel, &s.proc, "/www").unwrap();
         g.bench_function(BenchmarkId::new(name, "100"), |b| {
             b.iter(|| {
-                std::hint::black_box(
-                    apache::listing_request(&s.kernel, &s.proc, "/www").unwrap(),
-                );
+                std::hint::black_box(apache::listing_request(&s.kernel, &s.proc, "/www").unwrap());
             })
         });
     }
@@ -176,12 +173,7 @@ fn bench_sighash(c: &mut Criterion) {
     ];
     g.bench_function("8comp-signature", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                s.kernel
-                    .dcache
-                    .key
-                    .hash_components(comps.iter().copied()),
-            );
+            std::hint::black_box(s.kernel.dcache.key.hash_components(comps.iter().copied()));
         })
     });
     g.finish();

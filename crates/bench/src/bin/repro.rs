@@ -1,35 +1,60 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] <experiment>...
+//! repro [--full] [--metrics-out <path>] <experiment>...
 //! experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10
 //!              table1 table2 table3 table4 space ablation pcc rename-scale all
 //! ```
 //!
 //! Default scale is `--quick` (seconds per experiment); `--full`
 //! approaches the paper's parameters (minutes).
+//!
+//! `--metrics-out <path>` runs the observability workload and writes
+//! the unified metrics snapshot (latency histograms, trace-event
+//! counters, dcache/syscall/page-cache stats) as JSON to `path`. It
+//! may be given alone or combined with experiments; when combined, the
+//! metrics dump runs after the experiments finish.
 
 use dc_bench::{figs, Scale};
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--full] [--metrics-out <path>] <experiment>...\n\
+         experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
+         \x20            table1 table2 table3 table4 space ablation pcc rename-scale all"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::quick() };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.as_str())
-        .collect();
-    if wanted.is_empty() {
-        eprintln!(
-            "usage: repro [--full] <experiment>...\n\
-             experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
-             \x20            table1 table2 table3 table4 space ablation pcc rename-scale all"
-        );
-        std::process::exit(2);
+    let mut full = false;
+    let mut metrics_out: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out requires a path argument");
+                    usage();
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            _ => wanted.push(a),
+        }
     }
-    for w in wanted {
-        match w {
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    if wanted.is_empty() && metrics_out.is_none() {
+        usage();
+    }
+    for w in &wanted {
+        match w.as_str() {
             "fig1" => figs::fig1(scale),
             "fig2" => figs::fig2(scale),
             "fig3" => figs::fig3(scale),
@@ -51,6 +76,12 @@ fn main() {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
             }
+        }
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = figs::metrics(scale, &path) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

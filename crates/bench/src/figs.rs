@@ -1,8 +1,11 @@
 //! One function per table/figure of the paper's evaluation (§6).
 
-use crate::setup::{config_pair, kernel_with, kernel_with_disk, kernel_with_disk_full, Scale, Setup};
-use crate::table::{gain_pct, us, Table};
-use dc_vfs::{Cred, Kernel, OpenFlags, Process};
+use crate::setup::{
+    config_pair, kernel_with, kernel_with_disk, kernel_with_disk_full, kernel_with_obs, Scale,
+    Setup,
+};
+use crate::table::{gain_pct, pct, us, Table};
+use dc_vfs::{Cred, Kernel, OpClass, OpenFlags, Process};
 use dc_workloads::apps::{
     du_s, find_name, git_diff, git_status, git_write_index, make_build, rm_r, tar_extract,
     AppReport,
@@ -55,11 +58,14 @@ pub fn fig2(scale: Scale) {
         ("v3.14-like (optimistic walk)", DcacheConfig::baseline()),
         ("optimized (this design)", DcacheConfig::optimized()),
     ];
-    let mut t = Table::new(&["kernel", "stat (µs)", "vs v3.14"]);
+    let mut t = Table::new(&["kernel", "stat (µs)", "p50 (µs)", "p99 (µs)", "vs v3.14"]);
     let mut base = 0.0f64;
     for (name, config) in configs {
-        let s = kernel_with(config);
+        let s = kernel_with_obs(config);
         lmbench::setup(&s.kernel, &s.proc).unwrap();
+        // Discard setup-phase samples so the histogram covers only the
+        // measured stat loop.
+        s.kernel.reset_stats();
         let lat = lmbench::stat_latency(&s.kernel, &s.proc, Pattern::Comp8, scale.batches);
         if name.contains("v3.14") {
             base = lat.median_ns;
@@ -69,7 +75,16 @@ pub fn fig2(scale: Scale) {
         } else {
             "-".to_string()
         };
-        t.row(vec![name.to_string(), us(lat.median_ns), rel]);
+        let (p50, p99) = s
+            .kernel
+            .obs()
+            .obs()
+            .map(|o| {
+                let h = o.hist(OpClass::AccessStat).summary();
+                (us(h.p50_ns as f64), us(h.p99_ns as f64))
+            })
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        t.row(vec![name.to_string(), us(lat.median_ns), p50, p99, rel]);
     }
     t.print();
 }
@@ -91,18 +106,20 @@ pub fn fig3(scale: Scale) {
         ("8-comp", Pattern::Comp8),
     ];
     let mut t = Table::new(&[
-        "path", "config", "total", "hashing", "table", "permission", "init+final",
+        "path",
+        "config",
+        "total",
+        "hashing",
+        "table",
+        "permission",
+        "init+final",
     ]);
     for (name, config) in config_pair() {
         let s = kernel_with(config.clone());
         lmbench::setup(&s.kernel, &s.proc).unwrap();
         for (label, pat) in paths {
             let total = lmbench::stat_latency(&s.kernel, &s.proc, pat, scale.batches).median_ns;
-            let comps: Vec<&str> = pat
-                .path()
-                .split('/')
-                .filter(|c| !c.is_empty())
-                .collect();
+            let comps: Vec<&str> = pat.path().split('/').filter(|c| !c.is_empty()).collect();
             // Path scanning & hashing: the signature computation.
             let key = &s.kernel.dcache.key;
             let hashing = latency_ns(scale.batches, 4000, || {
@@ -209,7 +226,13 @@ pub fn fig6(scale: Scale) {
         setups.push((name, s));
     }
     let mut t = Table::new(&[
-        "pattern", "stat unmod", "stat opt", "stat miss", "stat lex*", "open unmod", "open opt",
+        "pattern",
+        "stat unmod",
+        "stat opt",
+        "stat miss",
+        "stat lex*",
+        "open unmod",
+        "open opt",
     ]);
     for pat in Pattern::all() {
         let mut stat_cells = Vec::new();
@@ -234,10 +257,10 @@ pub fn fig6(scale: Scale) {
     t.print();
     // §6.1 *at() variants.
     let mut t2 = Table::new(&["*at() variant", "unmod (µs)", "opt (µs)", "gain"]);
-    let fu = lmbench::fstatat_latency(&setups[0].1.kernel, &setups[0].1.proc, scale.batches)
-        .unwrap();
-    let fo = lmbench::fstatat_latency(&setups[1].1.kernel, &setups[1].1.proc, scale.batches)
-        .unwrap();
+    let fu =
+        lmbench::fstatat_latency(&setups[0].1.kernel, &setups[0].1.proc, scale.batches).unwrap();
+    let fo =
+        lmbench::fstatat_latency(&setups[1].1.kernel, &setups[1].1.proc, scale.batches).unwrap();
     t2.row(vec![
         "fstatat 1-comp".to_string(),
         us(fu.median_ns),
@@ -264,7 +287,13 @@ pub fn fig7(scale: Scale) {
         ("depth=4, 10000 files", 4, scale.max_subtree),
     ];
     let mut t = Table::new(&[
-        "shape", "chmod unmod", "chmod opt", "slowdown", "rename unmod", "rename opt", "slowdown",
+        "shape",
+        "chmod unmod",
+        "chmod opt",
+        "slowdown",
+        "rename unmod",
+        "rename opt",
+        "slowdown",
     ]);
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); shapes.len()];
     for (_, config) in config_pair() {
@@ -331,7 +360,11 @@ pub fn fig7(scale: Scale) {
 pub fn fig8(scale: Scale) {
     banner("Figure 8: stat/open latency vs threads (µs)");
     let mut t = Table::new(&[
-        "threads", "stat unmod", "open unmod", "stat opt", "open opt",
+        "threads",
+        "stat unmod",
+        "open unmod",
+        "stat opt",
+        "open opt",
     ]);
     let mut rows: Vec<Vec<String>> = (1..=scale.max_threads)
         .map(|n| vec![n.to_string()])
@@ -411,7 +444,12 @@ pub fn fig9(scale: Scale) {
         .filter(|&s| s <= scale.max_dir)
         .collect();
     let mut t = Table::new(&[
-        "entries", "readdir unmod", "readdir opt", "gain", "mkstemp unmod", "mkstemp opt",
+        "entries",
+        "readdir unmod",
+        "readdir opt",
+        "gain",
+        "mkstemp unmod",
+        "mkstemp opt",
     ]);
     let mut cells: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for (_, config) in config_pair() {
@@ -476,8 +514,7 @@ pub fn fig10(scale: Scale) {
         let s = kernel_with_disk_full(config, 50_000, 50_000, 25_000);
         for (i, &n) in sizes.iter().enumerate() {
             let root = format!("/mail{i}");
-            let mut sim =
-                MaildirSim::provision(&s.kernel, &s.proc, &root, 10, n, 42).unwrap();
+            let mut sim = MaildirSim::provision(&s.kernel, &s.proc, &root, 10, n, 42).unwrap();
             // Warm one round.
             for _ in 0..20 {
                 sim.mark_one(&s.kernel, &s.proc).unwrap();
@@ -508,10 +545,10 @@ pub struct AppRun {
     pub name: &'static str,
     /// The emulator's report.
     pub report: AppReport,
-    /// Cache hit rate during the measured run.
-    pub hit_pct: f64,
-    /// Negative-dentry answer rate.
-    pub neg_pct: f64,
+    /// Cache hit rate during the measured run (fraction, 0..=1).
+    pub hit_rate: f64,
+    /// Negative-dentry answer rate (fraction, 0..=1).
+    pub neg_rate: f64,
     /// Fraction of wall time inside path-based syscalls (Figure 1).
     pub path_fraction: f64,
 }
@@ -533,31 +570,30 @@ pub fn run_apps(config: DcacheConfig, scale: Scale, cold: bool) -> Vec<AppRun> {
     // Best-of-N per application: single millisecond-scale runs are too
     // noisy to compare configurations. Counters reflect the final rep.
     let reps: usize = if cold { 2 } else { 3 };
-    let measured = |name: &'static str,
-                    out: &mut Vec<AppRun>,
-                    run: &mut dyn FnMut(usize) -> AppReport| {
-        let mut best: Option<AppReport> = None;
-        for rep in 0..reps {
-            if cold {
-                k.drop_caches();
+    let measured =
+        |name: &'static str, out: &mut Vec<AppRun>, run: &mut dyn FnMut(usize) -> AppReport| {
+            let mut best: Option<AppReport> = None;
+            for rep in 0..reps {
+                if cold {
+                    k.drop_caches();
+                }
+                k.reset_stats();
+                let report = run(rep);
+                if best.as_ref().is_none_or(|b| report.wall_ns < b.wall_ns) {
+                    best = Some(report);
+                }
             }
-            k.reset_stats();
-            let report = run(rep);
-            if best.as_ref().map_or(true, |b| report.wall_ns < b.wall_ns) {
-                best = Some(report);
-            }
-        }
-        let report = best.expect("at least one rep");
-        let stats = &k.dcache.stats;
-        let path_ns = k.timing.path_syscall_ns();
-        out.push(AppRun {
-            name,
-            hit_pct: stats.hit_rate() * 100.0,
-            neg_pct: stats.negative_rate() * 100.0,
-            path_fraction: path_ns as f64 / report.wall_ns.max(1) as f64,
-            report,
-        });
-    };
+            let report = best.expect("at least one rep");
+            let stats = &k.dcache.stats;
+            let path_ns = k.timing.path_syscall_ns();
+            out.push(AppRun {
+                name,
+                hit_rate: stats.hit_rate(),
+                neg_rate: stats.neg_hit_rate(),
+                path_fraction: path_ns as f64 / report.wall_ns.max(1) as f64,
+                report,
+            });
+        };
 
     // find: warm pass, then measured.
     let _ = find_name(k, p, "/src", "core").unwrap();
@@ -610,7 +646,14 @@ pub fn run_apps(config: DcacheConfig, scale: Scale, cold: bool) -> Vec<AppRun> {
 fn app_table(title: &str, scale: Scale, cold: bool) {
     banner(title);
     let mut t = Table::new(&[
-        "application", "l", "#", "unmod (s)", "hit%", "neg%", "opt (s)", "gain",
+        "application",
+        "l",
+        "#",
+        "unmod (s)",
+        "hit%",
+        "neg%",
+        "opt (s)",
+        "gain",
     ]);
     let unmod = run_apps(DcacheConfig::baseline(), scale, cold);
     let opt = run_apps(DcacheConfig::optimized(), scale, cold);
@@ -620,8 +663,8 @@ fn app_table(title: &str, scale: Scale, cold: bool) {
             format!("{:.0}", u.report.avg_path_len()),
             format!("{:.0}", u.report.avg_components()),
             format!("{:.4}", u.report.seconds()),
-            format!("{:.1}", u.hit_pct),
-            format!("{:.2}", u.neg_pct * 100.0 / 100.0),
+            pct(u.hit_rate),
+            pct(u.neg_rate),
             format!("{:.4}", o.report.seconds()),
             gain_pct(u.report.seconds(), o.report.seconds()),
         ]);
@@ -631,11 +674,7 @@ fn app_table(title: &str, scale: Scale, cold: bool) {
 
 /// Table 1: warm-cache application benchmarks.
 pub fn table1(scale: Scale) {
-    app_table(
-        "Table 1: application benchmarks, warm cache",
-        scale,
-        false,
-    );
+    app_table("Table 1: application benchmarks, warm cache", scale, false);
 }
 
 /// Table 2: cold-cache application benchmarks.
@@ -938,7 +977,9 @@ pub fn rename_scalability(scale: Scale) {
             rows[i].push(us(lat));
             // Restore names for the next round.
             for tid in 0..n {
-                let _ = s.kernel.rename(&s.proc, &format!("/r{tid}-b"), &format!("/r{tid}-a"));
+                let _ = s
+                    .kernel
+                    .rename(&s.proc, &format!("/r{tid}-b"), &format!("/r{tid}-a"));
             }
         }
     }
@@ -978,6 +1019,46 @@ fn parallel_latency_indexed(
     let elapsed = t0.elapsed().as_nanos() as f64;
     let ops = total_ops.load(Ordering::Relaxed).max(1) as f64;
     elapsed * n as f64 / ops
+}
+
+// ---------------------------------------------------------------------
+// Metrics dump: the observability subsystem end-to-end.
+// ---------------------------------------------------------------------
+
+/// Drives a mixed metadata workload (stat/open/unlink plus the tree
+/// build's mkdir/create/write) on an observability-enabled optimized
+/// kernel, prints the unified metrics snapshot, and writes the JSON
+/// export to `out`. Returns the write error, if any, so the caller
+/// can exit non-zero.
+pub fn metrics(scale: Scale, out: &str) -> std::io::Result<()> {
+    banner("Metrics: unified observability snapshot (optimized config)");
+    let s = kernel_with_obs(DcacheConfig::optimized());
+    let k = &s.kernel;
+    let p = &s.proc;
+    let spec = TreeSpec::source_like(scale.tree_files);
+    let m = build_tree(k, p, "/src", &spec).unwrap();
+    // Drop construction-phase samples; everything below is measured.
+    k.reset_stats();
+    for d in &m.dirs {
+        k.stat(p, d).unwrap();
+    }
+    for f in &m.files {
+        k.stat(p, f).unwrap();
+        let fd = k.open(p, f, OpenFlags::read_only(), 0).unwrap();
+        k.close(p, fd).unwrap();
+    }
+    // Misses exercise the negative path and the slowpath refill.
+    for i in 0..m.files.len().min(200) {
+        let _ = k.stat(p, &format!("/src/no-such-{i}"));
+    }
+    for f in m.files.iter().step_by(4) {
+        k.unlink(p, f).unwrap();
+    }
+    let snap = s.kernel.metrics_snapshot();
+    print!("{}", snap.to_text());
+    std::fs::write(out, snap.to_json())?;
+    println!("metrics JSON written to {out}");
+    Ok(())
 }
 
 /// Runs everything in paper order.

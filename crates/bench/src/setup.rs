@@ -2,6 +2,7 @@
 
 use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
 use dc_fs::{FileSystem, MemFs, MemFsConfig};
+use dc_obs::ObsConfig;
 use dc_vfs::{Kernel, KernelBuilder, Process};
 use dcache_core::DcacheConfig;
 use std::sync::Arc;
@@ -55,6 +56,17 @@ pub fn kernel_with_disk_full(
     .expect("mkfs");
     let kernel = KernelBuilder::new(config)
         .root_fs(fs as Arc<dyn FileSystem>)
+        .build()
+        .expect("kernel construction");
+    let proc = kernel.init_process();
+    Setup { kernel, proc }
+}
+
+/// Builds a kernel with the observability subsystem enabled: latency
+/// histograms, the trace ring, and the event counters all record.
+pub fn kernel_with_obs(config: DcacheConfig) -> Setup {
+    let kernel = KernelBuilder::new(config)
+        .observability(ObsConfig::default())
         .build()
         .expect("kernel construction");
     let proc = kernel.init_process();

@@ -63,6 +63,11 @@ pub fn us(ns: f64) -> String {
     format!("{:.2}", ns / 1000.0)
 }
 
+/// Formats a fraction (0.0..=1.0) as a percentage with 2 decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
 /// Formats a gain percentage `(base - new) / base`.
 pub fn gain_pct(base: f64, new: f64) -> String {
     if base <= 0.0 {
@@ -90,6 +95,8 @@ mod tests {
     #[test]
     fn helpers_format() {
         assert_eq!(us(1234.0), "1.23");
+        assert_eq!(pct(0.756), "75.60");
+        assert_eq!(pct(0.0), "0.00");
         assert_eq!(gain_pct(100.0, 74.0), "+26.0%");
         assert_eq!(gain_pct(100.0, 112.0), "-12.0%");
         assert_eq!(gain_pct(0.0, 5.0), "n/a");

@@ -1,0 +1,67 @@
+//! The `--metrics-out` export end-to-end: the metrics workload's JSON
+//! must carry the schema tag, per-op latency histograms for at least
+//! stat/open/unlink, and event counters that reconcile with the
+//! dcache section.
+
+use dc_bench::setup::kernel_with_obs;
+use dc_vfs::OpenFlags;
+use dcache_core::DcacheConfig;
+
+#[test]
+fn metrics_snapshot_json_is_complete() {
+    let s = kernel_with_obs(DcacheConfig::optimized());
+    let k = &s.kernel;
+    let p = &s.proc;
+    k.mkdir(p, "/w", 0o755).unwrap();
+    for i in 0..30 {
+        let path = format!("/w/f{i}");
+        let fd = k.open(p, &path, OpenFlags::create(), 0o644).unwrap();
+        k.close(p, fd).unwrap();
+        k.stat(p, &path).unwrap();
+        let fd = k.open(p, &path, OpenFlags::read_only(), 0).unwrap();
+        k.close(p, fd).unwrap();
+    }
+    for i in 0..10 {
+        k.unlink(p, &format!("/w/f{i}")).unwrap();
+    }
+
+    let json = k.metrics_snapshot().to_json();
+    assert!(json.contains("\"schema\": \"dcache-metrics/v1\""));
+    for section in ["\"dcache\"", "\"syscalls\"", "\"events\"", "\"rates\""] {
+        assert!(json.contains(section), "missing section {section}");
+    }
+    for rate in [
+        "\"dcache.hit_rate\"",
+        "\"dcache.fastpath_rate\"",
+        "\"dcache.neg_hit_rate\"",
+    ] {
+        assert!(json.contains(rate), "missing rate {rate}");
+    }
+    // Histograms for the three headline ops, each with percentiles.
+    let hist_section = json
+        .split("\"histograms\"")
+        .nth(1)
+        .expect("histograms section present");
+    for op in ["\"stat\"", "\"open\"", "\"unlink\""] {
+        assert!(hist_section.contains(op), "missing histogram for {op}");
+    }
+    assert!(hist_section.contains("\"p50_ns\""));
+    assert!(hist_section.contains("\"p99_ns\""));
+
+    // Event counters reconcile with the dcache section.
+    let count_of = |key: &str| -> u64 {
+        let pat = format!("\"{key}\": ");
+        let at = json.find(&pat).unwrap_or_else(|| panic!("{key} missing"));
+        json[at + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(count_of("lookup_start"), count_of("lookups"));
+    assert_eq!(count_of("slow_step"), count_of("slow_steps"));
+    assert_eq!(count_of("fs_miss"), count_of("miss_fs"));
+    assert_eq!(count_of("seq_retry"), count_of("slow_retries"));
+    assert!(count_of("lookups") > 0);
+}

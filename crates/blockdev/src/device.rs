@@ -3,9 +3,11 @@
 use crate::latency::LatencyModel;
 use crate::BLOCK_SIZE;
 use bytes::Bytes;
+use dc_obs::{Recorder, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Errors surfaced by the block layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,10 @@ pub struct RawDisk {
     latency: LatencyModel,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Observability hook, attached after construction (disks are built
+    /// deep inside FS setup, before any kernel exists). `OnceLock` keeps
+    /// the read side lock-free; first attachment wins.
+    obs: OnceLock<Recorder>,
 }
 
 impl RawDisk {
@@ -83,7 +89,14 @@ impl RawDisk {
             latency,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches an observability recorder; every device access reports a
+    /// `BlockIo` span from then on. Later attachments are ignored.
+    pub fn attach_recorder(&self, obs: Recorder) {
+        let _ = self.obs.set(obs);
     }
 
     /// Block size in bytes.
@@ -111,6 +124,12 @@ impl RawDisk {
         self.check(block)?;
         self.latency.charge_read();
         self.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.event(|| TraceEvent::BlockIo {
+                blks: 1,
+                ns: self.latency.read_cost_ns(),
+            });
+        }
         let guard = self.blocks.lock();
         Ok(match guard.get(&block) {
             Some(b) => b.clone(),
@@ -129,7 +148,15 @@ impl RawDisk {
         }
         self.latency.charge_write();
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.blocks.lock().insert(block, Bytes::copy_from_slice(data));
+        if let Some(obs) = self.obs.get() {
+            obs.event(|| TraceEvent::BlockIo {
+                blks: 1,
+                ns: self.latency.write_cost_ns(),
+            });
+        }
+        self.blocks
+            .lock()
+            .insert(block, Bytes::copy_from_slice(data));
         Ok(())
     }
 

@@ -81,6 +81,16 @@ impl LatencyModel {
         }
     }
 
+    /// Configured cost of one read access, nanoseconds.
+    pub fn read_cost_ns(&self) -> u64 {
+        self.read_ns
+    }
+
+    /// Configured cost of one write access, nanoseconds.
+    pub fn write_cost_ns(&self) -> u64 {
+        self.write_ns
+    }
+
     /// Total simulated device time charged so far, in nanoseconds.
     pub fn accounted_ns(&self) -> u64 {
         self.accounted_ns.load(Ordering::Relaxed)

@@ -75,6 +75,13 @@ impl CachedDisk {
         self.disk.latency()
     }
 
+    /// Attaches an observability recorder to the underlying device;
+    /// reads and writes that reach it (i.e. page-cache misses and
+    /// writebacks) report `BlockIo` spans from then on.
+    pub fn attach_recorder(&self, obs: dc_obs::Recorder) {
+        self.disk.attach_recorder(obs);
+    }
+
     /// Creates a cached disk per `config`.
     pub fn new(config: DiskConfig) -> Self {
         let DiskConfig {

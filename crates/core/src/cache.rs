@@ -9,6 +9,7 @@ use crate::pcc::Pcc;
 use crate::seqlock::SeqLock;
 use crate::stats::{DcacheStats, SpaceReport};
 use dc_cred::Cred;
+use dc_obs::{Recorder, TraceEvent};
 use dc_sighash::HashKey;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -31,6 +32,9 @@ pub struct Dcache {
     pub key: HashKey,
     /// Behavior counters.
     pub stats: DcacheStats,
+    /// Observability hook: DLHT probes and PCC checks report here (a
+    /// disabled recorder — the default — drops them for free).
+    pub obs: Recorder,
     /// Global rename seqlock: writers are structural mutations, readers
     /// are optimistic slowpath walks (§3.2).
     pub rename_lock: SeqLock,
@@ -52,6 +56,15 @@ impl Dcache {
     ///
     /// Panics if the configuration fails [`DcacheConfig::validate`].
     pub fn new(config: DcacheConfig) -> Arc<Dcache> {
+        Dcache::new_with_obs(config, Recorder::disabled())
+    }
+
+    /// Builds a cache that reports DLHT probes and PCC checks to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DcacheConfig::validate`].
+    pub fn new_with_obs(config: DcacheConfig, obs: Recorder) -> Arc<Dcache> {
         config.validate().expect("invalid dcache config");
         let key = match config.hash_seed {
             Some(seed) => HashKey::from_seed(seed),
@@ -61,6 +74,7 @@ impl Dcache {
             config,
             key,
             stats: DcacheStats::default(),
+            obs,
             rename_lock: SeqLock::new(),
             dlhts: RwLock::new(HashMap::new()),
             lru: DentryLru::new(8),
@@ -103,12 +117,7 @@ impl Dcache {
     ///
     /// The caller holds `parent.dir_lock()` and has verified no live child
     /// exists for `name`.
-    pub fn d_alloc(
-        &self,
-        parent: &Arc<Dentry>,
-        name: &str,
-        state: DentryState,
-    ) -> Arc<Dentry> {
+    pub fn d_alloc(&self, parent: &Arc<Dentry>, name: &str, state: DentryState) -> Arc<Dentry> {
         let d = Dentry::new(
             self.alloc_id(),
             parent.sb(),
@@ -224,7 +233,10 @@ impl Dcache {
 
     /// Direct lookup by full-path signature in namespace `ns`.
     pub fn dlht_lookup(&self, ns: NsId, sig: &crate::Signature) -> Option<Arc<Dentry>> {
-        self.dlht_for(ns).lookup(sig)
+        let found = self.dlht_for(ns).lookup(sig);
+        let hit = found.is_some();
+        self.obs.event(|| TraceEvent::DlhtProbe { hit });
+        found
     }
 
     /// Publishes `dentry` under `sig` in namespace `ns`'s DLHT, evicting
@@ -260,7 +272,7 @@ impl Dcache {
         let bytes = self.config.pcc_bytes;
         let mut created: Option<Arc<Pcc>> = None;
         let any = cred.cache_for(ns, || {
-            let pcc = Arc::new(Pcc::new(bytes));
+            let pcc = Arc::new(Pcc::new_with_obs(bytes, self.obs.clone()));
             created = Some(pcc.clone());
             pcc
         });
@@ -391,12 +403,7 @@ impl Dcache {
 
     /// Space-overhead report (§6.1).
     pub fn space_report(&self) -> SpaceReport {
-        let dlht_bytes = self
-            .dlhts
-            .read()
-            .values()
-            .map(|t| t.approx_bytes())
-            .sum();
+        let dlht_bytes = self.dlhts.read().values().map(|t| t.approx_bytes()).sum();
         let pccs = {
             let mut list = self.pccs.lock();
             list.retain(|w| w.upgrade().is_some());
@@ -601,7 +608,10 @@ mod tests {
         assert!(!Arc::ptr_eq(&p1, &p3), "namespaces get private PCCs");
         let other = dc_cred::Cred::user(1000, 1000);
         let p4 = dc.pcc_for(&other, 0);
-        assert!(!Arc::ptr_eq(&p1, &p4), "distinct cred objects get their own");
+        assert!(
+            !Arc::ptr_eq(&p1, &p4),
+            "distinct cred objects get their own"
+        );
         // Global flush reaches them all.
         p1.insert(5, 1);
         p4.insert(6, 1);

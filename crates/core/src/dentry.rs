@@ -278,9 +278,7 @@ impl Dentry {
     /// Resolves a symlink alias to `(target, recorded_target_seq)`.
     pub fn alias_target(&self) -> Option<(Arc<Dentry>, u64)> {
         match &*self.state.read() {
-            DentryState::SymlinkAlias { target, target_seq } => {
-                Some((target.clone(), *target_seq))
-            }
+            DentryState::SymlinkAlias { target, target_seq } => Some((target.clone(), *target_seq)),
             _ => None,
         }
     }
@@ -532,7 +530,14 @@ mod tests {
     use super::*;
 
     fn detached(id: u64, name: &str, parent: Option<Arc<Dentry>>) -> Arc<Dentry> {
-        Dentry::new(id, 1, name, parent, DentryState::Negative(NegKind::Enoent), 0)
+        Dentry::new(
+            id,
+            1,
+            name,
+            parent,
+            DentryState::Negative(NegKind::Enoent),
+            0,
+        )
     }
 
     #[test]
@@ -635,7 +640,14 @@ mod listing_tests {
     use dc_fs::DirEntry;
 
     fn neg(id: u64, name: &str, parent: Option<Arc<Dentry>>) -> Arc<Dentry> {
-        Dentry::new(id, 1, name, parent, DentryState::Negative(NegKind::Enoent), 0)
+        Dentry::new(
+            id,
+            1,
+            name,
+            parent,
+            DentryState::Negative(NegKind::Enoent),
+            0,
+        )
     }
 
     #[test]

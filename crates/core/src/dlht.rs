@@ -5,6 +5,9 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
+/// One chained entry: the 240-bit signature lanes + a weak dentry ref.
+type Chain = Vec<([u64; 4], Weak<Dentry>)>;
+
 /// A system-wide (per mount namespace) hash table mapping full-path
 /// signatures directly to dentries.
 ///
@@ -20,7 +23,7 @@ use std::sync::{Arc, Weak};
 pub struct Dlht {
     /// Namespace id this table serves (diagnostics).
     ns: u64,
-    buckets: Vec<RwLock<Vec<([u64; 4], Weak<Dentry>)>>>,
+    buckets: Vec<RwLock<Chain>>,
     mask: usize,
     entries: AtomicU64,
     hits: AtomicU64,
@@ -76,7 +79,9 @@ impl Dlht {
         let before = chain.len();
         let want = sig.sig240();
         chain.retain(|(s, w)| {
-            *s != want || w.upgrade().is_some_and(|d| !d.is_dead() && d.id() != dentry.id())
+            *s != want
+                || w.upgrade()
+                    .is_some_and(|d| !d.is_dead() && d.id() != dentry.id())
         });
         let pruned = before - chain.len();
         chain.push((want, Arc::downgrade(dentry)));
@@ -150,14 +155,7 @@ mod tests {
     use crate::HashKey;
 
     fn dentry(id: u64) -> Arc<Dentry> {
-        Dentry::new(
-            id,
-            1,
-            "n",
-            None,
-            DentryState::Negative(NegKind::Enoent),
-            0,
-        )
+        Dentry::new(id, 1, "n", None, DentryState::Negative(NegKind::Enoent), 0)
     }
 
     #[test]

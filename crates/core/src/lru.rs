@@ -37,7 +37,9 @@ impl DentryLru {
     /// A queue with `shards` independent lock domains.
     pub fn new(shards: usize) -> DentryLru {
         DentryLru {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             next_insert: AtomicUsize::new(0),
             next_scan: AtomicUsize::new(0),
         }

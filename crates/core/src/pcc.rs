@@ -1,6 +1,7 @@
 //! The Prefix Check Cache (§3.1).
 
 use crate::dentry::DentryId;
+use dc_obs::{Recorder, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -77,11 +78,18 @@ pub struct Pcc {
     mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Recorder,
 }
 
 impl Pcc {
     /// A PCC of roughly `bytes` logical capacity (the paper uses 64 KB).
     pub fn new(bytes: usize) -> Pcc {
+        Pcc::new_with_obs(bytes, Recorder::disabled())
+    }
+
+    /// A PCC that additionally reports each check to `obs` as a
+    /// `PccCheck { hit, stale }` span.
+    pub fn new_with_obs(bytes: usize, obs: Recorder) -> Pcc {
         let entries = (bytes / ENTRY_BYTES).max(WAYS);
         let nsets = (entries / WAYS).next_power_of_two();
         let sets = (0..nsets)
@@ -101,6 +109,7 @@ impl Pcc {
             mask: (nsets - 1) as u64,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -116,19 +125,27 @@ impl Pcc {
     pub fn check(&self, id: DentryId, cur_seq: u64) -> bool {
         debug_assert_ne!(id, INVALID);
         let set = self.set_of(id);
+        let mut stale = false;
         for e in &set.ways {
             if let Some((eid, eseq)) = e.read() {
                 if eid == id {
                     if eseq == cur_seq {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.obs.event(|| TraceEvent::PccCheck {
+                            hit: true,
+                            stale: false,
+                        });
                         return true;
                     }
                     // Stale version: a definitive miss for this dentry.
+                    stale = true;
                     break;
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .event(|| TraceEvent::PccCheck { hit: false, stale });
         false
     }
 
@@ -150,8 +167,8 @@ impl Pcc {
                 victim = Some(i);
             }
         }
-        let victim = victim
-            .unwrap_or_else(|| (set.clock.fetch_add(1, Ordering::Relaxed) as usize) % WAYS);
+        let victim =
+            victim.unwrap_or_else(|| (set.clock.fetch_add(1, Ordering::Relaxed) as usize) % WAYS);
         set.ways[victim].write(id, seq);
     }
 

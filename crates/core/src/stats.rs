@@ -96,9 +96,20 @@ impl DcacheStats {
         (1.0 - (miss as f64 / lookups as f64)).max(0.0)
     }
 
+    /// Fraction of fastpath attempts that succeeded outright (DLHT hit +
+    /// PCC hit + valid seq). Zero when the fastpath never ran (baseline
+    /// configurations).
+    pub fn fastpath_rate(&self) -> f64 {
+        let attempts = self.fast_attempts.load(Ordering::Relaxed);
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.fast_hits.load(Ordering::Relaxed) as f64 / attempts as f64
+    }
+
     /// Fraction of lookups answered by a negative dentry (the `neg%`
     /// column of Tables 1–2).
-    pub fn negative_rate(&self) -> f64 {
+    pub fn neg_hit_rate(&self) -> f64 {
         let lookups = self.lookups.load(Ordering::Relaxed);
         if lookups == 0 {
             return 0.0;
@@ -146,15 +157,19 @@ mod tests {
         s.miss_fs.store(10, Ordering::Relaxed);
         s.hit_negative.store(5, Ordering::Relaxed);
         s.fast_neg_hits.store(15, Ordering::Relaxed);
+        s.fast_attempts.store(80, Ordering::Relaxed);
+        s.fast_hits.store(60, Ordering::Relaxed);
         assert!((s.hit_rate() - 0.9).abs() < 1e-9);
-        assert!((s.negative_rate() - 0.2).abs() < 1e-9);
+        assert!((s.neg_hit_rate() - 0.2).abs() < 1e-9);
+        assert!((s.fastpath_rate() - 0.75).abs() < 1e-9);
     }
 
     #[test]
     fn zero_lookups_yield_zero_rates() {
         let s = DcacheStats::default();
         assert_eq!(s.hit_rate(), 0.0);
-        assert_eq!(s.negative_rate(), 0.0);
+        assert_eq!(s.neg_hit_rate(), 0.0);
+        assert_eq!(s.fastpath_rate(), 0.0);
     }
 
     #[test]

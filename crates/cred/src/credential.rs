@@ -102,10 +102,7 @@ impl std::fmt::Debug for Cred {
             .field("uid", &self.uid)
             .field("gid", &self.gid)
             .field("groups", &self.groups)
-            .field(
-                "security",
-                &self.security.as_ref().map(|s| s.label()),
-            )
+            .field("security", &self.security.as_ref().map(|s| s.label()))
             .finish()
     }
 }

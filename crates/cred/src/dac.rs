@@ -33,10 +33,7 @@ impl Lsm for Dac {
         if cred.uid == 0 {
             // Root: read/write always; search on directories always;
             // execute on files only if some execute bit is set.
-            if mask & MAY_EXEC != 0
-                && attr.ftype != FileType::Directory
-                && attr.mode & 0o111 == 0
-            {
+            if mask & MAY_EXEC != 0 && attr.ftype != FileType::Directory && attr.mode & 0o111 == 0 {
                 return Err(FsError::Access);
             }
             return Ok(());
@@ -71,14 +68,7 @@ mod tests {
     }
 
     fn check(cred: &Cred, attr: &InodeAttr, mask: u32) -> FsResult<()> {
-        Dac.inode_permission(
-            cred,
-            &PermCtx {
-                attr,
-                path: None,
-            },
-            mask,
-        )
+        Dac.inode_permission(cred, &PermCtx { attr, path: None }, mask)
     }
 
     #[test]

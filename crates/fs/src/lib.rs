@@ -40,7 +40,7 @@ pub mod memfs;
 pub mod pseudofs;
 
 pub use api::{
-    DirEntry, FileSystem, FileType, FsStats, InodeAttr, SetAttr, StatFs, MODE_STICKY, MODE_SGID,
+    DirEntry, FileSystem, FileType, FsStats, InodeAttr, SetAttr, StatFs, MODE_SGID, MODE_STICKY,
     MODE_SUID,
 };
 pub use error::{FsError, FsResult};

@@ -184,10 +184,14 @@ pub fn insert(buf: &mut [u8], name: &[u8], ino: u64, ftype: u8) -> FsResult<bool
     Ok(true)
 }
 
+/// A located record: offset, rec_len, ino, and the predecessor's
+/// (offset, rec_len) when one exists.
+type FoundRecord = (usize, usize, u64, Option<(usize, usize)>);
+
 /// Removes the record named `name`; returns its ino, or `None` if absent.
 pub fn remove(buf: &mut [u8], name: &[u8]) -> FsResult<Option<u64>> {
     let mut prev: Option<RawRecord<'_>> = None;
-    let mut hit: Option<(usize, usize, u64, Option<(usize, usize)>)> = None;
+    let mut hit: Option<FoundRecord> = None;
     for rec in RecordIter::new(buf) {
         let rec = rec?;
         if rec.ino != 0 && rec.name == name {
@@ -260,7 +264,10 @@ mod tests {
     fn insert_find_remove() {
         let mut b = block();
         assert!(insert(&mut b, b"hello", 42, 1).unwrap());
-        assert_eq!(find(&b, b"hello").unwrap().map(|(_, i, t)| (i, t)), Some((42, 1)));
+        assert_eq!(
+            find(&b, b"hello").unwrap().map(|(_, i, t)| (i, t)),
+            Some((42, 1))
+        );
         assert_eq!(remove(&mut b, b"hello").unwrap(), Some(42));
         assert!(is_empty(&b).unwrap());
         assert_eq!(remove(&mut b, b"hello").unwrap(), None);
@@ -318,13 +325,13 @@ mod tests {
     #[test]
     fn full_block_rejects_insert() {
         let mut b = block();
-        let long = vec![b'x'; 100];
+        let long = [b'x'; 100];
         let mut n = 0u64;
         while insert(&mut b, &long[..(90 + (n as usize % 10))], n + 1, 1).unwrap() {
             n += 1;
         }
         assert!(n > 0);
-        assert!(!insert(&mut b, &vec![b'y'; 200], 999, 1).unwrap());
+        assert!(!insert(&mut b, &[b'y'; 200], 999, 1).unwrap());
     }
 
     #[test]

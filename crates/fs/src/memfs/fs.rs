@@ -71,11 +71,7 @@ pub struct MemFs {
 impl MemFs {
     /// Formats `disk` and returns the mounted file system.
     pub fn mkfs(disk: Arc<CachedDisk>, config: MemFsConfig) -> FsResult<Arc<MemFs>> {
-        let geo = Geometry::compute(
-            disk.block_size(),
-            disk.capacity_blocks(),
-            config.max_inodes,
-        );
+        let geo = Geometry::compute(disk.block_size(), disk.capacity_blocks(), config.max_inodes);
         if geo.data_start >= geo.capacity_blocks {
             return Err(FsError::NoSpc);
         }
@@ -136,10 +132,7 @@ impl MemFs {
 
     /// Locks the shards covering `inos`, in shard order (deadlock-free).
     fn lock_many(&self, inos: &[u64]) -> Vec<MutexGuard<'_, ()>> {
-        let mut shards: Vec<usize> = inos
-            .iter()
-            .map(|i| (*i as usize) % LOCK_SHARDS)
-            .collect();
+        let mut shards: Vec<usize> = inos.iter().map(|i| (*i as usize) % LOCK_SHARDS).collect();
         shards.sort_unstable();
         shards.dedup();
         shards.into_iter().map(|s| self.locks[s].lock()).collect()
@@ -706,7 +699,7 @@ impl FileSystem for MemFs {
                     let data = self.disk.read_block(phys)?;
                     out.extend_from_slice(&data[intra..intra + take]);
                 }
-                None => out.extend(std::iter::repeat(0u8).take(take)),
+                None => out.extend(std::iter::repeat_n(0u8, take)),
             }
             pos += take as u64;
         }
@@ -967,7 +960,8 @@ mod tests {
         let r = fs.root_ino();
         let d = fs.mkdir(r, "big", 0o755, 0, 0).unwrap();
         for i in 0..2000 {
-            fs.create(d.ino, &format!("entry-{i}"), 0o644, 0, 0).unwrap();
+            fs.create(d.ino, &format!("entry-{i}"), 0o644, 0, 0)
+                .unwrap();
         }
         assert!(fs.lookup(d.ino, "entry-1999").is_ok());
         assert_eq!(fs.lookup(d.ino, "entry-2000"), Err(FsError::NoEnt));
@@ -1085,7 +1079,10 @@ mod tests {
         fs.disk().reset_stats();
         fs.lookup(r, "cold").unwrap();
         let s = fs.disk().stats();
-        assert!(s.device_reads > 0, "expected device reads after drop_caches");
+        assert!(
+            s.device_reads > 0,
+            "expected device reads after drop_caches"
+        );
     }
 
     #[test]

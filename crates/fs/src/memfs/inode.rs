@@ -116,8 +116,7 @@ impl DiskInode {
         let mut inline_target = None;
         if ftype == FileType::Symlink && (size as usize) <= INLINE_TARGET_MAX {
             let raw = r.bytes(size as usize)?;
-            inline_target =
-                Some(String::from_utf8(raw.to_vec()).map_err(|_| FsError::Io)?);
+            inline_target = Some(String::from_utf8(raw.to_vec()).map_err(|_| FsError::Io)?);
         } else {
             for d in direct.iter_mut() {
                 *d = r.u64()?;
@@ -177,12 +176,7 @@ pub fn max_logical_blocks(geo: &Geometry) -> u64 {
 
 /// Resolves logical block `lblk` of an inode to a physical block, or
 /// `Ok(None)` for a hole.
-pub fn bmap(
-    disk: &CachedDisk,
-    geo: &Geometry,
-    di: &DiskInode,
-    lblk: u64,
-) -> FsResult<Option<u64>> {
+pub fn bmap(disk: &CachedDisk, geo: &Geometry, di: &DiskInode, lblk: u64) -> FsResult<Option<u64>> {
     if lblk < NDIRECT as u64 {
         let p = di.direct[lblk as usize];
         return Ok(if p == 0 { None } else { Some(p) });

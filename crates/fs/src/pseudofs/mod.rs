@@ -250,18 +250,25 @@ impl FileSystem for PseudoFs {
         if d.ftype != FileType::Directory {
             return Err(FsError::NotDir);
         }
-        let mut emitted = 0usize;
-        for (i, (name, &ino)) in d.children.iter().enumerate().skip(offset as usize) {
+        for (emitted, (i, (name, &ino))) in d
+            .children
+            .iter()
+            .enumerate()
+            .skip(offset as usize)
+            .enumerate()
+        {
             if emitted == max {
                 return Ok(Some(i as u64));
             }
-            let ftype = nodes.get(&ino).map(|n| n.ftype).unwrap_or(FileType::Regular);
+            let ftype = nodes
+                .get(&ino)
+                .map(|n| n.ftype)
+                .unwrap_or(FileType::Regular);
             out.push(DirEntry {
                 name: name.clone(),
                 ino,
                 ftype,
             });
-            emitted += 1;
         }
         Ok(None)
     }
@@ -399,7 +406,9 @@ mod tests {
         let mut out = Vec::new();
         let next = p.readdir(p.root_ino(), 0, 4, &mut out).unwrap();
         assert_eq!(out.len(), 4);
-        let next2 = p.readdir(p.root_ino(), next.unwrap(), 100, &mut out).unwrap();
+        let next2 = p
+            .readdir(p.root_ino(), next.unwrap(), 100, &mut out)
+            .unwrap();
         assert_eq!(next2, None);
         assert_eq!(out.len(), 10);
     }
@@ -417,10 +426,7 @@ mod tests {
     #[test]
     fn mutations_rejected() {
         let p = procfs();
-        assert_eq!(
-            p.create(p.root_ino(), "x", 0o644, 0, 0),
-            Err(FsError::Perm)
-        );
+        assert_eq!(p.create(p.root_ino(), "x", 0o644, 0, 0), Err(FsError::Perm));
         assert_eq!(p.unlink(p.root_ino(), "meminfo"), Err(FsError::Perm));
         assert_eq!(
             p.rename(p.root_ino(), "42", p.root_ino(), "43"),

@@ -268,8 +268,7 @@ fn run_model(ops: &[Op]) {
                 }
                 let mut got: Vec<String> = out.into_iter().map(|e| e.name).collect();
                 got.sort();
-                let mut want: Vec<String> =
-                    model.dirs[mi].entries.keys().cloned().collect();
+                let mut want: Vec<String> = model.dirs[mi].entries.keys().cloned().collect();
                 want.sort();
                 assert_eq!(got, want, "readdir mismatch in slot {d}");
             }

@@ -1,0 +1,37 @@
+//! Observability for the directory-cache reproduction: latency
+//! histograms, lookup-path span tracing, and a unified metrics registry.
+//!
+//! The paper's argument is quantitative — every evaluation section asks
+//! *where* a path lookup spent its time (DLHT probe, PCC check, seq
+//! revalidation, slowpath steps, FS miss, block I/O). This crate is the
+//! measurement substrate the rest of the workspace instruments itself
+//! with:
+//!
+//! - [`LatencyHist`] — log-linear (HDR-style) histograms: power-of-two
+//!   major buckets, 32 linear sub-buckets each, lock-free `AtomicU64`
+//!   cells, mergeable across threads, p50/p90/p99/p999 + mean
+//!   extraction with ≤ 1/32 relative bucket error.
+//! - [`TraceRing`] — a fixed-capacity, overwrite-oldest span buffer of
+//!   typed [`TraceEvent`]s, so a single slow lookup can be
+//!   reconstructed end-to-end from its event sequence.
+//! - [`Recorder`] — the handle hot paths hold. A disabled recorder is
+//!   `None` inside; every probe is one branch on that cold value and
+//!   the event payload is never even constructed (closure argument).
+//! - [`Registry`] / [`MetricsSnapshot`] — unify component counters
+//!   ([`MetricSource`] implementors), the recorder's histograms, and
+//!   its event counts under one snapshot/reset API with JSON
+//!   ([`MetricsSnapshot::to_json`]) and aligned-text
+//!   ([`MetricsSnapshot::to_text`]) exporters.
+//!
+//! Layering: this crate depends on nothing in the workspace, so every
+//! layer (blockdev, core, vfs, bench) can record into it.
+
+mod hist;
+mod recorder;
+mod registry;
+mod trace;
+
+pub use hist::{HistSummary, LatencyHist};
+pub use recorder::{current_tid, EventKind, Obs, ObsConfig, OpClass, Recorder};
+pub use registry::{MetricSource, MetricsSnapshot, Registry, Section};
+pub use trace::{LookupOutcome, Span, TraceEvent, TraceRing};

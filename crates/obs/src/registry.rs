@@ -1,0 +1,310 @@
+//! The unified metrics registry: component counters, recorder
+//! histograms, and event counts behind one snapshot/reset API.
+
+use crate::hist::HistSummary;
+use crate::recorder::{OpClass, Recorder};
+
+/// A component that exposes counters to the registry. `DcacheStats`,
+/// the block-device page cache, and syscall timing each adapt into one
+/// of these so a single [`Registry::snapshot`] covers the whole stack.
+pub trait MetricSource: Send + Sync {
+    /// Section name in exports (snake_case).
+    fn name(&self) -> &'static str;
+    /// Current counter values, in a stable order.
+    fn counters(&self) -> Vec<(&'static str, u64)>;
+    /// Derived ratios in `[0, 1]` (optional).
+    fn rates(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+    /// Zeroes the underlying counters.
+    fn reset(&self);
+}
+
+/// One named group of counters in a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Source name.
+    pub name: String,
+    /// Counter key/value pairs in source order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A point-in-time copy of every registered metric: counter sections,
+/// derived rates, and per-op latency summaries.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Counter sections, one per source plus `events` when the
+    /// recorder is enabled.
+    pub sections: Vec<Section>,
+    /// Derived ratios as `section.key` → value in `[0, 1]`.
+    pub rates: Vec<(String, f64)>,
+    /// Latency summaries keyed by [`OpClass::key`], present only for
+    /// classes with samples.
+    pub hists: Vec<(String, HistSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Serialises to JSON (schema `dcache-metrics/v1`). Hand-rolled —
+    /// keys are known-ASCII identifiers, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"dcache-metrics/v1\",\n  \"counters\": {");
+        for (si, section) in self.sections.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {{", section.name));
+            for (ci, (key, value)) in section.counters.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      \"{key}\": {value}"));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  },\n  \"rates\": {");
+        for (ri, (key, value)) in self.rates.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{key}\": {value:.6}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (hi, (key, h)) in self.hists.iter().enumerate() {
+            if hi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{key}\": {{ \"count\": {}, \"mean_ns\": {:.1}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+                 \"p999_ns\": {}, \"max_ns\": {} }}",
+                h.count, h.mean_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.p999_ns, h.max_ns
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders an aligned, human-readable table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for section in &self.sections {
+            out.push_str(&format!("[{}]\n", section.name));
+            let width = section
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (key, value) in &section.counters {
+                out.push_str(&format!("  {key:<width$}  {value}\n"));
+            }
+        }
+        if !self.rates.is_empty() {
+            out.push_str("[rates]\n");
+            let width = self.rates.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (key, value) in &self.rates {
+                out.push_str(&format!("  {key:<width$}  {:.2}%\n", value * 100.0));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("[latency]\n");
+            out.push_str(&format!(
+                "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "op", "count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"
+            ));
+            for (key, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {:<12} {:>10} {:>10.0} {:>10} {:>10} {:>10} {:>10}\n",
+                    key, h.count, h.mean_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Owns the [`MetricSource`]s and the [`Recorder`]; the one place to
+/// snapshot or reset everything.
+pub struct Registry {
+    sources: Vec<Box<dyn MetricSource>>,
+    recorder: Recorder,
+}
+
+impl Registry {
+    /// A registry exporting the given recorder's histograms and events
+    /// alongside whatever sources get registered.
+    pub fn new(recorder: Recorder) -> Registry {
+        Registry {
+            sources: Vec::new(),
+            recorder,
+        }
+    }
+
+    /// Adds a counter source. Sections appear in registration order.
+    pub fn register(&mut self, source: Box<dyn MetricSource>) {
+        self.sources.push(source);
+    }
+
+    /// The recorder this registry exports.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Copies every source, the recorder's event counters, and its
+    /// non-empty latency histograms into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut sections = Vec::with_capacity(self.sources.len() + 1);
+        let mut rates = Vec::new();
+        for source in &self.sources {
+            sections.push(Section {
+                name: source.name().to_string(),
+                counters: source
+                    .counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+            for (key, value) in source.rates() {
+                rates.push((format!("{}.{}", source.name(), key), value));
+            }
+        }
+        let mut hists = Vec::new();
+        if let Some(obs) = self.recorder.obs() {
+            sections.push(Section {
+                name: "events".to_string(),
+                counters: obs
+                    .event_counts()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+            for op in OpClass::all() {
+                let h = obs.hist(op);
+                if h.count() > 0 {
+                    hists.push((op.key().to_string(), h.summary()));
+                }
+            }
+        }
+        MetricsSnapshot {
+            sections,
+            rates,
+            hists,
+        }
+    }
+
+    /// Zeroes every source and the recorder.
+    pub fn reset_all(&self) {
+        for source in &self.sources {
+            source.reset();
+        }
+        self.recorder.reset();
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("sources", &self.sources.len())
+            .field("recorder", &self.recorder)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::ObsConfig;
+    use crate::trace::TraceEvent;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Fake {
+        hits: AtomicU64,
+        misses: AtomicU64,
+    }
+
+    impl MetricSource for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn counters(&self) -> Vec<(&'static str, u64)> {
+            vec![
+                ("hits", self.hits.load(Ordering::Relaxed)),
+                ("misses", self.misses.load(Ordering::Relaxed)),
+            ]
+        }
+        fn rates(&self) -> Vec<(&'static str, f64)> {
+            vec![("hit_rate", 0.75)]
+        }
+        fn reset(&self) {
+            self.hits.store(0, Ordering::Relaxed);
+            self.misses.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut reg = Registry::new(Recorder::enabled(ObsConfig::default()));
+        reg.register(Box::new(Fake {
+            hits: AtomicU64::new(3),
+            misses: AtomicU64::new(1),
+        }));
+        reg
+    }
+
+    #[test]
+    fn snapshot_includes_sources_events_and_hists() {
+        let reg = registry();
+        let r = reg.recorder().clone();
+        r.latency(OpClass::Open, 1_000);
+        r.event(|| TraceEvent::LookupStart);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.sections[0].name, "fake");
+        assert_eq!(snap.sections[0].counters[0], ("hits".to_string(), 3));
+        let events = snap.sections.iter().find(|s| s.name == "events").unwrap();
+        let (_, n) = events
+            .counters
+            .iter()
+            .find(|(k, _)| k == "lookup_start")
+            .unwrap();
+        assert_eq!(*n, 1);
+        assert_eq!(snap.rates[0].0, "fake.hit_rate");
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].0, "open");
+        assert_eq!(snap.hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn json_has_schema_and_sections() {
+        let reg = registry();
+        reg.recorder().latency(OpClass::AccessStat, 42);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"schema\": \"dcache-metrics/v1\""));
+        assert!(json.contains("\"fake\""));
+        assert!(json.contains("\"hits\": 3"));
+        assert!(json.contains("\"fake.hit_rate\": 0.750000"));
+        assert!(json.contains("\"stat\""));
+        assert!(json.contains("\"p50_ns\""));
+    }
+
+    #[test]
+    fn text_render_mentions_everything() {
+        let reg = registry();
+        reg.recorder().latency(OpClass::Unlink, 7);
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("[fake]"));
+        assert!(text.contains("[events]"));
+        assert!(text.contains("[rates]"));
+        assert!(text.contains("unlink"));
+    }
+
+    #[test]
+    fn reset_all_propagates() {
+        let reg = registry();
+        reg.recorder().latency(OpClass::Io, 9);
+        reg.reset_all();
+        let snap = reg.snapshot();
+        assert_eq!(snap.sections[0].counters[0].1, 0);
+        assert!(snap.hists.is_empty());
+    }
+}

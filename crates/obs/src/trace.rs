@@ -1,0 +1,234 @@
+//! Span tracing: a fixed-capacity, overwrite-oldest ring of typed
+//! lookup-path events.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How a traced lookup finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The path resolved to an entry.
+    Positive,
+    /// The path provably does not exist (ENOENT / ENOTDIR).
+    Negative,
+    /// Resolution failed for another reason (e.g. EACCES).
+    Error,
+}
+
+/// One step on the lookup path. Variants mirror the stages of the
+/// paper's fast/slow path: a DLHT probe, a PCC permission check, a
+/// seqlock retry, a slowpath component step, a fall-through to the
+/// backing FS, and block I/O charged by the device model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A syscall began resolving a path.
+    LookupStart,
+    /// The full-path hash table was probed.
+    DlhtProbe {
+        /// Whether the signature matched a live entry.
+        hit: bool,
+    },
+    /// The prefix-check cache was consulted for this credential.
+    PccCheck {
+        /// Whether a valid entry authorised the prefix.
+        hit: bool,
+        /// Whether an entry existed but its seq had moved (stale).
+        stale: bool,
+    },
+    /// A rename-seqlock check failed and the walk restarted.
+    SeqRetry,
+    /// The slowpath resolved one more component.
+    SlowStep {
+        /// Zero-based index of the component within this walk.
+        component: u32,
+    },
+    /// The dcache missed and the backing FS was consulted.
+    FsMiss,
+    /// The (simulated) device performed I/O.
+    BlockIo {
+        /// Blocks transferred.
+        blks: u32,
+        /// Simulated nanoseconds charged.
+        ns: u64,
+    },
+    /// The lookup finished.
+    LookupEnd {
+        /// How it finished.
+        outcome: LookupOutcome,
+        /// Wall-clock nanoseconds from the matching `LookupStart`.
+        ns: u64,
+    },
+}
+
+/// A [`TraceEvent`] stamped with a global sequence number and the
+/// recording thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Global order of this event across all threads (0-based).
+    pub seq: u64,
+    /// Small dense id of the recording thread (see [`current_tid`]).
+    pub tid: u32,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// Fixed-capacity ring of [`Span`]s that overwrites the oldest entry
+/// when full.
+///
+/// Writers claim a global sequence number with one atomic add, then
+/// store into slot `seq % capacity` under that slot's own mutex —
+/// writers only contend when they collide on the same slot, which at
+/// realistic capacities means never. [`snapshot`](TraceRing::snapshot)
+/// returns surviving spans oldest-first.
+pub struct TraceRing {
+    slots: Box<[Mutex<Option<Span>>]>,
+    cursor: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed since creation or [`reset`](TraceRing::reset)
+    /// (not capped at capacity).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends an event, evicting the oldest retained span when full.
+    pub fn push(&self, tid: u32, event: TraceEvent) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        // A racing writer that claimed a later seq for the same slot may
+        // have stored first; never let an older span clobber a newer one.
+        if guard.is_none_or(|prev| prev.seq < seq) {
+            *guard = Some(Span { seq, tid, event });
+        }
+    }
+
+    /// Copies out the surviving spans, oldest first.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut out: Vec<Span> = self
+            .slots
+            .iter()
+            .filter_map(|slot| *slot.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        out.sort_by_key(|s| s.seq);
+        out
+    }
+
+    /// Discards all retained spans and restarts sequence numbering.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the calling thread, assigned on first use.
+/// Cheaper and more readable in traces than `std::thread::ThreadId`.
+pub fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_in_order() {
+        let ring = TraceRing::new(8);
+        for i in 0..20u32 {
+            ring.push(0, TraceEvent::SlowStep { component: i });
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 8);
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+        for s in &spans {
+            assert_eq!(
+                s.event,
+                TraceEvent::SlowStep {
+                    component: s.seq as u32
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let ring = TraceRing::new(16);
+        ring.push(1, TraceEvent::LookupStart);
+        ring.push(1, TraceEvent::DlhtProbe { hit: true });
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].event, TraceEvent::LookupStart);
+        assert_eq!(spans[1].event, TraceEvent::DlhtProbe { hit: true });
+    }
+
+    #[test]
+    fn reset_clears() {
+        let ring = TraceRing::new(4);
+        ring.push(0, TraceEvent::SeqRetry);
+        ring.reset();
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.pushed(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_invariants() {
+        let ring = std::sync::Arc::new(TraceRing::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    let tid = current_tid();
+                    for i in 0..5_000u32 {
+                        ring.push(tid, TraceEvent::SlowStep { component: i });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 20_000);
+        let spans = ring.snapshot();
+        // Full ring: every slot holds a distinct, sorted, recent seq.
+        assert_eq!(spans.len(), 64);
+        for pair in spans.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        for s in &spans {
+            assert!(s.seq >= 20_000 - 64 * 2, "implausibly old span survived");
+        }
+    }
+}

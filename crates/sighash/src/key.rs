@@ -89,8 +89,8 @@ impl HashKey {
     /// can keep being extended by deeper lookups.
     pub fn finish(&self, state: &HashState) -> Signature {
         let mut out = [0u64; LANES];
-        for lane in 0..LANES {
-            out[lane] = multilinear::finalize(state.acc[lane], state.pos, lane as u64);
+        for (lane, slot) in out.iter_mut().enumerate() {
+            *slot = multilinear::finalize(state.acc[lane], state.pos, lane as u64);
         }
         Signature::from_lanes(out)
     }

@@ -152,11 +152,7 @@ mod tests {
                     let a = format!("d{i}");
                     let b = format!("e{j}");
                     let c = format!("f{k}");
-                    let sig = key.hash_components([
-                        a.as_bytes(),
-                        b.as_bytes(),
-                        c.as_bytes(),
-                    ]);
+                    let sig = key.hash_components([a.as_bytes(), b.as_bytes(), c.as_bytes()]);
                     assert!(seen.insert(sig), "collision at {a}/{b}/{c}");
                 }
             }

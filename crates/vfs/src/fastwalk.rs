@@ -64,9 +64,7 @@ impl Kernel {
             }
             if pending.pop().is_none() {
                 // Climbing above the anchor.
-                if Arc::ptr_eq(&anchor.dentry, &root.dentry)
-                    && anchor.mount.id == root.mount.id
-                {
+                if Arc::ptr_eq(&anchor.dentry, &root.dentry) && anchor.mount.id == root.mount.id {
                     continue; // ".." at the process root stays put
                 }
                 anchor = climb_one(&anchor)?;
@@ -126,7 +124,10 @@ impl Kernel {
             // LSMs) still falls back.
             let seq_sample = obj.seq();
             if !pcc.check(obj.id(), seq_sample) {
-                if self.fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred).is_none() {
+                if self
+                    .fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred)
+                    .is_none()
+                {
                     stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
                     return None;
                 }
@@ -243,12 +244,7 @@ impl Kernel {
         }
     }
 
-    fn finish_revalidate(
-        &self,
-        pcc: &Pcc,
-        obj: &Arc<Dentry>,
-        seq_sample: u64,
-    ) -> Option<()> {
+    fn finish_revalidate(&self, pcc: &Pcc, obj: &Arc<Dentry>, seq_sample: u64) -> Option<()> {
         if obj.is_dead() || obj.seq() != seq_sample {
             return None; // raced with an invalidation; be conservative
         }
@@ -288,10 +284,7 @@ impl Kernel {
         if !at_root && !pcc.check(dentry.id(), dentry.seq()) {
             return None;
         }
-        if self
-            .permission(cred, &inode, MAY_EXEC, None)
-            .is_err()
-        {
+        if self.permission(cred, &inode, MAY_EXEC, None).is_err() {
             return None; // let the slowpath produce the precise error
         }
         Some(())

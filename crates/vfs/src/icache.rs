@@ -24,12 +24,7 @@ impl Icache {
     /// Returns the cached inode for `(sb, attr.ino)`, creating it from
     /// `attr` if absent. A cached inode gets its attributes refreshed,
     /// since `attr` was just fetched from the file system.
-    pub fn get_or_create(
-        &self,
-        sb: SbId,
-        fs: &Arc<dyn FileSystem>,
-        attr: InodeAttr,
-    ) -> Arc<Inode> {
+    pub fn get_or_create(&self, sb: SbId, fs: &Arc<dyn FileSystem>, attr: InodeAttr) -> Arc<Inode> {
         let mut map = self.map.lock();
         if let Some(weak) = map.get(&(sb, attr.ino)) {
             if let Some(inode) = weak.upgrade() {
@@ -40,7 +35,7 @@ impl Icache {
         let inode = Inode::new(sb, fs.clone(), attr);
         map.insert((sb, attr.ino), Arc::downgrade(&inode));
         // Opportunistically prune a few dead entries to bound growth.
-        if map.len() % 1024 == 0 {
+        if map.len().is_multiple_of(1024) {
             map.retain(|_, w| w.strong_count() > 0);
         }
         inode

@@ -5,10 +5,11 @@ use crate::mount::{Mount, MountFlags, SuperBlock};
 use crate::namespace::MountNamespace;
 use crate::path::PathRef;
 use crate::process::Process;
-use crate::timing::SyscallTiming;
+use crate::timing::{SyscallClass, SyscallTiming};
 use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
 use dc_cred::{Cred, SecurityStack};
 use dc_fs::{FileSystem, FsResult, MemFs, MemFsConfig};
+use dc_obs::{MetricSource, MetricsSnapshot, ObsConfig, Recorder, Registry};
 use dcache_core::{Dcache, DcacheConfig};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -41,8 +42,12 @@ pub struct Kernel {
     tmp_rng: AtomicU64,
     /// Superblock registry: one superblock (and dentry tree) per mounted
     /// file-system instance, so mount aliases share dentries (§4.3).
-    pub(crate) superblocks: Mutex<Vec<(Weak<dyn FileSystem>, Arc<SuperBlock>)>>,
+    pub(crate) superblocks: Mutex<SuperBlockRegistry>,
 }
+
+/// Registered (file system → superblock) pairs; weak on the FS side so
+/// an unmounted file system can drop.
+pub(crate) type SuperBlockRegistry = Vec<(Weak<dyn FileSystem>, Arc<SuperBlock>)>;
 
 /// Builds a [`Kernel`], mounting a root file system.
 pub struct KernelBuilder {
@@ -50,6 +55,7 @@ pub struct KernelBuilder {
     security: SecurityStack,
     root_fs: Option<Arc<dyn FileSystem>>,
     root_flags: MountFlags,
+    obs: Option<ObsConfig>,
 }
 
 impl KernelBuilder {
@@ -61,7 +67,17 @@ impl KernelBuilder {
             security: SecurityStack::dac_only(),
             root_fs: None,
             root_flags: MountFlags::default(),
+            obs: None,
         }
+    }
+
+    /// Enables observability: latency histograms, lookup span tracing,
+    /// and event counters, recorded throughout the stack. Without this
+    /// call the kernel carries a disabled recorder, whose probes reduce
+    /// to a branch on a cold flag.
+    pub fn observability(mut self, config: ObsConfig) -> Self {
+        self.obs = Some(config);
+        self
     }
 
     /// Replaces the security stack.
@@ -85,7 +101,11 @@ impl KernelBuilder {
     /// Builds the kernel: mounts the root, creates the init namespace and
     /// the init (root-credentialed) process.
     pub fn build(self) -> FsResult<Arc<Kernel>> {
-        let dcache = Dcache::new(self.config);
+        let recorder = match self.obs {
+            Some(cfg) => Recorder::enabled(cfg),
+            None => Recorder::disabled(),
+        };
+        let dcache = Dcache::new_with_obs(self.config, recorder);
         let root_fs = match self.root_fs {
             Some(fs) => fs,
             None => {
@@ -128,26 +148,27 @@ impl Kernel {
         });
         let root_mount = Mount::new_root(1, sb, root_flags);
         root_mount.root.set_mount_hint(root_mount.id);
+        if dcache.obs.is_enabled() {
+            if let Some(memfs) = as_memfs(&root_mount.sb.fs) {
+                memfs.disk().attach_recorder(dcache.obs.clone());
+            }
+        }
         let init_ns = MountNamespace::new(0, root_mount.clone());
         let root_ref = PathRef::new(root_mount, init_ns.root_mount().root.clone());
-        let init_process = Process::new(
-            1,
-            Cred::root(),
-            init_ns.clone(),
-            root_ref.clone(),
-            root_ref,
-        );
+        let init_process =
+            Process::new(1, Cred::root(), init_ns.clone(), root_ref.clone(), root_ref);
         let mut namespaces = HashMap::new();
         namespaces.insert(init_ns.id, init_ns.clone());
         let sb_registry: Vec<(Weak<dyn FileSystem>, Arc<SuperBlock>)> = vec![(
             Arc::downgrade(&init_ns.root_mount().sb.fs),
             init_ns.root_mount().sb.clone(),
         )];
+        let timing = SyscallTiming::with_recorder(dcache.obs.clone());
         Ok(Arc::new(Kernel {
             dcache,
             security,
             icache,
-            timing: SyscallTiming::new(),
+            timing,
             namespaces: RwLock::new(namespaces),
             init_ns,
             init_process,
@@ -204,7 +225,9 @@ impl Kernel {
 
     /// A pseudo-random value for temporary-file naming.
     pub(crate) fn tmp_rand(&self) -> u64 {
-        let x = self.tmp_rng.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let x = self
+            .tmp_rng
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -252,9 +275,123 @@ impl Kernel {
     pub fn reset_stats(&self) {
         self.dcache.stats.reset();
         self.timing.reset();
+        self.dcache.obs.reset();
         let root_mount = self.init_ns.root_mount();
         root_mount.sb.fs.stats().reset();
         if let Some(memfs) = as_memfs(&root_mount.sb.fs) {
+            memfs.disk().reset_stats();
+        }
+    }
+
+    /// The kernel-wide observability recorder (disabled unless
+    /// [`KernelBuilder::observability`] was used).
+    pub fn obs(&self) -> &Recorder {
+        &self.dcache.obs
+    }
+
+    /// A metrics registry covering the whole stack: dcache counters and
+    /// rates, per-syscall-class timing, the root disk's page-cache
+    /// counters (when the root is a memfs), plus — when observability is
+    /// enabled — the recorder's event counters and latency histograms.
+    pub fn metrics_registry(self: &Arc<Self>) -> Registry {
+        let mut reg = Registry::new(self.dcache.obs.clone());
+        reg.register(Box::new(DcacheMetrics(self.clone())));
+        reg.register(Box::new(SyscallMetrics(self.clone())));
+        if as_memfs(&self.init_ns.root_mount().sb.fs).is_some() {
+            reg.register(Box::new(PageCacheMetrics(self.clone())));
+        }
+        reg
+    }
+
+    /// One-shot [`metrics_registry`](Kernel::metrics_registry) snapshot.
+    pub fn metrics_snapshot(self: &Arc<Self>) -> MetricsSnapshot {
+        self.metrics_registry().snapshot()
+    }
+}
+
+/// [`MetricSource`] view of [`Dcache`] behavior counters.
+struct DcacheMetrics(Arc<Kernel>);
+
+impl MetricSource for DcacheMetrics {
+    fn name(&self) -> &'static str {
+        "dcache"
+    }
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.0.dcache.stats.snapshot()
+    }
+    fn rates(&self) -> Vec<(&'static str, f64)> {
+        let s = &self.0.dcache.stats;
+        vec![
+            ("hit_rate", s.hit_rate()),
+            ("fastpath_rate", s.fastpath_rate()),
+            ("neg_hit_rate", s.neg_hit_rate()),
+        ]
+    }
+    fn reset(&self) {
+        self.0.dcache.stats.reset();
+    }
+}
+
+/// [`MetricSource`] view of the per-class syscall timing table.
+struct SyscallMetrics(Arc<Kernel>);
+
+impl MetricSource for SyscallMetrics {
+    fn name(&self) -> &'static str {
+        "syscalls"
+    }
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        const KEYS: [(&str, &str); 8] = [
+            ("stat_calls", "stat_ns"),
+            ("open_calls", "open_ns"),
+            ("chmod_chown_calls", "chmod_chown_ns"),
+            ("unlink_calls", "unlink_ns"),
+            ("other_meta_calls", "other_meta_ns"),
+            ("readdir_calls", "readdir_ns"),
+            ("io_calls", "io_ns"),
+            ("other_calls", "other_ns"),
+        ];
+        let mut out = Vec::with_capacity(16);
+        for (class, (calls_key, ns_key)) in SyscallClass::all().into_iter().zip(KEYS) {
+            let (calls, ns) = self.0.timing.get(class);
+            out.push((calls_key, calls));
+            out.push((ns_key, ns));
+        }
+        out
+    }
+    fn reset(&self) {
+        self.0.timing.reset();
+    }
+}
+
+/// [`MetricSource`] view of the root disk's page-cache statistics.
+struct PageCacheMetrics(Arc<Kernel>);
+
+impl PageCacheMetrics {
+    fn stats(&self) -> dc_blockdev::DiskStats {
+        as_memfs(&self.0.init_ns.root_mount().sb.fs)
+            .map(|m| m.disk().stats())
+            .unwrap_or_default()
+    }
+}
+
+impl MetricSource for PageCacheMetrics {
+    fn name(&self) -> &'static str {
+        "pagecache"
+    }
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats();
+        vec![
+            ("cache_hits", s.cache_hits),
+            ("cache_misses", s.cache_misses),
+            ("device_reads", s.device_reads),
+            ("device_writes", s.device_writes),
+            ("writebacks", s.writebacks),
+            ("simulated_io_ns", s.simulated_io_ns),
+            ("resident_pages", s.resident_pages),
+        ]
+    }
+    fn reset(&self) {
+        if let Some(memfs) = as_memfs(&self.0.init_ns.root_mount().sb.fs) {
             memfs.disk().reset_stats();
         }
     }

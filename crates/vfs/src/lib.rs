@@ -61,4 +61,8 @@ pub use timing::{SyscallClass, SyscallTiming};
 
 pub use dc_cred::{Cred, CredBuilder, SecurityStack};
 pub use dc_fs::{DirEntry, FileSystem, FileType, FsError, FsResult, InodeAttr, SetAttr};
+pub use dc_obs::{
+    EventKind, HistSummary, LookupOutcome, MetricsSnapshot, ObsConfig, OpClass, Recorder, Registry,
+    TraceEvent, TraceRing,
+};
 pub use dcache_core::{Dcache, DcacheConfig};

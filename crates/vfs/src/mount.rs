@@ -86,10 +86,7 @@ impl std::fmt::Debug for Mount {
             .field("sb", &self.sb.id)
             .field("fs", &self.sb.fs.fs_type())
             .field("flags", &self.flags)
-            .field(
-                "at",
-                &self.parent.as_ref().map(|(m, d)| (m.id, d.id())),
-            )
+            .field("at", &self.parent.as_ref().map(|(m, d)| (m.id, d.id())))
             .finish()
     }
 }

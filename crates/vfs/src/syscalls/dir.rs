@@ -151,10 +151,7 @@ impl Kernel {
                 }
                 return Ok(out);
             }
-            if self.dcache.config.dir_completeness
-                && !cur.started
-                && d.flag(FLAG_DIR_COMPLETE)
-            {
+            if self.dcache.config.dir_completeness && !cur.started && d.flag(FLAG_DIR_COMPLETE) {
                 stats.readdir_cached.fetch_add(1, Ordering::Relaxed);
                 // Serve from the per-dentry listing snapshot, rebuilt
                 // from the child list only when the directory's contents
@@ -164,8 +161,7 @@ impl Kernel {
                     Some(snap) => snap,
                     None => {
                         let version = d.children_version();
-                        let mut entries: Vec<DirEntry> =
-                            Vec::with_capacity(d.child_count());
+                        let mut entries: Vec<DirEntry> = Vec::with_capacity(d.child_count());
                         d.for_each_child(|child| {
                             if child.is_dead() {
                                 return;

@@ -84,13 +84,10 @@ impl Kernel {
                     });
                     match mount.sb.fs.getattr(ino) {
                         Ok(attr) => {
-                            let inode =
-                                self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
+                            let inode = self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
                             c.set_state(DentryState::Positive(inode));
                         }
-                        Err(FsError::NoEnt) => {
-                            self.dcache.make_negative(&c, NegKind::Enoent)
-                        }
+                        Err(FsError::NoEnt) => self.dcache.make_negative(&c, NegKind::Enoent),
                         Err(e) => return Err(e),
                     }
                 }
@@ -105,13 +102,16 @@ impl Kernel {
                 .complete_neg_avoided
                 .fetch_add(1, Ordering::Relaxed);
             if self.negatives_allowed(fs) {
-                return Ok(self
-                    .dcache
-                    .d_alloc(parent, name, DentryState::Negative(NegKind::Enoent)));
+                return Ok(self.dcache.d_alloc(
+                    parent,
+                    name,
+                    DentryState::Negative(NegKind::Enoent),
+                ));
             }
             return Err(FsError::NoEnt);
         }
         self.dcache.stats.miss_fs.fetch_add(1, Ordering::Relaxed);
+        self.dcache.obs.event(|| dc_obs::TraceEvent::FsMiss);
         match fs.lookup(dir_ino, name) {
             Ok(attr) => {
                 let inode = self.icache.get_or_create(mount.sb.id, fs, attr);

@@ -148,11 +148,8 @@ impl Kernel {
             let old_ns = proc.namespace();
             let new_id = self.alloc_ns_id();
             let old_root = old_ns.root_mount();
-            let new_root = Mount::new_root(
-                self.alloc_mount_id(),
-                old_root.sb.clone(),
-                old_root.flags,
-            );
+            let new_root =
+                Mount::new_root(self.alloc_mount_id(), old_root.sb.clone(), old_root.flags);
             let ns = MountNamespace::new(new_id, new_root.clone());
             // Rebuild the mount tree top-down so parents exist first.
             let mut mapping: HashMap<u64, Arc<Mount>> = HashMap::new();

@@ -11,9 +11,8 @@ use std::sync::Arc;
 impl Kernel {
     /// `unlink(2)`.
     pub fn unlink(&self, proc: &Process, path: &str) -> FsResult<()> {
-        self.timing.record(SyscallClass::Unlink, || {
-            self.unlink_internal(proc, path)
-        })
+        self.timing
+            .record(SyscallClass::Unlink, || self.unlink_internal(proc, path))
     }
 
     /// `unlinkat(2)` with `AT_REMOVEDIR` selecting rmdir behavior.
@@ -68,9 +67,7 @@ impl Kernel {
         // negative dentry even for in-use files; the baseline converts
         // only unused dentries (Linux `d_delete`) and unhashes the rest.
         let unused = Arc::strong_count(&target) <= 2; // parent map + ours
-        if self.negatives_allowed(&mount.sb.fs)
-            && (self.dcache.config.neg_on_unlink || unused)
-        {
+        if self.negatives_allowed(&mount.sb.fs) && (self.dcache.config.neg_on_unlink || unused) {
             self.dcache.make_negative(&target, NegKind::Enoent);
         } else {
             self.dcache.unhash_subtree(&target);

@@ -14,13 +14,7 @@ const CREATE_LINK_DEPTH: u32 = 8;
 
 impl Kernel {
     /// `open(2)`.
-    pub fn open(
-        &self,
-        proc: &Process,
-        path: &str,
-        flags: OpenFlags,
-        mode: u16,
-    ) -> FsResult<u32> {
+    pub fn open(&self, proc: &Process, path: &str, flags: OpenFlags, mode: u16) -> FsResult<u32> {
         self.timing.record(SyscallClass::Open, || {
             let h = self.open_internal(proc, None, path, flags, mode, 0)?;
             proc.install_fd(h)
@@ -165,7 +159,7 @@ impl Kernel {
                     inode: d.inode(),
                     dentry: d,
                 };
-                return self.open_existing(proc, r, flags);
+                self.open_existing(proc, r, flags)
             }
             Ok(negative) => {
                 // Actually creating: now the directory must be writable.
@@ -177,12 +171,8 @@ impl Kernel {
                         .fs
                         .create(dir_ino, &pr.name, mode & 0o7777, cred.uid, cred.gid)?;
                 let inode = self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
-                let dentry = self.instantiate_created(
-                    &parent_d,
-                    Some(negative),
-                    &pr.name,
-                    inode.clone(),
-                );
+                let dentry =
+                    self.instantiate_created(&parent_d, Some(negative), &pr.name, inode.clone());
                 Ok(Handle::new(mount.clone(), dentry, inode, flags))
             }
             Err(FsError::NoEnt) => {
@@ -195,8 +185,7 @@ impl Kernel {
                         .fs
                         .create(dir_ino, &pr.name, mode & 0o7777, cred.uid, cred.gid)?;
                 let inode = self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
-                let dentry =
-                    self.instantiate_created(&parent_d, None, &pr.name, inode.clone());
+                let dentry = self.instantiate_created(&parent_d, None, &pr.name, inode.clone());
                 Ok(Handle::new(mount.clone(), dentry, inode, flags))
             }
             Err(e) => Err(e),
@@ -205,9 +194,8 @@ impl Kernel {
 
     /// `close(2)`.
     pub fn close(&self, proc: &Process, fd: u32) -> FsResult<()> {
-        self.timing.record(SyscallClass::Other, || {
-            proc.take_fd(fd).map(|_| ())
-        })
+        self.timing
+            .record(SyscallClass::Other, || proc.take_fd(fd).map(|_| ()))
     }
 
     /// `mkstemp(3)`: creates a uniquely-named file under `dir_path` with
@@ -224,14 +212,7 @@ impl Kernel {
                 } else {
                     format!("{dir_path}/{name}")
                 };
-                match self.open_internal(
-                    proc,
-                    None,
-                    &path,
-                    OpenFlags::create_excl(),
-                    0o600,
-                    0,
-                ) {
+                match self.open_internal(proc, None, &path, OpenFlags::create_excl(), 0o600, 0) {
                     Ok(h) => {
                         let fd = proc.install_fd(h)?;
                         return Ok((fd, name));

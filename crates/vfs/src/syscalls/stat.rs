@@ -26,9 +26,8 @@ impl Kernel {
 
     /// `fstat(2)`.
     pub fn fstat(&self, proc: &Process, fd: u32) -> FsResult<InodeAttr> {
-        self.timing.record(SyscallClass::AccessStat, || {
-            Ok(proc.fd(fd)?.inode.attr())
-        })
+        self.timing
+            .record(SyscallClass::AccessStat, || Ok(proc.fd(fd)?.inode.attr()))
     }
 
     /// `fstatat(2)`: relative to `dirfd`, optionally not following the

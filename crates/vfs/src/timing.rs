@@ -1,6 +1,7 @@
 //! Per-syscall-class wall-clock accounting (the ftrace analog behind
 //! Figure 1).
 
+use dc_obs::{OpClass, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -69,6 +70,20 @@ impl SyscallClass {
             SyscallClass::Other => "other",
         }
     }
+
+    /// The observability operation class this syscall class feeds.
+    pub fn op_class(self) -> OpClass {
+        match self {
+            SyscallClass::AccessStat => OpClass::AccessStat,
+            SyscallClass::Open => OpClass::Open,
+            SyscallClass::ChmodChown => OpClass::ChmodChown,
+            SyscallClass::Unlink => OpClass::Unlink,
+            SyscallClass::OtherMeta => OpClass::OtherMeta,
+            SyscallClass::Readdir => OpClass::Readdir,
+            SyscallClass::Io => OpClass::Io,
+            SyscallClass::Other => OpClass::Other,
+        }
+    }
 }
 
 /// Accumulated `(calls, nanoseconds)` per class.
@@ -76,12 +91,22 @@ impl SyscallClass {
 pub struct SyscallTiming {
     calls: [AtomicU64; NCLASSES],
     nanos: [AtomicU64; NCLASSES],
+    recorder: Recorder,
 }
 
 impl SyscallTiming {
     /// Fresh zeroed table.
     pub fn new() -> SyscallTiming {
         SyscallTiming::default()
+    }
+
+    /// A table that additionally feeds each sample into `recorder`'s
+    /// per-op latency histogram.
+    pub fn with_recorder(recorder: Recorder) -> SyscallTiming {
+        SyscallTiming {
+            recorder,
+            ..SyscallTiming::default()
+        }
     }
 
     /// Times `f` under `class`.
@@ -93,6 +118,7 @@ impl SyscallTiming {
         let i = class.idx();
         self.calls[i].fetch_add(1, Ordering::Relaxed);
         self.nanos[i].fetch_add(dt, Ordering::Relaxed);
+        self.recorder.latency(class.op_class(), dt);
         out
     }
 

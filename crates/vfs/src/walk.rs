@@ -23,6 +23,7 @@ use crate::path::{split_path, ParsedPath, PathRef, WalkResult};
 use crate::process::Process;
 use dc_cred::{Cred, PermCtx, MAY_EXEC};
 use dc_fs::{FileSystem, FsError, FsResult};
+use dc_obs::{LookupOutcome, TraceEvent};
 use dcache_core::{
     Dentry, DentryState, HashState, Inode, NegKind, Pcc, Signature, FLAG_DIR_COMPLETE,
 };
@@ -81,15 +82,27 @@ impl Kernel {
     ) -> FsResult<WalkResult> {
         let parsed = split_path(path)?;
         self.dcache.stats.lookups.fetch_add(1, Ordering::Relaxed);
-        if self.dcache.config.fastpath {
-            if let Some(out) = self.fast_resolve(proc, start.as_ref(), &parsed, follow_last) {
-                return out;
+        self.dcache.obs.event(|| TraceEvent::LookupStart);
+        let t0 = self.dcache.obs.now();
+        let out = (|| {
+            if self.dcache.config.fastpath {
+                if let Some(out) = self.fast_resolve(proc, start.as_ref(), &parsed, follow_last) {
+                    return out;
+                }
             }
+            match self.slow_resolve(proc, start, &parsed, follow_last, false)? {
+                WalkOutput::Full(r) => Ok(r),
+                WalkOutput::Parent(..) => unreachable!("full mode returned parent"),
+            }
+        })();
+        if let Some(t0) = t0 {
+            let outcome = lookup_outcome(&out);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.dcache
+                .obs
+                .event(|| TraceEvent::LookupEnd { outcome, ns });
         }
-        match self.slow_resolve(proc, start, &parsed, follow_last, false)? {
-            WalkOutput::Full(r) => Ok(r),
-            WalkOutput::Parent(..) => unreachable!("full mode returned parent"),
-        }
+        out
     }
 
     /// Resolves everything but the final component; the caller mutates
@@ -107,14 +120,24 @@ impl Kernel {
     ) -> FsResult<ParentResult> {
         let parsed = split_path(path)?;
         self.dcache.stats.lookups.fetch_add(1, Ordering::Relaxed);
-        match self.slow_resolve(proc, start, &parsed, true, true)? {
+        self.dcache.obs.event(|| TraceEvent::LookupStart);
+        let t0 = self.dcache.obs.now();
+        let out = (|| match self.slow_resolve(proc, start, &parsed, true, true)? {
             WalkOutput::Parent(parent, name, require_dir) => Ok(ParentResult {
                 parent,
                 name,
                 require_dir,
             }),
             WalkOutput::Full(_) => unreachable!("parent mode returned full"),
+        })();
+        if let Some(t0) = t0 {
+            let outcome = lookup_outcome(&out);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.dcache
+                .obs
+                .event(|| TraceEvent::LookupEnd { outcome, ns });
         }
+        out
     }
 
     /// One LSM-stack permission check.
@@ -126,7 +149,8 @@ impl Kernel {
         path: Option<&str>,
     ) -> FsResult<()> {
         let attr = inode.attr();
-        self.security.permission(cred, &PermCtx { attr: &attr, path }, mask)
+        self.security
+            .permission(cred, &PermCtx { attr: &attr, path }, mask)
     }
 
     /// Whether negative dentries may be created on `fs` (§5.2).
@@ -244,7 +268,11 @@ impl Kernel {
             let mut w = SlowWalk::new(self, proc, start.clone(), parsed.absolute);
             let out = w.run(parsed, follow_last, parent_mode);
             if self.dcache.rename_lock.read_retry(rseq) {
-                self.dcache.stats.slow_retries.fetch_add(1, Ordering::Relaxed);
+                self.dcache
+                    .stats
+                    .slow_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                self.dcache.obs.event(|| TraceEvent::SeqRetry);
                 continue;
             }
             let inv0 = w.inv0;
@@ -302,6 +330,17 @@ impl Kernel {
     }
 }
 
+/// Maps a resolution result onto the span-trace outcome taxonomy:
+/// provable absence (`ENOENT`/`ENOTDIR`) is negative, anything else
+/// that failed is an error.
+fn lookup_outcome<T>(out: &FsResult<T>) -> LookupOutcome {
+    match out {
+        Ok(_) => LookupOutcome::Positive,
+        Err(FsError::NoEnt) | Err(FsError::NotDir) => LookupOutcome::Negative,
+        Err(_) => LookupOutcome::Error,
+    }
+}
+
 /// Output of a slow resolution.
 pub(crate) enum WalkOutput {
     /// Full mode: the final object.
@@ -331,6 +370,8 @@ struct SlowWalk<'k> {
     /// Canonical path of `cur`, maintained only when an LSM needs paths.
     path_str: Option<String>,
     link_depth: u32,
+    /// Components stepped so far (the `SlowStep` span payload).
+    steps: u32,
     publishes: Vec<Publish>,
     inv0: u64,
 }
@@ -361,10 +402,7 @@ impl<'k> SlowWalk<'k> {
                 || pcc
                     .as_ref()
                     .is_some_and(|p| p.check(anchor.dentry.id(), anchor.dentry.seq())));
-        let path_str = k
-            .security
-            .needs_path()
-            .then(|| k.vfs_path_of(&anchor));
+        let path_str = k.security.needs_path().then(|| k.vfs_path_of(&anchor));
         let inv0 = k.dcache.invalidation_counter();
         SlowWalk {
             k,
@@ -379,6 +417,7 @@ impl<'k> SlowWalk<'k> {
             pcc_ok,
             path_str,
             link_depth: 0,
+            steps: 0,
             publishes: Vec::new(),
             inv0,
         }
@@ -451,7 +490,17 @@ impl<'k> SlowWalk<'k> {
     }
 
     fn step(&mut self, name: &str, is_last: bool, follow_last: bool) -> FsResult<()> {
-        self.k.dcache.stats.slow_steps.fetch_add(1, Ordering::Relaxed);
+        self.k
+            .dcache
+            .stats
+            .slow_steps
+            .fetch_add(1, Ordering::Relaxed);
+        let component = self.steps;
+        self.steps += 1;
+        self.k
+            .dcache
+            .obs
+            .event(|| TraceEvent::SlowStep { component });
         if name == ".." {
             return self.step_dotdot();
         }
@@ -485,9 +534,7 @@ impl<'k> SlowWalk<'k> {
                 self.cur = PathRef::new(self.cur.mount.clone(), child);
                 return Err(kind.error());
             }
-            if self.k.dcache.config.deep_negative
-                && self.k.negatives_allowed(&self.fs())
-            {
+            if self.k.dcache.config.deep_negative && self.k.negatives_allowed(&self.fs()) {
                 self.cur = PathRef::new(self.cur.mount.clone(), child);
                 self.push_path_seg(name);
                 return Ok(());
@@ -609,17 +656,9 @@ impl<'k> SlowWalk<'k> {
     }
 
     fn check_exec(&mut self) -> FsResult<()> {
-        let inode = self
-            .cur
-            .dentry
-            .inode()
-            .ok_or(FsError::NoEnt)?;
-        self.k.permission(
-            &self.cred,
-            &inode,
-            MAY_EXEC,
-            self.path_str.as_deref(),
-        )
+        let inode = self.cur.dentry.inode().ok_or(FsError::NoEnt)?;
+        self.k
+            .permission(&self.cred, &inode, MAY_EXEC, self.path_str.as_deref())
     }
 
     /// Finds or instantiates the child dentry for `name` under `cur`.
@@ -654,9 +693,7 @@ impl<'k> SlowWalk<'k> {
                 continue; // reclassify through the hit path
             }
             if self.k.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
-                stats
-                    .complete_neg_avoided
-                    .fetch_add(1, Ordering::Relaxed);
+                stats.complete_neg_avoided.fetch_add(1, Ordering::Relaxed);
                 if self.k.negatives_allowed(&fs) {
                     let c = self.k.dcache.d_alloc(
                         &parent,
@@ -668,17 +705,14 @@ impl<'k> SlowWalk<'k> {
                 return Err(FsError::NoEnt);
             }
             stats.miss_fs.fetch_add(1, Ordering::Relaxed);
+            self.k.dcache.obs.event(|| TraceEvent::FsMiss);
             match fs.lookup(dir_ino, name) {
                 Ok(attr) => {
-                    let inode =
-                        self.k
-                            .icache
-                            .get_or_create(self.cur.mount.sb.id, &fs, attr);
-                    return Ok(self.k.dcache.d_alloc(
-                        &parent,
-                        name,
-                        DentryState::Positive(inode),
-                    ));
+                    let inode = self.k.icache.get_or_create(self.cur.mount.sb.id, &fs, attr);
+                    return Ok(self
+                        .k
+                        .dcache
+                        .d_alloc(&parent, name, DentryState::Positive(inode)));
                 }
                 Err(FsError::NoEnt) => {
                     if self.k.negatives_allowed(&fs) {
@@ -746,9 +780,7 @@ impl<'k> SlowWalk<'k> {
                     match self.k.dcache.d_lookup(&ap, &name) {
                         Some(a)
                             if a.alias_target()
-                                .is_some_and(|(t, s)| {
-                                    Arc::ptr_eq(&t, dentry) && s == t.seq()
-                                }) =>
+                                .is_some_and(|(t, s)| Arc::ptr_eq(&t, dentry) && s == t.seq()) =>
                         {
                             a
                         }
@@ -921,11 +953,7 @@ enum CurKind {
 }
 
 /// Upgrades a partial dentry (readdir-born, §5.1) into a positive one.
-pub(crate) fn upgrade_partial(
-    k: &Kernel,
-    mount: &Arc<Mount>,
-    d: &Arc<Dentry>,
-) -> FsResult<()> {
+pub(crate) fn upgrade_partial(k: &Kernel, mount: &Arc<Mount>, d: &Arc<Dentry>) -> FsResult<()> {
     let parent = d.parent().ok_or(FsError::NoEnt)?;
     let _g = parent.dir_lock().lock();
     let ino = match d.with_state(|s| match s {
@@ -977,14 +1005,8 @@ mod tests {
     #[test]
     fn lexical_simplify_pops_and_preserves_leading() {
         assert_eq!(lexical_simplify(&["a", "..", "b"]), vec!["b"]);
-        assert_eq!(
-            lexical_simplify(&["..", "..", "x"]),
-            vec!["..", "..", "x"]
-        );
-        assert_eq!(
-            lexical_simplify(&["a", "b", "..", "..", "c"]),
-            vec!["c"]
-        );
+        assert_eq!(lexical_simplify(&["..", "..", "x"]), vec!["..", "..", "x"]);
+        assert_eq!(lexical_simplify(&["a", "b", "..", "..", "c"]), vec!["c"]);
         assert_eq!(lexical_simplify(&["a", "..", "..", "b"]), vec!["..", "b"]);
     }
 }

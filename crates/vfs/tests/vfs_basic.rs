@@ -2,13 +2,15 @@
 //! optimized directory cache (every test body takes the config so both
 //! resolvers are exercised).
 
+use dc_fs::FsError;
 use dc_vfs::{Kernel, KernelBuilder, OpenFlags, Process};
 use dcache_core::DcacheConfig;
-use dc_fs::FsError;
 use std::sync::Arc;
 
 fn kernel(config: DcacheConfig) -> (Arc<Kernel>, Arc<Process>) {
-    let k = KernelBuilder::new(config.with_seed(0xDEC0DE)).build().unwrap();
+    let k = KernelBuilder::new(config.with_seed(0xDEC0DE))
+        .build()
+        .unwrap();
     let p = k.init_process();
     (k, p)
 }
@@ -24,7 +26,9 @@ fn both(test: impl Fn(Arc<Kernel>, Arc<Process>)) {
 fn create_stat_roundtrip() {
     both(|k, p| {
         k.mkdir(&p, "/etc", 0o755).unwrap();
-        let fd = k.open(&p, "/etc/passwd", OpenFlags::create(), 0o644).unwrap();
+        let fd = k
+            .open(&p, "/etc/passwd", OpenFlags::create(), 0o644)
+            .unwrap();
         k.write_fd(&p, fd, b"root:x:0:0").unwrap();
         k.close(&p, fd).unwrap();
         let a = k.stat(&p, "/etc/passwd").unwrap();
@@ -163,7 +167,9 @@ fn rename_moves_and_invalidates() {
 fn symlinks_follow_and_loop() {
     both(|k, p| {
         k.mkdir(&p, "/real", 0o755).unwrap();
-        let fd = k.open(&p, "/real/data", OpenFlags::create(), 0o644).unwrap();
+        let fd = k
+            .open(&p, "/real/data", OpenFlags::create(), 0o644)
+            .unwrap();
         k.write_fd(&p, fd, b"hello").unwrap();
         k.close(&p, fd).unwrap();
         k.symlink(&p, "/real", "/alias").unwrap();
@@ -339,10 +345,7 @@ fn openat_and_fstatat_resolve_relative_to_dirfd() {
         k.close(&p, f2).unwrap();
         // Absolute paths ignore dirfd.
         assert!(k.fstatat(&p, dirfd, "/base/sub/x", false).is_ok());
-        assert_eq!(
-            k.fstatat(&p, dirfd, "missing", false),
-            Err(FsError::NoEnt)
-        );
+        assert_eq!(k.fstatat(&p, dirfd, "missing", false), Err(FsError::NoEnt));
         k.close(&p, dirfd).unwrap();
     });
 }

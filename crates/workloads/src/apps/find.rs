@@ -7,12 +7,7 @@ use dc_vfs::{FsResult, Kernel, OpenFlags, Process};
 use std::time::Instant;
 
 /// Runs the emulator; returns the report and the number of name matches.
-pub fn find_name(
-    k: &Kernel,
-    p: &Process,
-    root: &str,
-    pattern: &str,
-) -> FsResult<(AppReport, u64)> {
+pub fn find_name(k: &Kernel, p: &Process, root: &str, pattern: &str) -> FsResult<(AppReport, u64)> {
     let t0 = Instant::now();
     let mut tally = PathTally::default();
     let mut matches = 0u64;

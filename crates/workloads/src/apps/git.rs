@@ -30,12 +30,7 @@ pub fn git_write_index(
 
 /// `git status`: read the index, lstat every tracked file, and scan every
 /// directory for untracked entries.
-pub fn git_status(
-    k: &Kernel,
-    p: &Process,
-    manifest: &Manifest,
-    root: &str,
-) -> FsResult<AppReport> {
+pub fn git_status(k: &Kernel, p: &Process, manifest: &Manifest, root: &str) -> FsResult<AppReport> {
     let t0 = Instant::now();
     let mut tally = PathTally::default();
     let index_path = format!("{root}/.git/index");
@@ -58,12 +53,7 @@ pub fn git_status(
 
 /// `git diff`: read the index and lstat every tracked file; read a
 /// sample of contents for comparison.
-pub fn git_diff(
-    k: &Kernel,
-    p: &Process,
-    manifest: &Manifest,
-    root: &str,
-) -> FsResult<AppReport> {
+pub fn git_diff(k: &Kernel, p: &Process, manifest: &Manifest, root: &str) -> FsResult<AppReport> {
     let t0 = Instant::now();
     let mut tally = PathTally::default();
     let index_path = format!("{root}/.git/index");

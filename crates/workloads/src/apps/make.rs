@@ -12,12 +12,7 @@ use std::time::Instant;
 const SEARCH_PATH: &[&str] = &["arch/include", "generated", "include"];
 
 /// Runs the emulated build over the manifest's `.c` files.
-pub fn make_build(
-    k: &Kernel,
-    p: &Process,
-    manifest: &Manifest,
-    root: &str,
-) -> FsResult<AppReport> {
+pub fn make_build(k: &Kernel, p: &Process, manifest: &Manifest, root: &str) -> FsResult<AppReport> {
     let t0 = Instant::now();
     let mut tally = PathTally::default();
     let mut objects = 0u64;

@@ -74,7 +74,10 @@ impl PathTally {
     pub fn record(&mut self, path: &str) {
         self.ops += 1;
         self.bytes += path.len() as u64;
-        self.components += path.split('/').filter(|c| !c.is_empty() && *c != ".").count() as u64;
+        self.components += path
+            .split('/')
+            .filter(|c| !c.is_empty() && *c != ".")
+            .count() as u64;
     }
 
     pub fn into_report(self, name: &'static str, wall_ns: u64, work_items: u64) -> AppReport {

@@ -19,10 +19,7 @@ pub fn tar_extract(
     let mut tally = PathTally::default();
     let mut items = 0u64;
     let retarget = |path: &str| -> String {
-        format!(
-            "{dst_root}{}",
-            path.strip_prefix(src_root).unwrap_or(path)
-        )
+        format!("{dst_root}{}", path.strip_prefix(src_root).unwrap_or(path))
     };
     k.mkdir(p, dst_root, 0o755).ok();
     for d in &manifest.dirs {

@@ -1,8 +1,8 @@
 //! The extended LMBench `lat_syscall` patterns of Figure 6.
 
 use crate::measure::{latency_ns, Summary};
-use dc_vfs::{Kernel, OpenFlags, Process};
 use dc_fs::FsResult;
+use dc_vfs::{Kernel, OpenFlags, Process};
 
 /// The path patterns measured in Figure 6. `default` is the paper's
 /// `/usr/include/gcc-x86_64-linux-gnu/sys/types.h` analog.

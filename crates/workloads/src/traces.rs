@@ -198,7 +198,9 @@ impl<'k> Recorder<'k> {
     /// Executes + records an open/close.
     pub fn open(&mut self, path: &str) -> FsResult<()> {
         self.trace.push(TraceOp::Open(path.to_string()));
-        let fd = self.kernel.open(self.proc, path, OpenFlags::read_only(), 0)?;
+        let fd = self
+            .kernel
+            .open(self.proc, path, OpenFlags::read_only(), 0)?;
         self.kernel.close(self.proc, fd)
     }
 
@@ -283,9 +285,8 @@ mod tests {
 
     #[test]
     fn replay_tolerates_dangling_paths() {
-        let trace = Trace::from_text(
-            "stat\t/definitely/not/here\nunlink\t/nor/this\nrename\t/a\t/b\n",
-        );
+        let trace =
+            Trace::from_text("stat\t/definitely/not/here\nunlink\t/nor/this\nrename\t/a\t/b\n");
         let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(23))
             .build()
             .unwrap();

@@ -1,7 +1,7 @@
 //! File-tree builders and manifests.
 
-use dc_vfs::{Kernel, OpenFlags, Process};
 use dc_fs::FsResult;
+use dc_vfs::{Kernel, OpenFlags, Process};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,12 +79,7 @@ fn gen_name(rng: &mut StdRng, i: usize) -> String {
 
 /// Builds the hierarchy under `root` through the syscall API, so the
 /// dcache observes realistic creation traffic. Returns the manifest.
-pub fn build_tree(
-    k: &Kernel,
-    p: &Process,
-    root: &str,
-    spec: &TreeSpec,
-) -> FsResult<Manifest> {
+pub fn build_tree(k: &Kernel, p: &Process, root: &str, spec: &TreeSpec) -> FsResult<Manifest> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut m = Manifest::default();
     k.mkdir(p, root, 0o755)?;

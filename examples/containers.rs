@@ -57,13 +57,20 @@ fn main() {
         kernel.unshare_ns(&launcher).unwrap();
         kernel.chroot(&launcher, root).unwrap();
         let ns = launcher.namespace();
-        println!("container {i}: namespace {} ({} mounts)", ns.id, ns.mount_count());
+        println!(
+            "container {i}: namespace {} ({} mounts)",
+            ns.id,
+            ns.mount_count()
+        );
 
         // Inside: paths are container-relative.
         let app = kernel.spawn_with_cred(&launcher, Cred::user(1000 + i as u32, 1000));
         let meminfo = kernel.stat(&app, "/proc/meminfo").unwrap();
         let model = kernel.stat(&app, "/data/model.bin").unwrap();
-        println!("  /proc/meminfo mode {:o}, /data/model.bin {} bytes", meminfo.mode, model.size);
+        println!(
+            "  /proc/meminfo mode {:o}, /data/model.bin {} bytes",
+            meminfo.mode, model.size
+        );
 
         // The app writes in its own home; repeated stats ride the
         // namespace-private fastpath.

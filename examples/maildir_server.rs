@@ -44,8 +44,7 @@ fn main() {
             .expect("kernel");
         let server = kernel.init_process();
         kernel.mkdir(&server, "/var", 0o755).unwrap();
-        let mut sim =
-            MaildirSim::provision(&kernel, &server, "/var/mail", boxes, msgs, 7).unwrap();
+        let mut sim = MaildirSim::provision(&kernel, &server, "/var/mail", boxes, msgs, 7).unwrap();
         // Warm the caches the way a long-running server would.
         for _ in 0..100 {
             sim.mark_one(&kernel, &server).unwrap();
@@ -56,9 +55,7 @@ fn main() {
         let cached = stats
             .readdir_cached
             .load(std::sync::atomic::Ordering::Relaxed);
-        let fs_calls = stats
-            .readdir_fs
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let fs_calls = stats.readdir_fs.load(std::sync::atomic::Ordering::Relaxed);
         println!(
             "{name}: {rate:>9.0} marks/sec   (listings from cache: {cached}, from fs: {fs_calls})"
         );

@@ -31,7 +31,10 @@ fn main() {
     // single-hash fastpath.
     for round in 1..=3 {
         let attr = kernel.stat(&shell, "/home/alice/notes.txt").unwrap();
-        println!("round {round}: notes.txt is {} bytes, mode {:o}", attr.size, attr.mode);
+        println!(
+            "round {round}: notes.txt is {} bytes, mode {:o}",
+            attr.size, attr.mode
+        );
     }
     let via_link = kernel.stat(&shell, "/home/alice/todo").unwrap();
     println!("via symlink: {} bytes", via_link.size);

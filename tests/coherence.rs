@@ -79,7 +79,8 @@ fn pcc_is_not_shared_across_credentials() {
     let (k, root) = optimized();
     k.mkdir(&root, "/home", 0o755).unwrap();
     k.mkdir(&root, "/home/alice", 0o700).unwrap();
-    k.chown(&root, "/home/alice", Some(1000), Some(1000)).unwrap();
+    k.chown(&root, "/home/alice", Some(1000), Some(1000))
+        .unwrap();
     touch(&k, &root, "/home/alice/diary");
     k.chown(&root, "/home/alice/diary", Some(1000), Some(1000))
         .unwrap();
@@ -150,11 +151,9 @@ fn symlink_replacement_invalidates_cached_translation() {
 
 #[test]
 fn eviction_under_capacity_pressure_preserves_correctness() {
-    let k = KernelBuilder::new(
-        DcacheConfig::optimized().with_seed(100).with_capacity(128),
-    )
-    .build()
-    .unwrap();
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(100).with_capacity(128))
+        .build()
+        .unwrap();
     let p = k.init_process();
     // Far more files than the dentry budget.
     k.mkdir(&p, "/big", 0o755).unwrap();

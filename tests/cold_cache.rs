@@ -37,7 +37,8 @@ fn drop_caches_forces_device_reads_and_correct_refill() {
             let fd = k
                 .open(&p, &format!("/data/f{i:02}"), OpenFlags::create(), 0o644)
                 .unwrap();
-            k.write_fd(&p, fd, format!("payload {i}").as_bytes()).unwrap();
+            k.write_fd(&p, fd, format!("payload {i}").as_bytes())
+                .unwrap();
             k.close(&p, fd).unwrap();
         }
         // Warm pass: no device reads needed afterwards.
@@ -110,7 +111,8 @@ fn remount_after_sync_preserves_everything() {
         .unwrap();
     k.write_fd(&p, fd, b"durable bytes").unwrap();
     k.close(&p, fd).unwrap();
-    k.symlink(&p, "/persist/deep/file", "/persist/link").unwrap();
+    k.symlink(&p, "/persist/deep/file", "/persist/link")
+        .unwrap();
     // Flush everything and build a brand-new kernel over the same disk.
     k.init_namespace().root_mount().sb.fs.sync().unwrap();
     disk.drop_caches();

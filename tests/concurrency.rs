@@ -72,8 +72,7 @@ fn readers_race_renames_without_stale_results() {
                             continue; // a rename interleaved; not judgeable
                         }
                         match (a, b) {
-                            (Ok(_), Err(FsError::NoEnt))
-                            | (Err(FsError::NoEnt), Ok(_)) => {}
+                            (Ok(_), Err(FsError::NoEnt)) | (Err(FsError::NoEnt), Ok(_)) => {}
                             (x, y) => {
                                 eprintln!("quiescent anomaly: {x:?} {y:?}");
                                 anomalies.fetch_add(1, Ordering::Relaxed);
@@ -237,7 +236,7 @@ fn lookups_scale_across_threads_without_errors() {
                 let p = k.spawn(&p);
                 s.spawn(move || {
                     for _ in 0..2000 {
-                        assert_eq!(k.stat(&p, "/deep/a/b/target").unwrap().ftype.is_dir(), false);
+                        assert!(!k.stat(&p, "/deep/a/b/target").unwrap().ftype.is_dir());
                     }
                 });
             }

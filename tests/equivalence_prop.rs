@@ -62,7 +62,10 @@ fn op() -> impl Strategy<Value = Op> {
         path().prop_map(Op::Stat),
         path().prop_map(Op::Lstat),
         (path(), 0u32..8).prop_map(|(p, m)| Op::Access(p, m)),
-        (path(), prop_oneof![Just(0o700u16), Just(0o755), Just(0o000), Just(0o644)])
+        (
+            path(),
+            prop_oneof![Just(0o700u16), Just(0o755), Just(0o000), Just(0o644)]
+        )
             .prop_map(|(p, m)| Op::Chmod(p, m)),
         (path(), path()).prop_map(|(t, l)| Op::Symlink(t, l)),
         path().prop_map(Op::Readlink),
@@ -160,7 +163,8 @@ fn run_equivalence(ops: Vec<Op>) {
         let a = apply(&kb, &pb, op, i as u64);
         let b = apply(&ko, &po, op, i as u64);
         assert_eq!(
-            a, b,
+            a,
+            b,
             "divergence at op {i} {op:?} (baseline vs optimized)\nhistory: {:?}",
             &ops[..=i]
         );
@@ -254,7 +258,9 @@ fn run_equivalence_against(config: DcacheConfig, ops: Vec<Op>) {
     let kb = KernelBuilder::new(DcacheConfig::baseline().with_seed(0xCCCC))
         .build()
         .unwrap();
-    let ko = KernelBuilder::new(config.with_seed(0xDDDD)).build().unwrap();
+    let ko = KernelBuilder::new(config.with_seed(0xDDDD))
+        .build()
+        .unwrap();
     let pb = kb.init_process();
     let po = ko.init_process();
     for (i, op) in ops.iter().enumerate() {

@@ -27,7 +27,9 @@ fn posix() -> (Arc<Kernel>, Arc<Process>) {
 fn setup(k: &Kernel, p: &Arc<Process>) {
     k.mkdir(p, "/x", 0o755).unwrap();
     k.mkdir(p, "/x/y", 0o755).unwrap();
-    let fd = k.open(p, "/x/y/target", OpenFlags::create(), 0o644).unwrap();
+    let fd = k
+        .open(p, "/x/y/target", OpenFlags::create(), 0o644)
+        .unwrap();
     k.close(p, fd).unwrap();
     let fd = k.open(p, "/x/sibling", OpenFlags::create(), 0o644).unwrap();
     k.close(p, fd).unwrap();

@@ -186,7 +186,7 @@ fn pseudo_fs_mounts_and_negative_policy() {
         for _ in 0..5 {
             assert_eq!(k.stat(&root, "/proc/42"), Err(FsError::NoEnt));
         }
-        let neg = k.dcache.stats.negative_rate() > 0.0;
+        let neg = k.dcache.stats.neg_hit_rate() > 0.0;
         assert_eq!(
             neg, expect_pseudo_negatives,
             "pseudo-fs negative policy mismatch"
@@ -220,7 +220,12 @@ fn namespaces_isolate_mounts() {
         // The underlying tree is still shared (same superblock).
         assert!(k.stat(&container, "/shared/base").is_ok());
         let fd = k
-            .open(&container, "/shared/from-container", OpenFlags::create(), 0o644)
+            .open(
+                &container,
+                "/shared/from-container",
+                OpenFlags::create(),
+                0o644,
+            )
             .unwrap();
         k.close(&container, fd).unwrap();
         assert!(k.stat(&root, "/shared/from-container").is_ok());
@@ -236,7 +241,9 @@ fn chroot_confines_resolution() {
             .open(&root, "/jail/etc/conf", OpenFlags::create(), 0o644)
             .unwrap();
         k.close(&root, fd).unwrap();
-        let fd = k.open(&root, "/topsecret", OpenFlags::create(), 0o644).unwrap();
+        let fd = k
+            .open(&root, "/topsecret", OpenFlags::create(), 0o644)
+            .unwrap();
         k.close(&root, fd).unwrap();
 
         let jailed = k.spawn(&root);
@@ -246,7 +253,10 @@ fn chroot_confines_resolution() {
         assert_eq!(k.stat(&jailed, "/topsecret"), Err(FsError::NoEnt));
         // Dot-dot cannot escape the jail.
         assert_eq!(k.stat(&jailed, "/../topsecret"), Err(FsError::NoEnt));
-        assert_eq!(k.stat(&jailed, "/../../.."), Ok(k.stat(&jailed, "/").unwrap()));
+        assert_eq!(
+            k.stat(&jailed, "/../../.."),
+            Ok(k.stat(&jailed, "/").unwrap())
+        );
         // Only root may chroot.
         let user = k.spawn_with_cred(&root, dcache_repro::cred::Cred::user(1000, 1000));
         assert_eq!(k.chroot(&user, "/jail"), Err(FsError::Perm));

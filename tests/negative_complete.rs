@@ -30,7 +30,11 @@ fn new_directories_answer_misses_without_fs_calls() {
     for i in 0..20 {
         assert_eq!(k.stat(&p, &format!("/fresh/nope{i}")), Err(FsError::NoEnt));
     }
-    assert_eq!(fs_lookups(&k), before, "fs was consulted under completeness");
+    assert_eq!(
+        fs_lookups(&k),
+        before,
+        "fs was consulted under completeness"
+    );
     assert!(k.dcache.stats.complete_neg_avoided.load(Ordering::Relaxed) >= 20);
     // Creating a file keeps the directory complete.
     touch(&k, &p, "/fresh/real");
@@ -223,11 +227,9 @@ fn mkstemp_in_complete_directory_skips_existence_probes() {
 
 #[test]
 fn negative_dentries_capped_by_eviction() {
-    let k = KernelBuilder::new(
-        DcacheConfig::optimized().with_seed(112).with_capacity(100),
-    )
-    .build()
-    .unwrap();
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(112).with_capacity(100))
+        .build()
+        .unwrap();
     let p = k.init_process();
     k.mkdir(&p, "/n", 0o755).unwrap();
     for i in 0..1000 {

@@ -36,10 +36,7 @@ fn dlht_entries_do_not_leak_access_across_credentials() {
     // must fail the prefix check, hot cache or not.
     let alice = k.spawn_with_cred(&root, Cred::user(1000, 1000));
     for _ in 0..10 {
-        assert_eq!(
-            k.stat(&alice, "/home/bob/secret.txt"),
-            Err(FsError::Access)
-        );
+        assert_eq!(k.stat(&alice, "/home/bob/secret.txt"), Err(FsError::Access));
         assert_eq!(
             k.open(&alice, "/home/bob/secret.txt", OpenFlags::read_only(), 0)
                 .unwrap_err(),
@@ -103,7 +100,9 @@ fn signatures_differ_across_kernel_instances() {
 fn namespace_private_dlht_and_pcc() {
     let (k, root) = world();
     k.mkdir(&root, "/data", 0o755).unwrap();
-    let fd = k.open(&root, "/data/f", OpenFlags::create(), 0o644).unwrap();
+    let fd = k
+        .open(&root, "/data/f", OpenFlags::create(), 0o644)
+        .unwrap();
     k.close(&root, fd).unwrap();
     // Warm the init namespace.
     for _ in 0..3 {

@@ -142,7 +142,9 @@ fn at_family_with_moving_dirfd() {
     both(|k, root| {
         k.mkdir(&root, "/a", 0o755).unwrap();
         k.mkdir(&root, "/a/sub", 0o755).unwrap();
-        let fd = k.open(&root, "/a/sub/f", OpenFlags::create(), 0o644).unwrap();
+        let fd = k
+            .open(&root, "/a/sub/f", OpenFlags::create(), 0o644)
+            .unwrap();
         k.close(&root, fd).unwrap();
         let dirfd = k.open(&root, "/a/sub", OpenFlags::directory(), 0).unwrap();
         assert!(k.fstatat(&root, dirfd, "f", false).is_ok());
@@ -220,8 +222,10 @@ fn io_through_handles() {
         assert_eq!(k.read_fd(&root, fd, 100).unwrap().len(), 10);
         // Reads on a write-only handle are EBADF.
         k.close(&root, fd).unwrap();
-        let mut wo = OpenFlags::default();
-        wo.write = true;
+        let wo = OpenFlags {
+            write: true,
+            ..Default::default()
+        };
         let fd = k.open(&root, "/io", wo, 0).unwrap();
         assert_eq!(k.read_fd(&root, fd, 1), Err(FsError::BadF));
         k.close(&root, fd).unwrap();

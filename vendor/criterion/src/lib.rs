@@ -1,0 +1,265 @@
+//! Offline mini-harness implementing the subset of the Criterion API the
+//! `dc-bench` benches use: groups, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, warm-up/measurement windows, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured
+//! warm-up window, then takes `sample_size` samples, each a timed batch
+//! sized so the whole measurement fits the measurement window. The
+//! median per-iteration time is reported on stdout. This is
+//! deliberately simpler than real Criterion (no outlier analysis, no
+//! HTML reports) but produces comparable medians for the large effect
+//! sizes these benches measure.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `optimized/8-comp`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Measured median per-iteration nanoseconds, filled by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the window elapses, tracking cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_est = self.config.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
+        // Size batches so sample_size batches fill the measurement window.
+        let budget_ns = self.config.measurement_time.as_nanos() as u64;
+        let samples = self.config.sample_size.max(2) as u64;
+        let batch = (budget_ns / samples / per_iter_est.max(1)).clamp(1, 1 << 20);
+        let mut medians: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            medians.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        medians.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = medians[medians.len() / 2];
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+            sample_size: 100,
+        }
+    }
+}
+
+/// The top-level harness object.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            group_config: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    group_config: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn config(&self) -> Config {
+        self.group_config
+            .clone()
+            .unwrap_or_else(|| self.criterion.config.clone())
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut c = self.config();
+        c.sample_size = n;
+        self.group_config = Some(c);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut c = self.config();
+        c.measurement_time = d;
+        self.group_config = Some(c);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let config = self.config();
+        let mut b = Bencher {
+            config: &config,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{}/{}: median {:.1} ns/iter", self.name, id, b.result_ns);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into().id;
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let id = id.into().id;
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (upstream-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline placeholder for `proptest`.
+//!
+//! The build environment has no crates.io access, and a faithful
+//! proptest implementation is far outside stub scope. The three test
+//! targets that depend on the real macro API (`crates/sighash`
+//! `properties`, `crates/fs` `memfs_model`, and the workspace-root
+//! `equivalence_prop`) are declared with
+//! `required-features = ["proptest-tests"]`, so they are not compiled
+//! by default and this crate's contents are never referenced.
+//! Randomized coverage for the new observability subsystem lives in
+//! plain seeded `#[test]`s instead (see `crates/obs/tests/`).

@@ -1,0 +1,112 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses:
+//! deterministic seeded generation via [`rngs::StdRng`] and
+//! [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The generator is splitmix64 — statistically fine for workload
+//! shaping (directory-name selection, mailbox picking), which is the
+//! only use in this repository. Sequences are deterministic per seed
+//! but not identical to upstream `rand`; every consumer here seeds
+//! explicitly and relies only on determinism, not on exact streams.
+
+use std::ops::Range;
+
+/// Types that [`Rng::gen_range`] can sample over a `Range`.
+pub trait SampleRange: Copy {
+    /// Samples uniformly from `[low, high)` using `next` for raw bits.
+    fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is
+                // negligible for the small spans used in workloads.
+                range.start + ((next() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+/// Random-number-generator operations (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample(range, &mut f)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable");
+    }
+}
