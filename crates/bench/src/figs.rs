@@ -1,8 +1,8 @@
 //! One function per table/figure of the paper's evaluation (§6).
 
 use crate::setup::{
-    config_pair, kernel_with, kernel_with_disk, kernel_with_disk_full, kernel_with_obs, Scale,
-    Setup,
+    config_pair, config_triple, kernel_with, kernel_with_disk, kernel_with_disk_full,
+    kernel_with_obs, Scale, Setup,
 };
 use crate::table::{gain_pct, pct, us, Table};
 use dc_vfs::{Cred, Kernel, OpClass, OpenFlags, Process};
@@ -355,30 +355,40 @@ pub fn fig7(scale: Scale) {
 // ---------------------------------------------------------------------
 
 /// Figure 8: `stat`/`open` latency of the same path as reader threads
-/// scale; both walkers take only shared locks so latency should stay
-/// flat, with the optimized walker strictly below.
+/// scale. Three walkers: unmodified, opt-locked (all optimizations but
+/// reads still take the per-bucket/per-field locks — the before picture
+/// for the lock-free read path), and optimized (epoch + seqlock reads).
+/// Latency should stay flat, with the optimized walker strictly below.
+///
+/// Also records the raw per-config latency matrix to `BENCH_fig8.json`
+/// in the working directory.
 pub fn fig8(scale: Scale) {
     banner("Figure 8: stat/open latency vs threads (µs)");
+    let configs = config_triple();
     let mut t = Table::new(&[
         "threads",
         "stat unmod",
         "open unmod",
+        "stat opt-locked",
+        "open opt-locked",
         "stat opt",
         "open opt",
     ]);
-    let mut rows: Vec<Vec<String>> = (1..=scale.max_threads)
-        .map(|n| vec![n.to_string()])
-        .collect();
-    for (_, config) in config_pair() {
-        let s = kernel_with(config);
+    let threads: Vec<usize> = (1..=scale.max_threads).collect();
+    let mut rows: Vec<Vec<String>> = threads.iter().map(|n| vec![n.to_string()]).collect();
+    // lat[config][op][thread-index], nanoseconds per op.
+    let mut lats: Vec<[Vec<f64>; 2]> = Vec::new();
+    for (_, config) in &configs {
+        let s = kernel_with(config.clone());
         lmbench::setup(&s.kernel, &s.proc).unwrap();
         let path = Pattern::Comp4.path();
         // Warm.
         for _ in 0..64 {
             s.kernel.stat(&s.proc, path).unwrap();
         }
-        for (i, n) in (1..=scale.max_threads).enumerate() {
-            for op in ["stat", "open"] {
+        let mut per_op: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        for (i, &n) in threads.iter().enumerate() {
+            for (oi, op) in ["stat", "open"].into_iter().enumerate() {
                 let lat = parallel_latency(&s, n, scale.duration_ms, |k, p| match op {
                     "stat" => {
                         k.stat(p, path).unwrap();
@@ -390,13 +400,49 @@ pub fn fig8(scale: Scale) {
                     }
                 });
                 rows[i].push(us(lat));
+                per_op[oi].push(lat);
             }
         }
+        lats.push(per_op);
     }
     for r in rows {
         t.row(r);
     }
     t.print();
+    let json_path = "BENCH_fig8.json";
+    match write_fig8_json(json_path, &threads, &configs, &lats) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+}
+
+/// Serializes the fig8 latency matrix as JSON (hand-rolled; the
+/// workspace carries no serialization dependency).
+fn write_fig8_json(
+    path: &str,
+    threads: &[usize],
+    configs: &[(&'static str, DcacheConfig); 3],
+    lats: &[[Vec<f64>; 2]],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"fig8\",\n  \"unit\": \"ns_per_op\",\n");
+    let tl: Vec<String> = threads.iter().map(|n| n.to_string()).collect();
+    out.push_str(&format!("  \"threads\": [{}],\n", tl.join(", ")));
+    out.push_str("  \"configs\": {\n");
+    for (ci, ((name, _), per_op)) in configs.iter().zip(lats).enumerate() {
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        for (oi, op) in ["stat", "open"].into_iter().enumerate() {
+            let vals: Vec<String> = per_op[oi].iter().map(|v| format!("{v:.1}")).collect();
+            let comma = if oi == 0 { "," } else { "" };
+            out.push_str(&format!("      \"{op}\": [{}]{comma}\n", vals.join(", ")));
+        }
+        let comma = if ci + 1 < configs.len() { "," } else { "" };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
 }
 
 /// Mean per-op latency with `n` concurrent threads hammering `op`.
@@ -948,13 +994,13 @@ pub fn pcc_sensitivity(scale: Scale) {
 /// optimizations must not make it worse.
 pub fn rename_scalability(scale: Scale) {
     banner("Rename latency under concurrent renamers (µs, §6.1)");
-    let mut t = Table::new(&["threads", "unmodified", "optimized"]);
+    let mut t = Table::new(&["threads", "unmodified", "opt-locked", "optimized"]);
     let threads: Vec<usize> = [1usize, 2, 4, 8, 12]
         .into_iter()
         .filter(|&n| n <= scale.max_threads.max(2))
         .collect();
     let mut rows: Vec<Vec<String>> = threads.iter().map(|n| vec![n.to_string()]).collect();
-    for (_, config) in config_pair() {
+    for (_, config) in config_triple() {
         let s = kernel_with(config);
         for (i, &n) in threads.iter().enumerate() {
             // Per-thread private files, renamed back and forth.

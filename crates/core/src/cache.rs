@@ -1,7 +1,9 @@
 //! The directory-cache facade: allocation, hashing tables, coherence.
 
 use crate::config::DcacheConfig;
-use crate::dentry::{Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE};
+use crate::dentry::{
+    Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE, FLAG_LOCKED_READS,
+};
 use crate::dlht::Dlht;
 use crate::inode::{Inode, SbId};
 use crate::lru::{DentryLru, EvictOutcome};
@@ -10,9 +12,9 @@ use crate::seqlock::SeqLock;
 use crate::stats::{DcacheStats, SpaceReport};
 use dc_cred::Cred;
 use dc_obs::{Recorder, TraceEvent};
+use dc_rcu::SnapMap;
 use dc_sighash::HashKey;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -38,7 +40,7 @@ pub struct Dcache {
     /// Global rename seqlock: writers are structural mutations, readers
     /// are optimistic slowpath walks (§3.2).
     pub rename_lock: SeqLock,
-    dlhts: RwLock<HashMap<NsId, Arc<Dlht>>>,
+    dlhts: SnapMap<NsId, Arc<Dlht>>,
     lru: DentryLru,
     /// Global shootdown counter: slowpath results may only be published to
     /// DLHT/PCC if this did not move during the walk (§3.2).
@@ -76,7 +78,7 @@ impl Dcache {
             stats: DcacheStats::default(),
             obs,
             rename_lock: SeqLock::new(),
-            dlhts: RwLock::new(HashMap::new()),
+            dlhts: SnapMap::new(),
             lru: DentryLru::new(8),
             invalidation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
@@ -108,6 +110,9 @@ impl Dcache {
             DentryState::Positive(inode),
             0,
         );
+        if !self.config.lockfree_reads {
+            d.set_flag(FLAG_LOCKED_READS);
+        }
         d.store_hash_state(self.key.root_state());
         self.live.fetch_add(1, Ordering::Relaxed);
         d
@@ -126,6 +131,9 @@ impl Dcache {
             state,
             0,
         );
+        if !self.config.lockfree_reads {
+            d.set_flag(FLAG_LOCKED_READS);
+        }
         parent.insert_child(d.clone());
         d.touch(self.tick.fetch_add(1, Ordering::Relaxed));
         self.live.fetch_add(1, Ordering::Relaxed);
@@ -185,8 +193,8 @@ impl Dcache {
                 }
             }
         }
-        d.bump_seq();
         self.dlht_remove(d);
+        d.bump_seq();
         self.live.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -220,15 +228,12 @@ impl Dcache {
 
     // --- DLHT -------------------------------------------------------------
 
-    /// The DLHT serving namespace `ns`, created on first use.
+    /// The DLHT serving namespace `ns`, created on first use. The hit
+    /// path is an epoch-protected snapshot scan — no lock.
     pub fn dlht_for(&self, ns: NsId) -> Arc<Dlht> {
-        if let Some(t) = self.dlhts.read().get(&ns) {
-            return t.clone();
-        }
-        let mut w = self.dlhts.write();
-        w.entry(ns)
-            .or_insert_with(|| Dlht::new(ns, self.config.dlht_buckets))
-            .clone()
+        self.dlhts.get_or_insert_with(ns, || {
+            Dlht::new_with_mode(ns, self.config.dlht_buckets, self.config.lockfree_reads)
+        })
     }
 
     /// Direct lookup by full-path signature in namespace `ns`.
@@ -322,11 +327,14 @@ impl Dcache {
         let mut stack = vec![d.clone()];
         while let Some(n) = stack.pop() {
             visited += 1;
-            n.bump_seq();
+            // Mutate (and republish the snapshot) before bumping the seq:
+            // a lock-free reader that validates against the post-bump seq
+            // must observe the post-shootdown snapshot.
             if structural {
                 self.dlht_remove(&n);
                 n.clear_hash_state();
             }
+            n.bump_seq();
             stack.extend(n.children_snapshot());
         }
         self.stats.shootdowns.fetch_add(1, Ordering::Relaxed);
@@ -401,9 +409,22 @@ impl Dcache {
 
     // --- reporting ---------------------------------------------------------
 
-    /// Space-overhead report (§6.1).
+    /// Space-overhead report (§6.1). DLHT numbers come from walking the
+    /// real chains: exact bucket-head and node sizes, not stand-ins.
     pub fn space_report(&self) -> SpaceReport {
-        let dlht_bytes = self.dlhts.read().values().map(|t| t.approx_bytes()).sum();
+        let mut dlht_bytes = 0usize;
+        let mut dlht_buckets = 0usize;
+        let mut dlht_nodes = 0u64;
+        let mut dlht_bucket_bytes = 0usize;
+        let mut dlht_node_bytes = 0usize;
+        for t in self.dlhts.values() {
+            let fp = t.footprint();
+            dlht_bytes += fp.total_bytes();
+            dlht_buckets += fp.buckets;
+            dlht_nodes += fp.nodes;
+            dlht_bucket_bytes = fp.bucket_bytes;
+            dlht_node_bytes = fp.node_bytes;
+        }
         let pccs = {
             let mut list = self.pccs.lock();
             list.retain(|w| w.upgrade().is_some());
@@ -413,6 +434,10 @@ impl Dcache {
             dentry_bytes: std::mem::size_of::<Dentry>(),
             live_dentries: self.live(),
             dlht_bytes,
+            dlht_bucket_bytes,
+            dlht_node_bytes,
+            dlht_buckets,
+            dlht_nodes,
             pcc_bytes_each: Pcc::new(self.config.pcc_bytes).approx_bytes(),
             pccs,
         }
@@ -421,7 +446,7 @@ impl Dcache {
     /// DLHT bucket occupancy aggregated over namespaces (§6.5).
     pub fn dlht_occupancy(&self) -> [u64; 4] {
         let mut total = [0u64; 4];
-        for t in self.dlhts.read().values() {
+        for t in self.dlhts.values() {
             let o = t.occupancy();
             for i in 0..4 {
                 total[i] += o[i];

@@ -43,6 +43,12 @@ pub struct DcacheConfig {
     /// Synthetic worst case for Figure 6: execute the fastpath but force
     /// a PCC miss, paying hash + DLHT probe + full slowpath every time.
     pub fastpath_always_miss: bool,
+    /// Lock-free read side: epoch-protected DLHT probes and snapshot
+    /// dentry field reads validated by per-dentry sequence counters (the
+    /// RCU analog, DESIGN.md §5). Disabling it routes readers through the
+    /// per-bucket/per-field locks — the pre-refactor behavior, kept as an
+    /// ablation for the Figure 8 before/after columns.
+    pub lockfree_reads: bool,
 }
 
 impl DcacheConfig {
@@ -62,7 +68,14 @@ impl DcacheConfig {
             capacity: 1 << 20,
             hash_seed: None,
             fastpath_always_miss: false,
+            lockfree_reads: true,
         }
+    }
+
+    /// Disables the lock-free read side (pre-refactor locked reads).
+    pub fn with_locked_reads(mut self) -> Self {
+        self.lockfree_reads = false;
+        self
     }
 
     /// Every optimization from the paper enabled.
@@ -153,6 +166,10 @@ mod tests {
         assert!(!o.lexical_dotdot);
         assert!(DcacheConfig::optimized_lexical().lexical_dotdot);
         assert!(DcacheConfig::legacy_lock_walk().lock_walk);
+        // Both presets default to lock-free reads; the ablation helper
+        // switches a config back to locked reads.
+        assert!(b.lockfree_reads && o.lockfree_reads);
+        assert!(!DcacheConfig::optimized().with_locked_reads().lockfree_reads);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Dentries: cached path components, positive / negative / partial.
 
 use crate::inode::{Inode, SbId};
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use dc_fs::{DirEntry, FileType, FsError};
 use dc_sighash::{HashState, Signature};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Unique, never-reused dentry identity.
 ///
@@ -19,6 +20,10 @@ pub type DentryId = u64;
 pub const FLAG_DIR_COMPLETE: u32 = 0b0001;
 /// Flag: the dentry was unhashed (evicted or dropped); never re-cache it.
 pub(crate) const FLAG_DEAD: u32 = 0b0010;
+/// Flag: route read accessors through the field locks instead of the
+/// epoch-published snapshot (`DcacheConfig::lockfree_reads = false`, the
+/// pre-refactor ablation). Set at allocation, never changed.
+pub(crate) const FLAG_LOCKED_READS: u32 = 0b0100;
 
 /// What kind of absence a negative dentry records (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +84,42 @@ impl std::fmt::Debug for DentryState {
     }
 }
 
+/// Snapshot mirror of [`DentryState`] published for lock-free readers.
+///
+/// Dentry references are **weak**: epoch reclamation holds retired
+/// snapshots for a grace period, and a strong reference there would
+/// distort the `Arc::strong_count`-based eviction protocol
+/// (`Dcache::try_evict`). A failed upgrade means the snapshot is stale;
+/// readers fall back to the locked field, they never guess.
+#[derive(Clone)]
+enum SnapState {
+    Positive(Arc<Inode>),
+    Negative(NegKind),
+    // `ino` is deliberately absent: lock-free readers take it from the
+    // packed `listing_tag` atomic, not the snapshot.
+    Partial {
+        ftype: FileType,
+    },
+    SymlinkAlias {
+        target: Weak<Dentry>,
+        target_seq: u64,
+    },
+}
+
+/// The hot dentry fields read during walks, published as one immutable
+/// epoch-managed block (DESIGN.md §5). Writers rebuild and swap it after
+/// every mutation; readers pin, load, and copy out the field they need —
+/// no locks on the read side. Consistency across fields is validated by
+/// the per-dentry `seq` counter exactly like the slowpath validates
+/// against `rename_lock`.
+struct DentrySnap {
+    name: Arc<str>,
+    parent: Option<Weak<Dentry>>,
+    state: SnapState,
+    hash_state: Option<HashState>,
+    link_sig: Option<Signature>,
+}
+
 /// One cached path component.
 ///
 /// Ownership: a parent's `children` map holds the only long-lived strong
@@ -134,6 +175,13 @@ pub struct Dentry {
     /// across another dentry's `dir_lock` except parent→child under the
     /// global rename lock.
     dir_lock: Mutex<()>,
+    /// Epoch-published snapshot of the hot read fields; never null after
+    /// construction. See [`DentrySnap`].
+    snap: Atomic<DentrySnap>,
+    /// Serializes snapshot republication: without it, two racing writers
+    /// could publish out of order and leave a stale snapshot installed
+    /// after both field mutations landed.
+    snap_lock: Mutex<()>,
 }
 
 impl Dentry {
@@ -164,9 +212,58 @@ impl Dentry {
             last_used: AtomicU64::new(0),
             listing_tag: AtomicU64::new(0),
             dir_lock: Mutex::new(()),
+            snap: Atomic::null(),
+            snap_lock: Mutex::new(()),
         });
         d.refresh_listing_tag();
+        d.republish();
         d
+    }
+
+    /// True when this dentry's readers must use the field locks (the
+    /// `lockfree_reads = false` ablation).
+    #[inline]
+    fn locked_reads(&self) -> bool {
+        self.flag(FLAG_LOCKED_READS)
+    }
+
+    /// Loads the current snapshot under an epoch guard and runs `f`.
+    #[inline]
+    fn with_snap<R>(&self, f: impl FnOnce(&DentrySnap) -> R) -> R {
+        let guard = epoch::pin();
+        let shared = self.snap.load(Ordering::Acquire, &guard);
+        // Invariant: published before `new` returns, replaced atomically,
+        // freed only in Drop — never null while `&self` exists.
+        f(unsafe { shared.deref() })
+    }
+
+    /// Rebuilds the published snapshot from the locked fields and swaps
+    /// it in, retiring the previous block through the epoch collector.
+    ///
+    /// Every mutation of `name`, `parent`, `state`, `hash_state`, or
+    /// `link_sig` calls this before returning (and, in coherence flows,
+    /// before the corresponding `bump_seq`), so a reader that observes an
+    /// unchanged `seq` across its read saw a current-or-newer snapshot.
+    fn republish(&self) {
+        let _serialize = self.snap_lock.lock();
+        let fresh = DentrySnap {
+            name: self.name.read().clone(),
+            parent: self.parent.read().as_ref().map(Arc::downgrade),
+            state: match &*self.state.read() {
+                DentryState::Positive(i) => SnapState::Positive(i.clone()),
+                DentryState::Negative(k) => SnapState::Negative(*k),
+                DentryState::Partial { ftype, .. } => SnapState::Partial { ftype: *ftype },
+                DentryState::SymlinkAlias { target, target_seq } => SnapState::SymlinkAlias {
+                    target: Arc::downgrade(target),
+                    target_seq: *target_seq,
+                },
+            },
+            hash_state: *self.hash_state.lock(),
+            link_sig: *self.link_sig.lock(),
+        };
+        let guard = epoch::pin();
+        let old = self.snap.swap(Owned::new(fresh), Ordering::AcqRel, &guard);
+        unsafe { guard.defer_destroy(old) };
     }
 
     /// This dentry's unique id.
@@ -179,13 +276,37 @@ impl Dentry {
         self.sb
     }
 
-    /// Current component name.
+    /// Current component name (lock-free unless in the locked ablation).
     pub fn name(&self) -> Arc<str> {
-        self.name.read().clone()
+        if self.locked_reads() {
+            return self.name.read().clone();
+        }
+        self.with_snap(|s| s.name.clone())
     }
 
     /// Parent dentry (`None` for a superblock root).
     pub fn parent(&self) -> Option<Arc<Dentry>> {
+        if !self.locked_reads() {
+            enum P {
+                Root,
+                Live(Arc<Dentry>),
+                Stale,
+            }
+            let p = self.with_snap(|s| match &s.parent {
+                // `None` in the snapshot means a true root; a failed weak
+                // upgrade means the snapshot is stale, never "root".
+                None => P::Root,
+                Some(w) => match w.upgrade() {
+                    Some(parent) => P::Live(parent),
+                    None => P::Stale,
+                },
+            });
+            match p {
+                P::Root => return None,
+                P::Live(parent) => return Some(parent),
+                P::Stale => {} // fall back to the locked field
+            }
+        }
         self.parent.read().clone()
     }
 
@@ -212,6 +333,7 @@ impl Dentry {
     pub fn set_state(&self, state: DentryState) {
         *self.state.write() = state;
         self.refresh_listing_tag();
+        self.republish();
     }
 
     fn refresh_listing_tag(&self) {
@@ -245,38 +367,85 @@ impl Dentry {
         }
     }
 
-    /// The inode, if positive.
+    /// The inode, if positive (lock-free).
     pub fn inode(&self) -> Option<Arc<Inode>> {
-        match &*self.state.read() {
-            DentryState::Positive(i) => Some(i.clone()),
-            _ => None,
+        if self.locked_reads() {
+            return match &*self.state.read() {
+                DentryState::Positive(i) => Some(i.clone()),
+                _ => None,
+            };
         }
+        self.with_snap(|s| match &s.state {
+            SnapState::Positive(i) => Some(i.clone()),
+            _ => None,
+        })
     }
 
-    /// True for any negative state.
+    /// True for any negative state (lock-free).
     pub fn is_negative(&self) -> bool {
-        matches!(&*self.state.read(), DentryState::Negative(_))
+        if self.locked_reads() {
+            return matches!(&*self.state.read(), DentryState::Negative(_));
+        }
+        self.with_snap(|s| matches!(&s.state, SnapState::Negative(_)))
     }
 
-    /// The negative kind, if negative.
+    /// The negative kind, if negative (lock-free).
     pub fn neg_kind(&self) -> Option<NegKind> {
-        match &*self.state.read() {
-            DentryState::Negative(k) => Some(*k),
-            _ => None,
+        if self.locked_reads() {
+            return match &*self.state.read() {
+                DentryState::Negative(k) => Some(*k),
+                _ => None,
+            };
         }
+        self.with_snap(|s| match &s.state {
+            SnapState::Negative(k) => Some(*k),
+            _ => None,
+        })
     }
 
-    /// True when this dentry caches a positive directory.
+    /// True when readdir reported this entry but the inode has not been
+    /// instantiated yet — one atomic load off the listing tag.
+    pub fn is_partial(&self) -> bool {
+        self.listing_tag.load(Ordering::Acquire) >> 62 == 2
+    }
+
+    /// True when this dentry caches a positive directory (lock-free).
     pub fn is_dir(&self) -> bool {
-        match &*self.state.read() {
-            DentryState::Positive(i) => i.is_dir(),
-            DentryState::Partial { ftype, .. } => ftype.is_dir(),
-            _ => false,
+        if self.locked_reads() {
+            return match &*self.state.read() {
+                DentryState::Positive(i) => i.is_dir(),
+                DentryState::Partial { ftype, .. } => ftype.is_dir(),
+                _ => false,
+            };
         }
+        self.with_snap(|s| match &s.state {
+            SnapState::Positive(i) => i.is_dir(),
+            SnapState::Partial { ftype, .. } => ftype.is_dir(),
+            _ => false,
+        })
     }
 
     /// Resolves a symlink alias to `(target, recorded_target_seq)`.
     pub fn alias_target(&self) -> Option<(Arc<Dentry>, u64)> {
+        if !self.locked_reads() {
+            enum A {
+                NotAlias,
+                Live(Arc<Dentry>, u64),
+                Stale,
+            }
+            let a = self.with_snap(|s| match &s.state {
+                SnapState::SymlinkAlias { target, target_seq } => match target.upgrade() {
+                    Some(t) => A::Live(t, *target_seq),
+                    None => A::Stale,
+                },
+                _ => A::NotAlias,
+            });
+            match a {
+                A::NotAlias => return None,
+                A::Live(t, s) => return Some((t, s)),
+                A::Stale => {} // target freed or snapshot stale: locked read
+            }
+        }
         match &*self.state.read() {
             DentryState::SymlinkAlias { target, target_seq } => Some((target.clone(), *target_seq)),
             _ => None,
@@ -424,6 +593,7 @@ impl Dentry {
     pub(crate) fn set_name_parent(&self, name: &str, parent: Option<Arc<Dentry>>) {
         *self.name.write() = Arc::from(name);
         *self.parent.write() = parent;
+        self.republish();
     }
 
     /// The path of this dentry within its superblock (no mount prefix).
@@ -454,19 +624,24 @@ impl Dentry {
 
     // --- fastpath bookkeeping -------------------------------------------
 
-    /// Cached resumable hash state, if valid.
+    /// Cached resumable hash state, if valid (lock-free).
     pub fn hash_state(&self) -> Option<HashState> {
-        *self.hash_state.lock()
+        if self.locked_reads() {
+            return *self.hash_state.lock();
+        }
+        self.with_snap(|s| s.hash_state)
     }
 
     /// Stores the resumable hash state.
     pub fn store_hash_state(&self, st: HashState) {
         *self.hash_state.lock() = Some(st);
+        self.republish();
     }
 
     /// Invalidates the stored hash state (the path changed).
     pub fn clear_hash_state(&self) {
         *self.hash_state.lock() = None;
+        self.republish();
     }
 
     /// The DLHT membership record.
@@ -474,19 +649,25 @@ impl Dentry {
         &self.dlht_entry
     }
 
-    /// The recorded target-path signature (symlink dentries, §4.2).
+    /// The recorded target-path signature (symlink dentries, §4.2;
+    /// lock-free).
     pub fn link_sig(&self) -> Option<Signature> {
-        *self.link_sig.lock()
+        if self.locked_reads() {
+            return *self.link_sig.lock();
+        }
+        self.with_snap(|s| s.link_sig)
     }
 
     /// Records the target-path signature after a successful follow.
     pub fn store_link_sig(&self, sig: Signature) {
         *self.link_sig.lock() = Some(sig);
+        self.republish();
     }
 
     /// Clears the recorded target signature (link changed or removed).
     pub fn clear_link_sig(&self) {
         *self.link_sig.lock() = None;
+        self.republish();
     }
 
     /// Mount id recorded for the fastpath.
@@ -509,6 +690,18 @@ impl Dentry {
     #[allow(dead_code)]
     pub(crate) fn last_used(&self) -> u64 {
         self.last_used.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Dentry {
+    fn drop(&mut self) {
+        // &mut self: no reader can hold the snapshot pointer anymore
+        // (readers borrow the dentry); free the current block directly.
+        unsafe {
+            let guard = epoch::unprotected();
+            let shared = self.snap.swap(Shared::null(), Ordering::AcqRel, guard);
+            guard.defer_destroy(shared);
+        }
     }
 }
 

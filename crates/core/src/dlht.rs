@@ -1,12 +1,58 @@
-//! The Direct Lookup Hash Table (§3.1, §3.3).
+//! The Direct Lookup Hash Table (§3.1, §3.3) — lock-free read side.
+//!
+//! The table is an array of epoch-protected chains: each bucket head is
+//! an atomic pointer to an immutable singly-linked node list. `lookup`
+//! pins the epoch and traverses without any lock — the RCU-analog probe
+//! the paper's flat Figure 8 read scaling depends on. Mutators rebuild
+//! the affected chain as fresh nodes, publish it with one CAS on the
+//! bucket head, and retire the replaced nodes through the epoch
+//! collector (`defer_destroy`); a failed CAS frees the speculative chain
+//! and retries against the new head. ABA is impossible while pinned:
+//! a retired node's address cannot be reused until every guard that
+//! could have observed it unpins.
+//!
+//! `Dlht::new_with_mode(.., lockfree: false)` keeps the same structure
+//! but routes readers and writers through per-bucket `RwLock`s — the
+//! pre-refactor locking discipline, preserved as the measurable "before"
+//! column of the Figure 8 thread-scaling comparison.
 
 use crate::dentry::Dentry;
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-/// One chained entry: the 240-bit signature lanes + a weak dentry ref.
-type Chain = Vec<([u64; 4], Weak<Dentry>)>;
+/// One immutable chain node: the 240-bit signature lanes + a weak dentry
+/// ref + the next pointer. Published nodes are never mutated; `next` is
+/// atomic only so chains can be assembled and traversed under the epoch
+/// API.
+struct Node {
+    sig: [u64; 4],
+    dentry: Weak<Dentry>,
+    next: Atomic<Node>,
+}
+
+/// Exact per-layout sizes for space-overhead reporting (`repro space`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DlhtFootprint {
+    /// Bucket heads allocated.
+    pub buckets: usize,
+    /// Bytes per bucket head (one atomic pointer).
+    pub bucket_bytes: usize,
+    /// Live chain nodes (walked, not estimated).
+    pub nodes: u64,
+    /// Bytes per chain node.
+    pub node_bytes: usize,
+    /// Per-bucket reader-writer locks, locked-ablation mode only.
+    pub lock_bytes: usize,
+}
+
+impl DlhtFootprint {
+    /// Total bytes of this layout.
+    pub fn total_bytes(&self) -> usize {
+        self.buckets * self.bucket_bytes + self.nodes as usize * self.node_bytes + self.lock_bytes
+    }
+}
 
 /// A system-wide (per mount namespace) hash table mapping full-path
 /// signatures directly to dentries.
@@ -23,7 +69,10 @@ type Chain = Vec<([u64; 4], Weak<Dentry>)>;
 pub struct Dlht {
     /// Namespace id this table serves (diagnostics).
     ns: u64,
-    buckets: Vec<RwLock<Chain>>,
+    buckets: Box<[Atomic<Node>]>,
+    /// Present only in the locked-reads ablation: readers share, writers
+    /// exclude, per bucket — the pre-refactor discipline.
+    locks: Option<Box<[RwLock<()>]>>,
     mask: usize,
     entries: AtomicU64,
     hits: AtomicU64,
@@ -31,12 +80,19 @@ pub struct Dlht {
 }
 
 impl Dlht {
-    /// A table with `buckets` chains (power of two ≤ 2^16).
+    /// A lock-free table with `buckets` chains (power of two ≤ 2^16).
     pub fn new(ns: u64, buckets: usize) -> Arc<Dlht> {
+        Self::new_with_mode(ns, buckets, true)
+    }
+
+    /// A table with the read side lock-free (`lockfree`) or routed
+    /// through per-bucket locks (the ablation's "before" column).
+    pub fn new_with_mode(ns: u64, buckets: usize, lockfree: bool) -> Arc<Dlht> {
         assert!(buckets.is_power_of_two() && buckets <= (1 << 16));
         Arc::new(Dlht {
             ns,
-            buckets: (0..buckets).map(|_| RwLock::new(Vec::new())).collect(),
+            buckets: (0..buckets).map(|_| Atomic::null()).collect(),
+            locks: (!lockfree).then(|| (0..buckets).map(|_| RwLock::new(())).collect()),
             mask: buckets - 1,
             entries: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -49,65 +105,168 @@ impl Dlht {
         self.ns
     }
 
-    fn bucket(&self, sig: &crate::Signature) -> &RwLock<Vec<([u64; 4], Weak<Dentry>)>> {
-        &self.buckets[sig.bucket_index_for(self.mask + 1)]
+    fn bucket_index(&self, sig: &crate::Signature) -> usize {
+        sig.bucket_index_for(self.mask + 1)
     }
 
     /// Looks up a dentry by signature (the fastpath's first step).
+    /// Lock-free: pins the epoch and traverses the immutable chain.
     pub fn lookup(&self, sig: &crate::Signature) -> Option<Arc<Dentry>> {
+        let idx = self.bucket_index(sig);
+        let _shared = self.locks.as_ref().map(|l| l[idx].read());
         let want = sig.sig240();
-        let chain = self.bucket(sig).read();
-        for (s, weak) in chain.iter() {
-            if *s == want {
-                if let Some(d) = weak.upgrade() {
+        let guard = epoch::pin();
+        let mut cur = self.buckets[idx].load(Ordering::Acquire, &guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            if node.sig == want {
+                if let Some(d) = node.dentry.upgrade() {
                     if !d.is_dead() {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Some(d);
                     }
                 }
             }
+            cur = node.next.load(Ordering::Acquire, &guard);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
+    /// Assembles a fresh chain from `items` (front to back), returning
+    /// the head (null for an empty list). Nodes are unpublished until
+    /// the caller's CAS succeeds.
+    fn build_chain<'g>(
+        items: Vec<([u64; 4], Weak<Dentry>)>,
+        guard: &'g epoch::Guard,
+    ) -> Shared<'g, Node> {
+        let mut head = Shared::null();
+        for (sig, dentry) in items.into_iter().rev() {
+            let node = Owned::new(Node {
+                sig,
+                dentry,
+                next: Atomic::null(),
+            });
+            node.next.store(head, Ordering::Relaxed);
+            head = node.into_shared(guard);
+        }
+        head
+    }
+
+    /// Frees an unpublished speculative chain after a failed CAS.
+    fn drop_unpublished<'g>(mut head: Shared<'g, Node>, guard: &'g epoch::Guard) {
+        while !head.is_null() {
+            // Safety: these nodes were never published; we are the only
+            // owner.
+            let owned = unsafe { head.into_owned() };
+            head = owned.next.load(Ordering::Relaxed, guard);
+            drop(owned);
+        }
+    }
+
+    /// Retires every node of a replaced (published) chain.
+    fn retire_chain<'g>(mut head: Shared<'g, Node>, guard: &'g epoch::Guard) {
+        while let Some(node) = unsafe { head.as_ref() } {
+            let next = node.next.load(Ordering::Acquire, guard);
+            // Safety: the chain was unlinked by a successful CAS; readers
+            // still traversing it are protected by their own guards.
+            unsafe { guard.defer_destroy(head) };
+            head = next;
+        }
+    }
+
     /// Raw chain insert. The caller (the dcache) holds the dentry's
     /// membership lock and has already removed any previous entry.
     pub(crate) fn insert_raw(&self, sig: crate::Signature, dentry: &Arc<Dentry>) {
-        let mut chain = self.bucket(&sig).write();
-        // Replace a dead or duplicate entry under the same signature.
-        let before = chain.len();
+        let idx = self.bucket_index(&sig);
+        let _excl = self.locks.as_ref().map(|l| l[idx].write());
         let want = sig.sig240();
-        chain.retain(|(s, w)| {
-            *s != want
-                || w.upgrade()
-                    .is_some_and(|d| !d.is_dead() && d.id() != dentry.id())
-        });
-        let pruned = before - chain.len();
-        chain.push((want, Arc::downgrade(dentry)));
-        drop(chain);
-        if pruned == 0 {
-            self.entries.fetch_add(1, Ordering::Relaxed);
+        let guard = epoch::pin();
+        loop {
+            let head = self.buckets[idx].load(Ordering::Acquire, &guard);
+            // Copy the chain, replacing dead or duplicate entries under
+            // the same signature.
+            let mut kept: Vec<([u64; 4], Weak<Dentry>)> = Vec::new();
+            let mut pruned = 0u64;
+            let mut cur = head;
+            while let Some(node) = unsafe { cur.as_ref() } {
+                let keep = node.sig != want
+                    || node
+                        .dentry
+                        .upgrade()
+                        .is_some_and(|d| !d.is_dead() && d.id() != dentry.id());
+                if keep {
+                    kept.push((node.sig, node.dentry.clone()));
+                } else {
+                    pruned += 1;
+                }
+                cur = node.next.load(Ordering::Acquire, &guard);
+            }
+            kept.push((want, Arc::downgrade(dentry)));
+            let fresh = Self::build_chain(kept, &guard);
+            match self.buckets[idx].compare_exchange(
+                head,
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    Self::retire_chain(head, &guard);
+                    if pruned == 0 {
+                        self.entries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                Err(_) => Self::drop_unpublished(fresh, &guard),
+            }
         }
     }
 
     /// Raw chain removal by signature + dentry id.
     pub(crate) fn remove_raw(&self, sig: &crate::Signature, id: crate::DentryId) {
-        let mut chain = self.bucket(sig).write();
+        let idx = self.bucket_index(sig);
+        let _excl = self.locks.as_ref().map(|l| l[idx].write());
         let want = sig.sig240();
-        let before = chain.len();
-        chain.retain(|(s, w)| {
-            if *s != want {
-                return true;
+        let guard = epoch::pin();
+        loop {
+            let head = self.buckets[idx].load(Ordering::Acquire, &guard);
+            let mut kept: Vec<([u64; 4], Weak<Dentry>)> = Vec::new();
+            let mut removed = 0u64;
+            let mut cur = head;
+            while let Some(node) = unsafe { cur.as_ref() } {
+                let keep = if node.sig != want {
+                    true
+                } else {
+                    match node.dentry.upgrade() {
+                        Some(d) => d.id() != id,
+                        None => false, // prune dead weak entries opportunistically
+                    }
+                };
+                if keep {
+                    kept.push((node.sig, node.dentry.clone()));
+                } else {
+                    removed += 1;
+                }
+                cur = node.next.load(Ordering::Acquire, &guard);
             }
-            match w.upgrade() {
-                Some(d) => d.id() != id,
-                None => false, // prune dead weak entries opportunistically
+            if removed == 0 {
+                return;
             }
-        });
-        let removed = (before - chain.len()) as u64;
-        if removed > 0 {
-            self.entries.fetch_sub(removed, Ordering::Relaxed);
+            let fresh = Self::build_chain(kept, &guard);
+            match self.buckets[idx].compare_exchange(
+                head,
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => {
+                    Self::retire_chain(head, &guard);
+                    self.entries.fetch_sub(removed, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => Self::drop_unpublished(fresh, &guard),
+            }
         }
     }
 
@@ -129,22 +288,67 @@ impl Dlht {
         )
     }
 
+    fn chain_len(&self, idx: usize, guard: &epoch::Guard) -> u64 {
+        let mut n = 0;
+        let mut cur = self.buckets[idx].load(Ordering::Acquire, guard);
+        while let Some(node) = unsafe { cur.as_ref() } {
+            n += 1;
+            cur = node.next.load(Ordering::Acquire, guard);
+        }
+        n
+    }
+
     /// Bucket occupancy histogram: `[empty, 1, 2, 3+]` (the §6.5 hash
     /// table discussion).
     pub fn occupancy(&self) -> [u64; 4] {
+        let guard = epoch::pin();
         let mut h = [0u64; 4];
-        for b in &self.buckets {
-            let n = b.read().len();
-            h[n.min(3)] += 1;
+        for idx in 0..self.buckets.len() {
+            let n = self.chain_len(idx, &guard);
+            h[(n as usize).min(3)] += 1;
         }
         h
     }
 
-    /// Memory footprint estimate in bytes (space-overhead reporting).
+    /// Exact footprint of this table's layout: the nodes are counted by
+    /// walking every chain, not estimated from the entry counter.
+    pub fn footprint(&self) -> DlhtFootprint {
+        let guard = epoch::pin();
+        let nodes = (0..self.buckets.len())
+            .map(|idx| self.chain_len(idx, &guard))
+            .sum();
+        DlhtFootprint {
+            buckets: self.buckets.len(),
+            bucket_bytes: std::mem::size_of::<Atomic<Node>>(),
+            nodes,
+            node_bytes: std::mem::size_of::<Node>(),
+            lock_bytes: self
+                .locks
+                .as_ref()
+                .map_or(0, |l| l.len() * std::mem::size_of::<RwLock<()>>()),
+        }
+    }
+
+    /// Memory footprint in bytes (space-overhead reporting).
     pub fn approx_bytes(&self) -> usize {
-        let per_entry = std::mem::size_of::<([u64; 4], Weak<Dentry>)>();
-        self.buckets.len() * std::mem::size_of::<RwLock<Vec<u8>>>()
-            + self.len() as usize * per_entry
+        self.footprint().total_bytes()
+    }
+}
+
+impl Drop for Dlht {
+    fn drop(&mut self) {
+        // &mut self: the table is unreachable; free chains directly.
+        unsafe {
+            let guard = epoch::unprotected();
+            for bucket in self.buckets.iter() {
+                let mut cur = bucket.swap(Shared::null(), Ordering::AcqRel, guard);
+                while !cur.is_null() {
+                    let owned = cur.into_owned();
+                    cur = owned.next.load(Ordering::Relaxed, guard);
+                    drop(owned);
+                }
+            }
+        }
     }
 }
 
@@ -224,5 +428,85 @@ mod tests {
         assert_eq!(t.len(), 64);
         let occ = t.occupancy();
         assert_eq!(occ.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn locked_mode_behaves_identically() {
+        let key = HashKey::from_seed(6);
+        let t = Dlht::new_with_mode(0, 1 << 8, false);
+        let d = dentry(1);
+        let sig = key.hash_components([b"ab".as_slice()]);
+        t.insert_raw(sig, &d);
+        assert_eq!(t.lookup(&sig).unwrap().id(), 1);
+        t.remove_raw(&sig, d.id());
+        assert!(t.lookup(&sig).is_none());
+        assert!(t.footprint().lock_bytes > 0);
+    }
+
+    #[test]
+    fn footprint_counts_real_nodes() {
+        let key = HashKey::from_seed(7);
+        let t = Dlht::new(0, 1 << 4);
+        for (i, d) in (0..10u64).map(dentry).enumerate() {
+            t.insert_raw(key.hash_components([format!("f{i}").as_bytes()]), &d);
+            std::mem::forget(d); // keep weak refs upgradeable
+        }
+        let fp = t.footprint();
+        assert_eq!(fp.nodes, 10);
+        assert_eq!(fp.buckets, 16);
+        assert!(fp.bucket_bytes > 0 && fp.node_bytes > 0);
+        assert_eq!(fp.lock_bytes, 0);
+        assert_eq!(fp.total_bytes(), 16 * fp.bucket_bytes + 10 * fp.node_bytes);
+        assert_eq!(t.approx_bytes(), fp.total_bytes());
+    }
+
+    #[test]
+    fn concurrent_mutators_and_readers_converge() {
+        let key = HashKey::from_seed(8);
+        let t = Dlht::new(0, 1 << 4);
+        let dentries: Vec<_> = (0..32u64).map(dentry).collect();
+        let sigs: Vec<_> = (0..32)
+            .map(|i| key.hash_components([format!("s{i}").as_bytes()]))
+            .collect();
+        std::thread::scope(|s| {
+            for chunk in 0..4 {
+                let t = &t;
+                let dentries = &dentries;
+                let sigs = &sigs;
+                s.spawn(move || {
+                    for round in 0..200 {
+                        for i in (chunk * 8)..(chunk * 8 + 8) {
+                            if round % 2 == 0 {
+                                t.insert_raw(sigs[i], &dentries[i]);
+                            } else {
+                                t.remove_raw(&sigs[i], dentries[i].id());
+                            }
+                        }
+                    }
+                    // End on an insert so the final state is full.
+                    for i in (chunk * 8)..(chunk * 8 + 8) {
+                        t.insert_raw(sigs[i], &dentries[i]);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let t = &t;
+                let sigs = &sigs;
+                let dentries = &dentries;
+                s.spawn(move || {
+                    for _ in 0..2000 {
+                        for (i, sig) in sigs.iter().enumerate() {
+                            if let Some(d) = t.lookup(sig) {
+                                assert_eq!(d.id(), dentries[i].id());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for (i, sig) in sigs.iter().enumerate() {
+            assert_eq!(t.lookup(sig).unwrap().id(), dentries[i].id());
+        }
+        assert_eq!(t.len(), 32);
     }
 }

@@ -1,7 +1,7 @@
 //! The VFS-level in-memory inode.
 
+use crate::seqlock::SeqCell;
 use dc_fs::{FileSystem, FileType, FsResult, InodeAttr, SetAttr};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Identity of a mounted superblock instance.
@@ -20,7 +20,9 @@ pub struct Inode {
     pub ino: u64,
     /// The low-level file system.
     pub fs: Arc<dyn FileSystem>,
-    attr: RwLock<InodeAttr>,
+    // Seqlock-published so `stat` on the lock-free read path copies the
+    // attribute block without acquiring any lock (DESIGN.md §5).
+    attr: SeqCell<InodeAttr>,
 }
 
 impl Inode {
@@ -30,13 +32,13 @@ impl Inode {
             sb,
             ino: attr.ino,
             fs,
-            attr: RwLock::new(attr),
+            attr: SeqCell::new(attr),
         })
     }
 
-    /// Snapshot of the current attributes.
+    /// Snapshot of the current attributes (lock-free).
     pub fn attr(&self) -> InodeAttr {
-        *self.attr.read()
+        self.attr.read()
     }
 
     /// The object type (immutable over an inode's life).
@@ -52,7 +54,7 @@ impl Inode {
     /// Overwrites the cached attributes (after a low-level refresh).
     pub fn store_attr(&self, attr: InodeAttr) {
         debug_assert_eq!(attr.ino, self.ino);
-        *self.attr.write() = attr;
+        self.attr.write(attr);
     }
 
     /// Applies `setattr` on the file system and refreshes the cache.

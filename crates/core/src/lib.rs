@@ -38,7 +38,7 @@ pub use dlht::Dlht;
 pub use inode::{Inode, SbId};
 pub use lru::EvictOutcome;
 pub use pcc::Pcc;
-pub use seqlock::{SeqCount, SeqLock, SeqWriteGuard};
+pub use seqlock::{SeqCell, SeqCount, SeqLock, SeqWriteGuard};
 pub use stats::{DcacheStats, SpaceReport};
 
 pub use dc_sighash::{HashKey, HashState, Signature};

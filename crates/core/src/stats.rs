@@ -51,6 +51,11 @@ counters! {
     slow_steps,
     /// Slowpath retries due to concurrent rename (seqlock invalidation).
     slow_retries,
+    /// Lock-free fastpath restarts from per-dentry seq mismatches (a
+    /// writer republished a dentry snapshot mid-read).
+    read_retries,
+    /// Epoch pins taken by lock-free fastpath resolutions.
+    epoch_pins,
     /// Lookups that terminated at a cached positive dentry.
     hit_positive,
     /// Lookups that terminated at a cached negative dentry.
@@ -130,6 +135,16 @@ pub struct SpaceReport {
     pub live_dentries: u64,
     /// DLHT footprint across namespaces, bytes.
     pub dlht_bytes: usize,
+    /// Exact size of one DLHT bucket head (an epoch-managed atomic
+    /// chain pointer).
+    pub dlht_bucket_bytes: usize,
+    /// Exact size of one DLHT chain node (signature lanes + weak dentry
+    /// reference + next pointer).
+    pub dlht_node_bytes: usize,
+    /// Total DLHT buckets across namespaces.
+    pub dlht_buckets: usize,
+    /// Total DLHT chain nodes across namespaces.
+    pub dlht_nodes: u64,
     /// Per-credential PCC footprint, bytes.
     pub pcc_bytes_each: usize,
     /// Live PCC instances.
@@ -141,6 +156,16 @@ impl std::fmt::Display for SpaceReport {
         writeln!(f, "dentry size:      {} bytes", self.dentry_bytes)?;
         writeln!(f, "live dentries:    {}", self.live_dentries)?;
         writeln!(f, "DLHT footprint:   {} bytes", self.dlht_bytes)?;
+        writeln!(
+            f,
+            "  buckets:        {} x {} bytes",
+            self.dlht_buckets, self.dlht_bucket_bytes
+        )?;
+        writeln!(
+            f,
+            "  chain nodes:    {} x {} bytes",
+            self.dlht_nodes, self.dlht_node_bytes
+        )?;
         writeln!(f, "PCC (each):       {} bytes", self.pcc_bytes_each)?;
         write!(f, "PCC instances:    {}", self.pccs)
     }

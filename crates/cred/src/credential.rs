@@ -1,8 +1,7 @@
 //! The copy-on-write credential structure.
 
-use parking_lot::Mutex;
+use dc_rcu::SnapMap;
 use std::any::Any;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -39,7 +38,8 @@ pub struct Cred {
     /// LSM-private state, if any LSM attached one.
     pub security: Option<Arc<dyn SecurityBlob>>,
     /// Per-namespace opaque caches (the dcache stores each PCC here).
-    caches: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    /// Copy-on-write: the fastpath's PCC fetch never takes a lock.
+    caches: SnapMap<u64, Arc<dyn Any + Send + Sync>>,
 }
 
 impl Cred {
@@ -78,20 +78,20 @@ impl Cred {
     }
 
     /// Returns the cache attached for namespace `ns`, creating it with
-    /// `make` on first use. The dcache stores one PCC per (cred, ns) here.
+    /// `make` on first use. The dcache stores one PCC per (cred, ns)
+    /// here. The hit path is lock-free.
     pub fn cache_for(
         &self,
         ns: u64,
         make: impl FnOnce() -> Arc<dyn Any + Send + Sync>,
     ) -> Arc<dyn Any + Send + Sync> {
-        let mut caches = self.caches.lock();
-        caches.entry(ns).or_insert_with(make).clone()
+        self.caches.get_or_insert_with(ns, make)
     }
 
     /// Drops every attached cache (used on PCC-wide invalidation, e.g.
     /// the paper's version-counter wraparound flush).
     pub fn clear_caches(&self) {
-        self.caches.lock().clear();
+        self.caches.clear();
     }
 }
 
@@ -154,7 +154,7 @@ impl CredBuilder {
             gid: self.gid,
             groups: self.groups,
             security: self.security,
-            caches: Mutex::new(HashMap::new()),
+            caches: SnapMap::new(),
         })
     }
 }

@@ -97,6 +97,10 @@ pub enum EventKind {
     PccMiss,
     /// `SeqRetry`.
     SeqRetry,
+    /// `EpochPin`.
+    EpochPin,
+    /// `ReadRetry`.
+    ReadRetry,
     /// `SlowStep`.
     SlowStep,
     /// `FsMiss`.
@@ -113,7 +117,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -125,6 +129,8 @@ impl EventKind {
             EventKind::PccStale,
             EventKind::PccMiss,
             EventKind::SeqRetry,
+            EventKind::EpochPin,
+            EventKind::ReadRetry,
             EventKind::SlowStep,
             EventKind::FsMiss,
             EventKind::BlockIo,
@@ -145,12 +151,14 @@ impl EventKind {
             EventKind::PccStale => 4,
             EventKind::PccMiss => 5,
             EventKind::SeqRetry => 6,
-            EventKind::SlowStep => 7,
-            EventKind::FsMiss => 8,
-            EventKind::BlockIo => 9,
-            EventKind::LookupEndPositive => 10,
-            EventKind::LookupEndNegative => 11,
-            EventKind::LookupEndError => 12,
+            EventKind::EpochPin => 7,
+            EventKind::ReadRetry => 8,
+            EventKind::SlowStep => 9,
+            EventKind::FsMiss => 10,
+            EventKind::BlockIo => 11,
+            EventKind::LookupEndPositive => 12,
+            EventKind::LookupEndNegative => 13,
+            EventKind::LookupEndError => 14,
         }
     }
 
@@ -164,6 +172,8 @@ impl EventKind {
             EventKind::PccStale => "pcc_stale",
             EventKind::PccMiss => "pcc_miss",
             EventKind::SeqRetry => "seq_retry",
+            EventKind::EpochPin => "epoch_pin",
+            EventKind::ReadRetry => "read_retry",
             EventKind::SlowStep => "slow_step",
             EventKind::FsMiss => "fs_miss",
             EventKind::BlockIo => "block_io",
@@ -188,6 +198,8 @@ impl EventKind {
                 stale: false,
             } => EventKind::PccMiss,
             TraceEvent::SeqRetry => EventKind::SeqRetry,
+            TraceEvent::EpochPin => EventKind::EpochPin,
+            TraceEvent::ReadRetry => EventKind::ReadRetry,
             TraceEvent::SlowStep { .. } => EventKind::SlowStep,
             TraceEvent::FsMiss => EventKind::FsMiss,
             TraceEvent::BlockIo { .. } => EventKind::BlockIo,

@@ -37,6 +37,11 @@ pub enum TraceEvent {
     },
     /// A rename-seqlock check failed and the walk restarted.
     SeqRetry,
+    /// A lock-free fastpath pinned the reclamation epoch.
+    EpochPin,
+    /// A per-dentry seq validation failed mid-read and the lock-free
+    /// fastpath restarted.
+    ReadRetry,
     /// The slowpath resolved one more component.
     SlowStep {
         /// Zero-based index of the component within this walk.

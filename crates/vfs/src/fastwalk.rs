@@ -20,12 +20,17 @@ use crate::path::{ParsedPath, PathRef, WalkResult};
 use crate::process::Process;
 use dc_cred::MAY_EXEC;
 use dc_fs::{FileType, FsError, FsResult};
-use dcache_core::{Dentry, DentryState, HashState, Pcc};
+use dc_obs::TraceEvent;
+use dcache_core::{Dentry, HashState, Pcc};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Maximum symlink-signature chain length on the fastpath.
 const MAX_LINK_CHAIN: u32 = 40;
+
+/// Maximum optimistic restarts after a per-dentry seq mismatch before
+/// giving up and taking the slowpath.
+const MAX_READ_RETRIES: u32 = 3;
 
 impl Kernel {
     /// Attempts a direct lookup. `None` means "fall back to the slowpath";
@@ -39,6 +44,12 @@ impl Kernel {
     ) -> Option<FsResult<WalkResult>> {
         let stats = &self.dcache.stats;
         stats.fast_attempts.fetch_add(1, Ordering::Relaxed);
+        // Pin the reclamation epoch once for the whole resolution: every
+        // snapshot/chain read below nests under this guard, so retired
+        // snapshots and DLHT nodes stay alive while we look at them.
+        let _epoch = crossbeam_epoch::pin();
+        stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
+        self.dcache.obs.event(|| TraceEvent::EpochPin);
         let ns = proc.namespace();
         let cred = proc.cred();
         let root = proc.root();
@@ -94,103 +105,130 @@ impl Kernel {
         }
 
         let sig = self.dcache.key.finish(&h);
-        let Some(first) = self.dcache.dlht_lookup(ns.id, &sig) else {
-            stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
-            return None;
-        };
-        if self.dcache.config.fastpath_always_miss {
-            // Figure 6 synthetic: pay the whole fastpath, then miss at
-            // the PCC and fall back.
-            stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
 
-        // Phase 3: validate the hit, dereferencing aliases and (when
-        // following) chaining through symlink target signatures.
-        let mut obj = first;
-        let mut chain = 0u32;
-        loop {
-            chain += 1;
-            if chain > MAX_LINK_CHAIN {
-                return Some(Err(FsError::Loop));
-            }
-            // Prefix check for the literal dentry we matched. On a PCC
-            // miss the check may simply "not have executed recently"
-            // (§3.1): since a live DLHT entry proves the path mapping is
-            // structurally current (structural changes evict entries),
-            // the prefix check can be re-executed over the in-memory
-            // ancestor chain — far cheaper than the full slowpath. Any
-            // doubt (permission failure, odd ancestors, path-sensitive
-            // LSMs) still falls back.
-            let seq_sample = obj.seq();
-            if !pcc.check(obj.id(), seq_sample) {
-                if self
-                    .fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred)
-                    .is_none()
-                {
-                    stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
-                stats.fast_revalidations.fetch_add(1, Ordering::Relaxed);
-            }
-            // Alias dentries redirect to the real object (§4.2); the
-            // recorded seq pins the translation's validity.
-            if let Some((target, target_seq)) = obj.alias_target() {
-                if target.is_dead() || target.seq() != target_seq {
-                    stats.fast_miss_seq.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
-                // The target's own prefix must also be validated (§4.2:
-                // "The PCC is separately checked for the target dentry").
-                obj = target;
-                continue;
-            }
-            // Final-position symlink: follow via the recorded target
-            // signature without touching the link body.
-            let is_link = obj
-                .inode()
-                .map(|i| i.ftype() == FileType::Symlink)
-                .unwrap_or(false);
-            if is_link && follow_last {
-                let lsig = obj.link_sig()?;
-                let Some(next) = self.dcache.dlht_lookup(ns.id, &lsig) else {
-                    stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                };
-                obj = next;
-                continue;
-            }
-            break;
-        }
-
-        // Partial dentries need a slowpath upgrade.
-        if obj.with_state(|s| matches!(s, DentryState::Partial { .. })) {
-            return None;
-        }
-        // Negative hit: a definitive cached absence (§5.2).
-        if let Some(kind) = obj.neg_kind() {
-            if !self.dcache.config.negative_dentries {
+        // Phase 3 runs optimistically: dentry fields are read from
+        // epoch-published snapshots, and every terminal answer is
+        // revalidated against the per-dentry seq counter. A mismatch
+        // means a writer republished mid-read — restart from the DLHT
+        // probe (bounded; exhaustion falls back to the slowpath).
+        let mut attempts = 0u32;
+        'restart: loop {
+            if attempts == MAX_READ_RETRIES {
                 return None;
             }
-            stats.fast_neg_hits.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            let Some(first) = self.dcache.dlht_lookup(ns.id, &sig) else {
+                stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            if self.dcache.config.fastpath_always_miss {
+                // Figure 6 synthetic: pay the whole fastpath, then miss at
+                // the PCC and fall back.
+                stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+
+            // Validate the hit, dereferencing aliases and (when
+            // following) chaining through symlink target signatures.
+            let mut obj = first;
+            let mut chain = 0u32;
+            loop {
+                chain += 1;
+                if chain > MAX_LINK_CHAIN {
+                    return Some(Err(FsError::Loop));
+                }
+                // Prefix check for the literal dentry we matched. On a PCC
+                // miss the check may simply "not have executed recently"
+                // (§3.1): since a live DLHT entry proves the path mapping is
+                // structurally current (structural changes evict entries),
+                // the prefix check can be re-executed over the in-memory
+                // ancestor chain — far cheaper than the full slowpath. Any
+                // doubt (permission failure, odd ancestors, path-sensitive
+                // LSMs) still falls back.
+                let seq_sample = obj.seq();
+                if !pcc.check(obj.id(), seq_sample) {
+                    if self
+                        .fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred)
+                        .is_none()
+                    {
+                        stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    stats.fast_revalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                // Alias dentries redirect to the real object (§4.2); the
+                // recorded seq pins the translation's validity.
+                if let Some((target, target_seq)) = obj.alias_target() {
+                    if target.is_dead() || target.seq() != target_seq {
+                        stats.fast_miss_seq.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    // The target's own prefix must also be validated (§4.2:
+                    // "The PCC is separately checked for the target dentry").
+                    obj = target;
+                    continue;
+                }
+                // Final-position symlink: follow via the recorded target
+                // signature without touching the link body.
+                let is_link = obj
+                    .inode()
+                    .map(|i| i.ftype() == FileType::Symlink)
+                    .unwrap_or(false);
+                if is_link && follow_last {
+                    let lsig = obj.link_sig()?;
+                    let Some(next) = self.dcache.dlht_lookup(ns.id, &lsig) else {
+                        stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    };
+                    obj = next;
+                    continue;
+                }
+                break;
+            }
+
+            // Partial dentries need a slowpath upgrade (one atomic load).
+            if obj.is_partial() {
+                return None;
+            }
+            // Terminal reads are sandwiched between two seq samples: if
+            // the counter moved, a concurrent rename/chmod/unlink
+            // republished this dentry and the answer may be stale.
+            let seq_final = obj.seq();
+            // Negative hit: a definitive cached absence (§5.2).
+            if let Some(kind) = obj.neg_kind() {
+                if !self.dcache.config.negative_dentries {
+                    return None;
+                }
+                if obj.is_dead() || obj.seq() != seq_final {
+                    stats.read_retries.fetch_add(1, Ordering::Relaxed);
+                    self.dcache.obs.event(|| TraceEvent::ReadRetry);
+                    continue 'restart;
+                }
+                stats.fast_neg_hits.fetch_add(1, Ordering::Relaxed);
+                stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Err(kind.error()));
+            }
+            let inode = obj.inode()?;
+            // Mount validation via the recorded hint (§4.3).
+            let mount = ns.mount_by_id(obj.mount_hint())?;
+            if mount.sb.id != obj.sb() || !mount.sb.fs.supports_fastpath() {
+                return None;
+            }
+            if obj.is_dead() || obj.seq() != seq_final {
+                stats.read_retries.fetch_add(1, Ordering::Relaxed);
+                self.dcache.obs.event(|| TraceEvent::ReadRetry);
+                continue 'restart;
+            }
+            if parsed.require_dir && !inode.is_dir() {
+                return Some(Err(FsError::NotDir));
+            }
             stats.fast_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Err(kind.error()));
+            return Some(Ok(WalkResult {
+                mount,
+                dentry: obj,
+                inode: Some(inode),
+            }));
         }
-        let inode = obj.inode()?;
-        // Mount validation via the recorded hint (§4.3).
-        let mount = ns.mount_by_id(obj.mount_hint())?;
-        if mount.sb.id != obj.sb() || !mount.sb.fs.supports_fastpath() {
-            return None;
-        }
-        if parsed.require_dir && !inode.is_dir() {
-            return Some(Err(FsError::NotDir));
-        }
-        stats.fast_hits.fetch_add(1, Ordering::Relaxed);
-        Some(Ok(WalkResult {
-            mount,
-            dentry: obj,
-            inode: Some(inode),
-        }))
     }
 
     /// Re-executes a prefix check over the cached ancestor chain of a

@@ -1,6 +1,7 @@
 //! Mount namespaces (§4.3).
 
 use crate::mount::Mount;
+use dc_rcu::{EpochCell, SnapMap};
 use dcache_core::{DentryId, NsId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -15,30 +16,32 @@ use std::sync::Arc;
 pub struct MountNamespace {
     /// Namespace id; keys the DLHT and per-cred PCC maps.
     pub id: NsId,
-    /// Root mount of the namespace.
-    root: RwLock<Arc<Mount>>,
+    /// Root mount of the namespace (epoch-published: read on every
+    /// absolute lookup without a lock).
+    root: EpochCell<Arc<Mount>>,
     /// Mountpoint index: (parent mount id, mountpoint dentry id) → child.
     children: RwLock<HashMap<(u64, DentryId), Arc<Mount>>>,
-    /// All mounts by id (fastpath mount-hint validation).
-    by_id: RwLock<HashMap<u64, Arc<Mount>>>,
+    /// All mounts by id (fastpath mount-hint validation, §4.3). A
+    /// copy-on-write snapshot: the fastpath hint probe is lock-free.
+    by_id: SnapMap<u64, Arc<Mount>>,
 }
 
 impl MountNamespace {
     /// A namespace rooted at `root`.
     pub fn new(id: NsId, root: Arc<Mount>) -> Arc<MountNamespace> {
-        let mut by_id = HashMap::new();
+        let by_id = SnapMap::new();
         by_id.insert(root.id, root.clone());
         Arc::new(MountNamespace {
             id,
-            root: RwLock::new(root),
+            root: EpochCell::new(root),
             children: RwLock::new(HashMap::new()),
-            by_id: RwLock::new(by_id),
+            by_id,
         })
     }
 
-    /// The namespace's root mount.
+    /// The namespace's root mount (lock-free).
     pub fn root_mount(&self) -> Arc<Mount> {
-        self.root.read().clone()
+        self.root.get()
     }
 
     /// Registers a mount at its mountpoint.
@@ -48,12 +51,12 @@ impl MountNamespace {
                 .write()
                 .insert((parent.id, mp.id()), mount.clone());
         }
-        self.by_id.write().insert(mount.id, mount);
+        self.by_id.insert(mount.id, mount);
     }
 
     /// Unregisters a mount; returns it if it was present.
     pub fn remove_mount(&self, mount_id: u64) -> Option<Arc<Mount>> {
-        let m = self.by_id.write().remove(&mount_id)?;
+        let m = self.by_id.remove(mount_id)?;
         if let Some((parent, mp)) = &m.parent {
             self.children.write().remove(&(parent.id, mp.id()));
         }
@@ -77,19 +80,20 @@ impl MountNamespace {
             .contains_key(&(parent_mount, mountpoint))
     }
 
-    /// Resolves a mount id (fastpath mount-hint validation, §4.3).
+    /// Resolves a mount id (fastpath mount-hint validation, §4.3;
+    /// lock-free).
     pub fn mount_by_id(&self, id: u64) -> Option<Arc<Mount>> {
-        self.by_id.read().get(&id).cloned()
+        self.by_id.get(id)
     }
 
     /// Whether this namespace has any child mounts (diagnostics).
     pub fn mount_count(&self) -> usize {
-        self.by_id.read().len()
+        self.by_id.len()
     }
 
     /// Snapshot of all mounts (umount -a, namespace teardown).
     pub fn mounts_snapshot(&self) -> Vec<Arc<Mount>> {
-        self.by_id.read().values().cloned().collect()
+        self.by_id.values()
     }
 }
 

@@ -5,7 +5,8 @@ use crate::namespace::MountNamespace;
 use crate::path::PathRef;
 use dc_cred::Cred;
 use dc_fs::{FsError, FsResult};
-use parking_lot::{Mutex, RwLock};
+use dc_rcu::EpochCell;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -15,13 +16,17 @@ const FD_LIMIT: usize = 4096;
 /// A process, as far as the VFS cares: credentials (copy-on-write,
 /// §4.1), a mount namespace, root and current working directories, and a
 /// file-descriptor table.
+///
+/// The fields read on every path lookup (`cred`, `ns`, `root`, `cwd`)
+/// are epoch-published so the lock-free fastpath reads them without
+/// acquiring anything; the rarely-touched fd table keeps its mutex.
 pub struct Process {
     /// Process id.
     pub pid: u64,
-    cred: RwLock<Arc<Cred>>,
-    ns: RwLock<Arc<MountNamespace>>,
-    root: RwLock<PathRef>,
-    cwd: RwLock<PathRef>,
+    cred: EpochCell<Arc<Cred>>,
+    ns: EpochCell<Arc<MountNamespace>>,
+    root: EpochCell<PathRef>,
+    cwd: EpochCell<PathRef>,
     fds: Mutex<HashMap<u32, Arc<Handle>>>,
     next_fd: Mutex<u32>,
 }
@@ -37,55 +42,55 @@ impl Process {
     ) -> Arc<Process> {
         Arc::new(Process {
             pid,
-            cred: RwLock::new(cred),
-            ns: RwLock::new(ns),
-            root: RwLock::new(root),
-            cwd: RwLock::new(cwd),
+            cred: EpochCell::new(cred),
+            ns: EpochCell::new(ns),
+            root: EpochCell::new(root),
+            cwd: EpochCell::new(cwd),
             fds: Mutex::new(HashMap::new()),
             next_fd: Mutex::new(3), // 0-2 reserved by convention
         })
     }
 
-    /// Current credentials.
+    /// Current credentials (lock-free).
     pub fn cred(&self) -> Arc<Cred> {
-        self.cred.read().clone()
+        self.cred.get()
     }
 
     /// Installs committed credentials (`commit_creds`).
     pub fn set_cred(&self, cred: Arc<Cred>) {
-        *self.cred.write() = cred;
+        self.cred.set(cred);
     }
 
-    /// Current mount namespace.
+    /// Current mount namespace (lock-free).
     pub fn namespace(&self) -> Arc<MountNamespace> {
-        self.ns.read().clone()
+        self.ns.get()
     }
 
     /// Switches namespace (`unshare`/`setns`).
     pub fn set_namespace(&self, ns: Arc<MountNamespace>) {
-        *self.ns.write() = ns;
+        self.ns.set(ns);
     }
 
-    /// The process root (changed by `chroot`).
+    /// The process root (changed by `chroot`; lock-free read).
     pub fn root(&self) -> PathRef {
-        self.root.read().clone()
+        self.root.get()
     }
 
     /// Sets the process root.
     pub fn set_root(&self, root: PathRef) {
-        *self.root.write() = root;
+        self.root.set(root);
     }
 
-    /// Current working directory.
+    /// Current working directory (lock-free).
     pub fn cwd(&self) -> PathRef {
-        self.cwd.read().clone()
+        self.cwd.get()
     }
 
     /// Sets the working directory (`chdir`). Holding the dentry here pins
     /// it against cache eviction, preserving Unix directory-reference
     /// semantics (§3.2, "Directory References").
     pub fn set_cwd(&self, cwd: PathRef) {
-        *self.cwd.write() = cwd;
+        self.cwd.set(cwd);
     }
 
     /// Installs a handle, returning its descriptor.

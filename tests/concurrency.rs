@@ -20,7 +20,11 @@ fn touch(k: &Kernel, p: &Arc<Process>, path: &str) {
 
 #[test]
 fn readers_race_renames_without_stale_results() {
-    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+    for config in [
+        DcacheConfig::baseline(),
+        DcacheConfig::optimized(),
+        DcacheConfig::optimized().with_locked_reads(),
+    ] {
         let (k, p) = kernel(config);
         k.mkdir(&p, "/race", 0o755).unwrap();
         k.mkdir(&p, "/race/a", 0o755).unwrap();
@@ -158,7 +162,11 @@ fn permission_revocation_is_never_raced_past() {
 
 #[test]
 fn concurrent_creates_in_one_directory() {
-    for config in [DcacheConfig::baseline(), DcacheConfig::optimized()] {
+    for config in [
+        DcacheConfig::baseline(),
+        DcacheConfig::optimized(),
+        DcacheConfig::optimized().with_locked_reads(),
+    ] {
         let (k, p) = kernel(config);
         k.mkdir(&p, "/mk", 0o755).unwrap();
         std::thread::scope(|s| {

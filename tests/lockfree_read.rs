@@ -1,0 +1,64 @@
+//! Acceptance: a warm fastpath `stat` is genuinely lock-free.
+//!
+//! The vendored `parking_lot` shim counts every mutex/rwlock
+//! acquisition process-wide. After warming the fastpath, a burst of
+//! `stat`s over cached paths must not acquire a single lock — the DLHT
+//! probe, dentry snapshot reads, PCC check, mount-hint validation, and
+//! inode attribute read all run on epoch-protected or seqlock-validated
+//! structures.
+//!
+//! This file deliberately holds exactly one `#[test]`: the acquisition
+//! counter is global, so a sibling test running in parallel inside this
+//! binary would pollute the measurement window.
+
+use dcache_repro::{DcacheConfig, KernelBuilder};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn warm_fastpath_stat_acquires_zero_locks() {
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(7))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    k.mkdir(&p, "/a", 0o755).unwrap();
+    k.mkdir(&p, "/a/b", 0o755).unwrap();
+    let fd = k
+        .open(&p, "/a/b/f", dcache_repro::OpenFlags::create(), 0o644)
+        .unwrap();
+    k.close(&p, fd).unwrap();
+
+    // Warm every cache level: the first stat takes the slowpath and
+    // publishes DLHT + PCC entries; the second must already hit.
+    for path in ["/a", "/a/b", "/a/b/f"] {
+        k.stat(&p, path).unwrap();
+        k.stat(&p, path).unwrap();
+    }
+    let hits_before = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+    k.stat(&p, "/a/b/f").unwrap();
+    assert!(
+        k.dcache.stats.fast_hits.load(Ordering::Relaxed) > hits_before,
+        "warm stat did not take the fastpath; the lock measurement below \
+         would be vacuous"
+    );
+
+    const N: u64 = 1000;
+    let hits_before = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+    let locks_before = parking_lot::lock_acquisitions();
+    for _ in 0..N {
+        k.stat(&p, "/a/b/f").unwrap();
+        k.stat(&p, "/a/b").unwrap();
+    }
+    let locks_after = parking_lot::lock_acquisitions();
+    let hits_after = k.dcache.stats.fast_hits.load(Ordering::Relaxed);
+
+    assert_eq!(
+        hits_after - hits_before,
+        2 * N,
+        "every stat in the window must be a fastpath hit"
+    );
+    assert_eq!(
+        locks_after - locks_before,
+        0,
+        "warm fastpath stat must not acquire any parking_lot lock"
+    );
+}

@@ -14,6 +14,26 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of lock acquisitions (every successful `lock()`,
+/// `try_lock()`, `read()`, and `write()` through this shim).
+///
+/// Exists so the lock-free fastpath tests can assert a code path takes
+/// *zero* locks: sample [`lock_acquisitions`], run the path, and assert
+/// the delta is zero. The counter is relaxed — it orders nothing and
+/// costs one uncontended atomic add per acquisition.
+static LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide lock-acquisition count (see [`LOCK_ACQUISITIONS`]).
+pub fn lock_acquisitions() -> u64 {
+    LOCK_ACQUISITIONS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn count_acquisition() {
+    LOCK_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// A mutual-exclusion lock (std-backed, poison-transparent).
 #[derive(Default)]
@@ -37,14 +57,21 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        count_acquisition();
         MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Ok(g) => {
+                count_acquisition();
+                Some(MutexGuard(g))
+            }
+            Err(sync::TryLockError::Poisoned(e)) => {
+                count_acquisition();
+                Some(MutexGuard(e.into_inner()))
+            }
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -108,11 +135,13 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        count_acquisition();
         RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        count_acquisition();
         RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
     }
 
@@ -180,5 +209,17 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn acquisitions_are_counted() {
+        let before = lock_acquisitions();
+        let m = Mutex::new(0);
+        let l = RwLock::new(0);
+        drop(m.lock());
+        drop(m.try_lock());
+        drop(l.read());
+        drop(l.write());
+        assert!(lock_acquisitions() - before >= 4);
     }
 }
