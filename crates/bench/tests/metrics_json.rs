@@ -64,4 +64,58 @@ fn metrics_snapshot_json_is_complete() {
     assert_eq!(count_of("fs_miss"), count_of("miss_fs"));
     assert_eq!(count_of("seq_retry"), count_of("slow_retries"));
     assert!(count_of("lookups") > 0);
+
+    // Lock-free read-path counters: the `epoch_pin`/`read_retry` events
+    // must reconcile with the `DcacheStats` counters surfaced in the
+    // dcache section, and the optimized walk must actually have pinned.
+    assert_eq!(count_of("epoch_pin"), count_of("epoch_pins"));
+    assert_eq!(count_of("read_retry"), count_of("read_retries"));
+    assert!(count_of("epoch_pins") > 0, "fastpath never pinned an epoch");
+}
+
+#[test]
+fn metrics_snapshot_text_carries_lockfree_counters() {
+    let s = kernel_with_obs(DcacheConfig::optimized());
+    let k = &s.kernel;
+    let p = &s.proc;
+    k.mkdir(p, "/t", 0o755).unwrap();
+    let fd = k.open(p, "/t/f", OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+    for _ in 0..20 {
+        k.stat(p, "/t/f").unwrap();
+    }
+
+    let text = k.metrics_snapshot().to_text();
+    assert!(text.contains("[dcache]"), "missing dcache section:\n{text}");
+    assert!(text.contains("[events]"), "missing events section:\n{text}");
+    for key in ["epoch_pins", "read_retries", "epoch_pin", "read_retry"] {
+        assert!(text.contains(key), "missing {key} in text export:\n{text}");
+    }
+
+    // The aligned-text and JSON exporters must agree on the values.
+    let json = k.metrics_snapshot().to_json();
+    let json_count = |key: &str| -> u64 {
+        let pat = format!("\"{key}\": ");
+        let at = json.find(&pat).unwrap_or_else(|| panic!("{key} missing"));
+        json[at + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let text_count = |key: &str| -> u64 {
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(key))
+            .unwrap_or_else(|| panic!("{key} missing in text"));
+        line.split_whitespace().last().unwrap().parse().unwrap()
+    };
+    for key in ["epoch_pins", "read_retries"] {
+        assert_eq!(
+            json_count(key),
+            text_count(key),
+            "exporters disagree on {key}"
+        );
+    }
 }

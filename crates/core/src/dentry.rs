@@ -1,12 +1,12 @@
 //! Dentries: cached path components, positive / negative / partial.
 
+use crate::dsync::{AtomicU32, AtomicU64, Ordering};
 use crate::inode::{Inode, SbId};
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use dc_fs::{DirEntry, FileType, FsError};
 use dc_sighash::{HashState, Signature};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Unique, never-reused dentry identity.

@@ -17,9 +17,9 @@
 //! column of the Figure 8 thread-scaling comparison.
 
 use crate::dentry::Dentry;
+use crate::dsync::{AtomicU64, Ordering};
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// One immutable chain node: the 240-bit signature lanes + a weak dentry

@@ -1,0 +1,27 @@
+//! Source switch for the atomics used by the lock-free read-path
+//! protocols (seqlock, DLHT, PCC, dentry seq counters).
+//!
+//! Default build: plain re-exports of `std::sync::atomic` and
+//! `std::hint::spin_loop` — zero overhead, identical semantics. With the
+//! `dst` cargo feature the same names come from the `dst` sync facade:
+//! inside a deterministic-schedule model execution every operation is a
+//! scheduling point (and spin hints deprioritize the spinner), while
+//! outside one the facade forwards to std, so enabling the feature does
+//! not change the behavior of ordinary tests.
+//!
+//! Only protocol state routes through here. Statistics counters
+//! (`stats.rs`, `cache.rs`, `lru.rs`) stay on `std::sync::atomic`: they
+//! order nothing, and instrumenting them would multiply scheduling
+//! points without adding any explorable interleaving of interest.
+
+#[cfg(feature = "dst")]
+pub use dst::hint::spin_loop;
+#[cfg(feature = "dst")]
+pub use dst::sync::atomic::{fence, AtomicU32, AtomicU64};
+
+#[cfg(not(feature = "dst"))]
+pub use std::hint::spin_loop;
+#[cfg(not(feature = "dst"))]
+pub use std::sync::atomic::{fence, AtomicU32, AtomicU64};
+
+pub use std::sync::atomic::Ordering;

@@ -25,8 +25,11 @@ mod cache;
 mod config;
 mod dentry;
 mod dlht;
+pub mod dsync;
 mod inode;
 mod lru;
+#[cfg(feature = "dst")]
+pub mod model;
 mod pcc;
 mod seqlock;
 mod stats;

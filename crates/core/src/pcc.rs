@@ -1,9 +1,9 @@
 //! The Prefix Check Cache (§3.1).
 
 use crate::dentry::DentryId;
+use crate::dsync::{AtomicU32, AtomicU64, Ordering};
 use dc_obs::{Recorder, TraceEvent};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Associativity of each PCC set.
 const WAYS: usize = 8;

@@ -4,9 +4,16 @@
 //! `rename_lock` exactly like Linux's RCU-walk (§2.2): readers sample the
 //! counter, do their work with only shared accesses, and retry if a writer
 //! ran concurrently. Writers serialize on an internal mutex.
+//!
+//! The memory-ordering argument for the protocol (why `Acquire` on
+//! `read_begin`, an `Acquire` fence on `read_retry`, and `Release`
+//! increments around the write section are sufficient, and what the
+//! mutate → republish → bump-seq discipline in `dentry.rs` relies on) is
+//! laid out in DESIGN.md §9; the interleaving-level invariants are
+//! model-checked by `crates/dst/tests/seqlock_model.rs`.
 
+use crate::dsync::{fence, AtomicU64, Ordering};
 use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A bare sequence counter (even = quiescent, odd = write in progress).
 #[derive(Debug, Default)]
@@ -27,14 +34,14 @@ impl SeqCount {
             if s & 1 == 0 {
                 return s;
             }
-            std::hint::spin_loop();
+            crate::dsync::spin_loop();
         }
     }
 
     /// True if a writer ran since `start` — the read must be retried.
     #[inline]
     pub fn read_retry(&self, start: u64) -> bool {
-        std::sync::atomic::fence(Ordering::Acquire);
+        fence(Ordering::Acquire);
         self.0.load(Ordering::Relaxed) != start
     }
 
@@ -43,7 +50,7 @@ impl SeqCount {
     pub fn write_begin(&self) {
         let s = self.0.fetch_add(1, Ordering::Release);
         debug_assert!(s & 1 == 0, "nested seqcount write");
-        std::sync::atomic::fence(Ordering::Release);
+        fence(Ordering::Release);
     }
 
     /// Marks a write's end.
@@ -179,7 +186,7 @@ impl<T: Copy> SeqCell<T> {
                 // published in one write section (validated by the seq).
                 return unsafe { out.assume_init() };
             }
-            std::hint::spin_loop();
+            crate::dsync::spin_loop();
         }
     }
 

@@ -1,0 +1,223 @@
+//! A small Wing & Gong linearizability checker.
+//!
+//! Model tests record each operation's invocation/response interval in
+//! scheduler steps (via [`crate::step`]) together with its observed
+//! result, then ask whether some total order of the operations (a) is
+//! consistent with the real-time partial order — an op that responded
+//! before another was invoked must precede it — and (b) replays
+//! correctly against a sequential reference model. The search is a DFS
+//! over "minimal" candidates (ops no other pending op strictly
+//! precedes), which is exponential in the worst case but instant for
+//! the handful of ops a single model execution records.
+
+/// A sequential reference model: `apply` executes one operation and
+/// returns the result a sequential execution would observe.
+pub trait Sequential: Clone {
+    /// Operation type (the invocation, without its result).
+    type Op: Clone;
+    /// Result type, compared against the recorded concurrent result.
+    type Ret: PartialEq;
+
+    /// Applies `op`, mutating the model and returning the sequential result.
+    fn apply(&mut self, op: &Self::Op) -> Self::Ret;
+}
+
+/// One recorded concurrent operation.
+#[derive(Clone)]
+pub struct Recorded<S: Sequential> {
+    /// The operation.
+    pub op: S::Op,
+    /// Result the concurrent execution observed.
+    pub ret: S::Ret,
+    /// Scheduler step at invocation.
+    pub invoked: u64,
+    /// Scheduler step at response. Must be `>= invoked`.
+    pub responded: u64,
+}
+
+/// A concurrent history under construction. Threads push completed ops;
+/// `check` asks whether the whole history linearizes.
+pub struct History<S: Sequential> {
+    ops: Vec<Recorded<S>>,
+}
+
+impl<S: Sequential> Default for History<S> {
+    fn default() -> Self {
+        History::new()
+    }
+}
+
+impl<S: Sequential> History<S> {
+    /// An empty history.
+    pub fn new() -> History<S> {
+        History { ops: Vec::new() }
+    }
+
+    /// Records one completed operation with its step-stamped interval.
+    pub fn record(&mut self, op: S::Op, ret: S::Ret, invoked: u64, responded: u64) {
+        debug_assert!(invoked <= responded);
+        self.ops.push(Recorded {
+            op,
+            ret,
+            invoked,
+            responded,
+        });
+    }
+
+    /// Merges another history (e.g. one per thread) into this one.
+    pub fn extend(&mut self, other: History<S>) {
+        self.ops.extend(other.ops);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Checks the history against `initial`. Returns `Ok(())` with a
+    /// witness order existing, or `Err` describing the first
+    /// non-linearizable prefix found.
+    pub fn check(&self, initial: S) -> Result<(), String> {
+        let n = self.ops.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut taken = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        if dfs(&self.ops, initial.clone(), &mut taken, &mut order) {
+            Ok(())
+        } else {
+            Err(format!(
+                "history of {n} operations has no linearization: {:?}",
+                summarize(&self.ops)
+            ))
+        }
+    }
+}
+
+fn dfs<S: Sequential>(
+    ops: &[Recorded<S>],
+    model: S,
+    taken: &mut [bool],
+    order: &mut Vec<usize>,
+) -> bool {
+    if order.len() == ops.len() {
+        return true;
+    }
+    // Earliest response among pending ops: any candidate must have been
+    // invoked before it, or it would have to linearize after that op.
+    let min_resp = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !taken[*i])
+        .map(|(_, o)| o.responded)
+        .min()
+        .unwrap();
+    for i in 0..ops.len() {
+        if taken[i] || ops[i].invoked > min_resp {
+            continue;
+        }
+        let mut m = model.clone();
+        if m.apply(&ops[i].op) != ops[i].ret {
+            continue;
+        }
+        taken[i] = true;
+        order.push(i);
+        if dfs(ops, m, taken, order) {
+            return true;
+        }
+        order.pop();
+        taken[i] = false;
+    }
+    false
+}
+
+fn summarize<S: Sequential>(ops: &[Recorded<S>]) -> Vec<(u64, u64)> {
+    ops.iter().map(|o| (o.invoked, o.responded)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sequential register: write returns nothing observable, read
+    /// returns the current value.
+    #[derive(Clone, Default, Debug)]
+    struct Register(u64);
+
+    #[derive(Clone, Debug)]
+    enum RegOp {
+        Write(u64),
+        Read,
+    }
+
+    impl Sequential for Register {
+        type Op = RegOp;
+        type Ret = Option<u64>;
+        fn apply(&mut self, op: &RegOp) -> Option<u64> {
+            match op {
+                RegOp::Write(v) => {
+                    self.0 = *v;
+                    None
+                }
+                RegOp::Read => Some(self.0),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let mut h: History<Register> = History::new();
+        h.record(RegOp::Write(1), None, 0, 1);
+        h.record(RegOp::Read, Some(1), 2, 3);
+        assert!(h.check(Register::default()).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // Write(5) overlaps a Read that observed the OLD value: fine.
+        let mut h: History<Register> = History::new();
+        h.record(RegOp::Write(5), None, 0, 10);
+        h.record(RegOp::Read, Some(0), 2, 3);
+        assert!(h.check(Register::default()).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_rejected() {
+        // Write(5) completed strictly before the Read began, yet the
+        // Read observed the initial value: not linearizable.
+        let mut h: History<Register> = History::new();
+        h.record(RegOp::Write(5), None, 0, 1);
+        h.record(RegOp::Read, Some(0), 2, 3);
+        assert!(h.check(Register::default()).is_err());
+    }
+
+    #[test]
+    fn fresh_read_between_writes() {
+        let mut h: History<Register> = History::new();
+        h.record(RegOp::Write(1), None, 0, 1);
+        h.record(RegOp::Write(2), None, 4, 5);
+        // Overlaps both writes; seeing 1 requires ordering between them.
+        h.record(RegOp::Read, Some(1), 0, 6);
+        assert!(h.check(Register::default()).is_ok());
+    }
+
+    #[test]
+    fn value_never_written_rejected() {
+        let mut h: History<Register> = History::new();
+        h.record(RegOp::Write(1), None, 0, 1);
+        h.record(RegOp::Read, Some(9), 2, 3);
+        assert!(h.check(Register::default()).is_err());
+    }
+
+    #[test]
+    fn empty_history_ok() {
+        let h: History<Register> = History::new();
+        assert!(h.check(Register::default()).is_ok());
+    }
+}

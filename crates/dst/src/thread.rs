@@ -1,0 +1,84 @@
+//! The thread facade: `spawn`/`join`/`yield_now` that the scheduler
+//! controls inside model executions and that defer to `std::thread`
+//! everywhere else.
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "model")]
+pub use model::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "model")]
+mod model {
+    use crate::runtime::{model_active, schedule, spawn_virtual, vthread_finished, YieldKind};
+    use std::any::Any;
+    use std::sync::{Arc, Mutex};
+
+    enum Inner<T> {
+        /// A virtual thread owned by the active execution: the value
+        /// lands in the shared slot when the body finishes.
+        Virtual {
+            vtid: usize,
+            value: Arc<Mutex<Option<T>>>,
+        },
+        /// Plain std thread (no execution context at spawn time).
+        Os(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle to a spawned thread, mirroring `std::thread::JoinHandle`.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its value.
+        ///
+        /// For virtual threads the wait is cooperative: the caller
+        /// yields (a deprioritizing scheduling point) until the target
+        /// is marked finished, so the scheduler is free to run the
+        /// target to completion. A missing value after `finished`
+        /// means the target panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            match self.0 {
+                Inner::Virtual { vtid, value } => {
+                    while !vthread_finished(vtid) {
+                        schedule(YieldKind::Yield);
+                    }
+                    let taken = value.lock().unwrap_or_else(|e| e.into_inner()).take();
+                    match taken {
+                        Some(v) => Ok(v),
+                        None => {
+                            Err(Box::new("virtual thread panicked")
+                                as Box<dyn Any + Send + 'static>)
+                        }
+                    }
+                }
+                Inner::Os(h) => h.join(),
+            }
+        }
+    }
+
+    /// Spawns a thread. Inside a model execution the thread becomes a
+    /// virtual thread of that execution (its every instrumented op a
+    /// scheduling point); otherwise this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if model_active() {
+            let (vtid, value) = spawn_virtual(f);
+            JoinHandle(Inner::Virtual { vtid, value })
+        } else {
+            JoinHandle(Inner::Os(std::thread::spawn(f)))
+        }
+    }
+
+    /// Cooperative yield: a deprioritizing scheduling point inside a
+    /// model execution, `std::thread::yield_now` otherwise.
+    pub fn yield_now() {
+        if model_active() {
+            schedule(YieldKind::Yield);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}

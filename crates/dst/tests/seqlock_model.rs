@@ -1,0 +1,228 @@
+//! Model checks for the seqlock protocol (`dcache-core/src/seqlock.rs`)
+//! and for the dentry snapshot discipline it anchors: mutate →
+//! republish → bump-seq (DESIGN.md §9).
+//!
+//! Each test explores thousands of thread interleavings of the *real*
+//! workspace code under the deterministic scheduler. The `injected_*`
+//! tests break the protocol on purpose and require the checker to find
+//! a counterexample schedule — and to reproduce it exactly from the
+//! reported seed.
+
+use dcache_core::model;
+use dcache_core::{SeqCell, SeqCount};
+use dst::sync::atomic::{AtomicU64, Ordering};
+use dst::sync::Arc;
+
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Two words kept in the invariant relation `b == a * K`, published
+/// through a bare [`SeqCount`]. The `guarded` flag lets tests omit the
+/// write_begin/write_end bracket — the injected protocol violation.
+struct Pair {
+    seq: SeqCount,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Pair {
+    fn new() -> Pair {
+        Pair {
+            seq: SeqCount::new(),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+
+    fn write(&self, v: u64, guarded: bool) {
+        if guarded {
+            self.seq.write_begin();
+        }
+        self.a.store(v, Ordering::Release);
+        self.b.store(v.wrapping_mul(K), Ordering::Release);
+        if guarded {
+            self.seq.write_end();
+        }
+    }
+
+    fn read(&self) -> (u64, u64) {
+        loop {
+            let s = self.seq.read_begin();
+            let a = self.a.load(Ordering::Acquire);
+            let b = self.b.load(Ordering::Acquire);
+            if !self.seq.read_retry(s) {
+                return (a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn seqcount_readers_never_observe_mid_mutation_state() {
+    dst::check(
+        "seqcount-multiword",
+        dst::Config::default()
+            .iterations(6000)
+            .seed(0x51)
+            .from_env(),
+        || {
+            let p = Arc::new(Pair::new());
+            let writer = {
+                let p = p.clone();
+                dst::thread::spawn(move || {
+                    p.write(1, true);
+                    p.write(2, true);
+                })
+            };
+            for _ in 0..2 {
+                let (a, b) = p.read();
+                assert_eq!(
+                    b,
+                    a.wrapping_mul(K),
+                    "seqlock reader observed a mid-mutation snapshot: a={a}"
+                );
+            }
+            writer.join().unwrap();
+        },
+    );
+}
+
+#[test]
+fn seqcell_reads_are_atomic() {
+    dst::check(
+        "seqcell-atomic",
+        dst::Config::default()
+            .iterations(4000)
+            .seed(0x52)
+            .from_env(),
+        || {
+            let c = Arc::new(SeqCell::new((0u64, 0u64)));
+            let writer = {
+                let c = c.clone();
+                dst::thread::spawn(move || {
+                    c.write((1, K));
+                    c.write((2, 2u64.wrapping_mul(K)));
+                })
+            };
+            let reader = {
+                let c = c.clone();
+                dst::thread::spawn(move || {
+                    let (a, b) = c.read();
+                    assert_eq!(b, a.wrapping_mul(K), "torn SeqCell read: a={a}");
+                })
+            };
+            let (a, b) = c.read();
+            assert_eq!(b, a.wrapping_mul(K), "torn SeqCell read: a={a}");
+            writer.join().unwrap();
+            reader.join().unwrap();
+        },
+    );
+}
+
+#[test]
+fn injected_unguarded_write_is_caught_and_replays() {
+    // The writer mutates both words WITHOUT the write_begin/write_end
+    // bracket: the classic forgotten-seqlock bug. The checker must find
+    // a schedule where the reader validates a torn snapshot, and the
+    // reported seed must reproduce that exact schedule.
+    let body = || {
+        let p = Arc::new(Pair::new());
+        let writer = {
+            let p = p.clone();
+            dst::thread::spawn(move || p.write(1, false))
+        };
+        let (a, b) = p.read();
+        assert_eq!(
+            b,
+            a.wrapping_mul(K),
+            "mid-mutation snapshot survived validation"
+        );
+        writer.join().unwrap();
+    };
+    let report = dst::explore(dst::Config::default().iterations(4000).seed(0x53), body);
+    let failure = report
+        .failure
+        .expect("the checker must catch the unguarded write");
+    assert!(
+        failure.message.contains("mid-mutation snapshot"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    // Seed replay and exact-trace replay both reproduce the violation.
+    let msg = dst::replay(failure.seed, failure.policy, body).expect("seed must reproduce");
+    assert!(msg.contains("mid-mutation snapshot"));
+    let msg = dst::replay_trace(failure.trace.clone(), body).expect("trace must reproduce");
+    assert!(msg.contains("mid-mutation snapshot"));
+}
+
+#[test]
+fn dentry_rename_republishes_before_seq_bump() {
+    // The documented discipline (dentry.rs::republish): mutate and
+    // republish the snapshot BEFORE bumping seq, so a reader that
+    // samples a post-bump seq is guaranteed the post-mutation snapshot.
+    dst::check(
+        "dentry-republish-order",
+        dst::Config::default()
+            .iterations(3000)
+            .seed(0x54)
+            .from_env(),
+        || {
+            let d = model::dentry(1, "old");
+            let writer = {
+                let d = d.clone();
+                dst::thread::spawn(move || {
+                    model::rename(&d, "new");
+                    d.bump_seq();
+                })
+            };
+            let s = d.seq();
+            let name = d.name();
+            if s >= 1 {
+                // Bump observed ⟹ republish completed first ⟹ the
+                // snapshot read after the sample must be post-rename.
+                assert_eq!(
+                    &*name, "new",
+                    "post-bump reader observed the pre-rename snapshot"
+                );
+            }
+            writer.join().unwrap();
+        },
+    );
+}
+
+#[test]
+fn injected_bump_before_republish_is_caught_and_replays() {
+    // Inverted discipline: seq bumps first, snapshot republishes after.
+    // A reader sampling the bumped seq can now observe stale data while
+    // believing it is post-mutation — the bug class the ordering rule
+    // exists to prevent.
+    let body = || {
+        let d = model::dentry(1, "old");
+        let writer = {
+            let d = d.clone();
+            dst::thread::spawn(move || {
+                d.bump_seq();
+                model::rename(&d, "new");
+            })
+        };
+        let s = d.seq();
+        let name = d.name();
+        if s >= 1 {
+            assert_eq!(
+                &*name, "new",
+                "post-bump reader observed the pre-rename snapshot"
+            );
+        }
+        writer.join().unwrap();
+    };
+    let report = dst::explore(dst::Config::default().iterations(4000).seed(0x55), body);
+    let failure = report
+        .failure
+        .expect("the checker must catch the inverted republish/bump order");
+    assert!(
+        failure.message.contains("pre-rename snapshot"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    let msg = dst::replay(failure.seed, failure.policy, body).expect("seed must reproduce");
+    assert!(msg.contains("pre-rename snapshot"));
+}

@@ -20,14 +20,60 @@
 //!
 //! Single-file implementation; unsupported crossbeam features (tagged
 //! pointers, custom collectors, `defer` closures) are omitted.
+//!
+//! With the `dst` feature this crate becomes *model-checkable*: atomics
+//! and internal locks route through the `dst` sync facade (every epoch
+//! operation is a scheduling point inside a model execution), the
+//! collector's global state lives in a per-execution slot instead of a
+//! process-wide static (each explored schedule starts from a pristine
+//! epoch), and every epoch-managed allocation is registered with the
+//! scheduler's tracked-allocation table, so a read of reclaimed memory
+//! is reported as a clean use-after-free *before* the load executes.
+//! Outside a model execution the facade passes through to std, so the
+//! feature does not perturb ordinary tests that link it.
 
 use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Deref;
 use std::ptr;
+use std::sync::Arc;
+
+#[cfg(feature = "dst")]
+use dst::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(feature = "dst"))]
 use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+
+#[cfg(feature = "dst")]
+use dst::sync::Mutex;
+#[cfg(not(feature = "dst"))]
+use std::sync::Mutex;
+
+// -- tracked-allocation hooks (no-ops without the dst feature) --------------
+
+#[inline]
+fn track_alloc<T>(ptr: *const T) {
+    #[cfg(feature = "dst")]
+    dst::alloc::track_alloc(ptr as *const ());
+    #[cfg(not(feature = "dst"))]
+    let _ = ptr;
+}
+
+#[inline]
+fn track_free<T>(ptr: *const T) {
+    #[cfg(feature = "dst")]
+    dst::alloc::track_free(ptr as *const ());
+    #[cfg(not(feature = "dst"))]
+    let _ = ptr;
+}
+
+#[inline]
+fn check_deref<T>(ptr: *const T) {
+    #[cfg(feature = "dst")]
+    dst::alloc::check_deref(ptr as *const ());
+    #[cfg(not(feature = "dst"))]
+    let _ = ptr;
+}
 
 /// How many defers between automatic advance/collect attempts.
 const COLLECT_EVERY: usize = 64;
@@ -67,14 +113,45 @@ struct Global {
     deferred: AtomicUsize,
 }
 
-fn global() -> &'static Global {
-    static GLOBAL: OnceLock<Global> = OnceLock::new();
-    GLOBAL.get_or_init(|| Global {
+fn new_global() -> Global {
+    Global {
         epoch: AtomicUsize::new(0),
         registry: Mutex::new(Vec::new()),
         garbage: Mutex::new(Vec::new()),
         deferred: AtomicUsize::new(0),
-    })
+    }
+}
+
+/// The collector state: one per process normally, one per model
+/// execution under the `dst` feature (so each explored schedule starts
+/// from epoch 0 with an empty registry — the isolation that makes a
+/// schedule a pure function of its seed).
+#[cfg(feature = "dst")]
+fn global() -> Arc<Global> {
+    dst::exec_slot(new_global)
+}
+
+#[cfg(not(feature = "dst"))]
+fn global() -> &'static Global {
+    static GLOBAL: std::sync::OnceLock<Global> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(new_global)
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // A per-execution collector dies with its execution; run the
+        // destructions still parked in the garbage list so model runs
+        // don't leak (the last reference drops after every virtual
+        // thread finished, so nothing can still hold the pointers).
+        let garbage = std::mem::take(
+            self.garbage
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for (_, d) in garbage {
+            unsafe { d.execute() };
+        }
+    }
 }
 
 impl Global {
@@ -98,15 +175,17 @@ impl Global {
             .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
     }
 
-    /// Executes every deferred destruction tagged at least two epochs ago.
+    /// Executes every deferred destruction tagged at least two epochs ago
+    /// (the "slack"; configurable under `dst` to inject reclamation bugs).
     fn collect(&self) {
+        let slack = collect_slack();
         let ge = self.epoch.load(Ordering::SeqCst);
         let mut free = Vec::new();
         {
             let mut g = self.garbage.lock().unwrap();
             let mut i = 0;
             while i < g.len() {
-                if g[i].0 + 2 <= ge {
+                if g[i].0 + slack <= ge {
                     free.push(g.swap_remove(i).1);
                 } else {
                     i += 1;
@@ -131,6 +210,49 @@ impl Global {
     }
 }
 
+#[cfg(not(feature = "dst"))]
+fn collect_slack() -> usize {
+    2
+}
+
+#[cfg(feature = "dst")]
+fn collect_slack() -> usize {
+    use std::sync::atomic::Ordering as StdOrdering;
+    dst_testing::knobs().slack.load(StdOrdering::SeqCst)
+}
+
+/// Fault-injection knobs for model tests (only with the `dst` feature).
+///
+/// The model checker validates itself by *breaking* the collector and
+/// asserting the epoch-reclamation invariant check catches it with a
+/// replayable seed. The knob state is per-execution (see
+/// [`dst::exec_slot`]), so an injected fault never leaks into other
+/// schedules.
+#[cfg(feature = "dst")]
+pub mod dst_testing {
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    pub(crate) struct Knobs {
+        /// Epoch distance a deferred destruction must age before it runs.
+        /// 2 is correct three-epoch EBR; 0 frees garbage immediately,
+        /// simulating a collector that ignores pinned readers.
+        pub(crate) slack: AtomicUsize,
+    }
+
+    pub(crate) fn knobs() -> Arc<Knobs> {
+        dst::exec_slot(|| Knobs {
+            slack: AtomicUsize::new(2),
+        })
+    }
+
+    /// Overrides the reclamation slack for the current model execution.
+    pub fn set_collect_slack(n: usize) {
+        use std::sync::atomic::Ordering;
+        knobs().slack.store(n, Ordering::SeqCst);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Thread-local participant
 // ---------------------------------------------------------------------------
@@ -139,6 +261,11 @@ struct Local {
     slot: Arc<Slot>,
     nesting: Cell<usize>,
     pins: Cell<usize>,
+    /// The collector this participant registered with; deregistration
+    /// must target the same one even if the calling context changed by
+    /// drop time (model executions swap the collector per schedule).
+    #[cfg(feature = "dst")]
+    home: Arc<Global>,
 }
 
 impl Local {
@@ -146,37 +273,129 @@ impl Local {
         let slot = Arc::new(Slot {
             active: AtomicUsize::new(0),
         });
-        global().registry.lock().unwrap().push(slot.clone());
+        let g = global();
+        g.registry.lock().unwrap().push(slot.clone());
         Local {
             slot,
             nesting: Cell::new(0),
             pins: Cell::new(0),
+            #[cfg(feature = "dst")]
+            home: g,
         }
+    }
+
+    #[cfg(feature = "dst")]
+    fn home(&self) -> &Global {
+        &self.home
+    }
+
+    #[cfg(not(feature = "dst"))]
+    fn home(&self) -> &'static Global {
+        global()
     }
 }
 
 impl Drop for Local {
     fn drop(&mut self) {
         self.slot.active.store(0, Ordering::SeqCst);
-        let mut reg = global().registry.lock().unwrap();
+        let mut reg = self.home().registry.lock().unwrap();
         reg.retain(|s| !Arc::ptr_eq(s, &self.slot));
     }
 }
 
-thread_local! {
-    static LOCAL: Local = Local::new();
+#[cfg(not(feature = "dst"))]
+mod tls {
+    use super::Local;
+
+    thread_local! {
+        static LOCAL: Local = Local::new();
+    }
+
+    pub(super) fn with_local<R>(f: impl FnOnce(&Local) -> R) -> R {
+        LOCAL.with(f)
+    }
+
+    /// `Ok` variant of [`with_local`] that tolerates TLS teardown.
+    pub(super) fn try_with_local(f: impl FnOnce(&Local)) {
+        let _ = LOCAL.try_with(f);
+    }
 }
+
+#[cfg(feature = "dst")]
+mod tls {
+    use super::Local;
+    use std::cell::RefCell;
+
+    // Keyed by execution id: a thread that participates in several model
+    // executions over its lifetime (the explorer's driver thread runs one
+    // per iteration) must register a fresh participant with each
+    // execution's collector, or its pins would be invisible to the new
+    // collector's advancement scan. Id 0 is the non-execution fallback.
+    thread_local! {
+        static LOCAL: RefCell<Option<(u64, Local)>> = const { RefCell::new(None) };
+    }
+
+    fn key() -> u64 {
+        dst::execution_id()
+    }
+
+    /// Drops a stale in-execution participant once its execution is
+    /// over. Registered as an end-of-execution hook and therefore run in
+    /// passthrough mode: dropping it lazily on the next execution's
+    /// first pin instead would add that execution a schedule point count
+    /// that depends on scheduler history, breaking exact trace replay.
+    fn purge_stale_local() {
+        let _ = LOCAL.try_with(|cell| {
+            if let Ok(mut slot) = cell.try_borrow_mut() {
+                if matches!(&*slot, Some((eid, _)) if *eid != key()) {
+                    *slot = None;
+                }
+            }
+        });
+    }
+
+    pub(super) fn with_local<R>(f: impl FnOnce(&Local) -> R) -> R {
+        LOCAL.with(|cell| {
+            let id = key();
+            let mut slot = cell.borrow_mut();
+            if !matches!(&*slot, Some((eid, _)) if *eid == id) {
+                if id != 0 {
+                    dst::register_execution_end_hook(purge_stale_local);
+                }
+                *slot = Some((id, Local::new()));
+            }
+            f(&slot.as_ref().unwrap().1)
+        })
+    }
+
+    pub(super) fn try_with_local(f: impl FnOnce(&Local)) {
+        let _ = LOCAL.try_with(|cell| {
+            if let Ok(slot) = cell.try_borrow() {
+                // Only the participant of the *current* execution may be
+                // touched; unpinning a stale one would corrupt a collector
+                // this thread no longer belongs to.
+                if let Some((eid, local)) = &*slot {
+                    if *eid == key() {
+                        f(local);
+                    }
+                }
+            }
+        });
+    }
+}
+
+use tls::{try_with_local, with_local};
 
 /// Pins the current thread, keeping every pointer loaded under the
 /// returned guard valid until the guard drops.
 pub fn pin() -> Guard {
-    LOCAL.with(|local| {
+    with_local(|local| {
         let n = local.nesting.get();
         local.nesting.set(n + 1);
         if n == 0 {
             // Publish our epoch; loop until the published value matches
             // the global epoch we re-read *after* the SeqCst fence.
-            let g = global();
+            let g = local.home();
             let mut e = g.epoch.load(Ordering::SeqCst);
             loop {
                 local.slot.active.store((e << 1) | 1, Ordering::SeqCst);
@@ -228,9 +447,11 @@ impl Guard {
             return;
         }
         unsafe fn drop_box<T>(p: *mut ()) {
+            track_free(p);
             drop(Box::from_raw(p as *mut T));
         }
         if self.unprotected {
+            track_free(ptr.ptr);
             drop(Box::from_raw(ptr.ptr as *mut T));
             return;
         }
@@ -257,9 +478,9 @@ impl Guard {
         if self.unprotected {
             return;
         }
-        LOCAL.with(|local| {
+        with_local(|local| {
             if local.nesting.get() == 1 {
-                let g = global();
+                let g = local.home();
                 local.slot.active.store(0, Ordering::SeqCst);
                 let mut e = g.epoch.load(Ordering::SeqCst);
                 loop {
@@ -282,7 +503,7 @@ impl Drop for Guard {
             return;
         }
         // try_with: TLS may already be torn down during thread exit.
-        let _ = LOCAL.try_with(|local| {
+        try_with_local(|local| {
             let n = local.nesting.get();
             debug_assert!(n > 0, "guard dropped with zero nesting");
             local.nesting.set(n - 1);
@@ -329,9 +550,9 @@ pub struct Owned<T> {
 impl<T> Owned<T> {
     /// Allocates `value` on the heap.
     pub fn new(value: T) -> Owned<T> {
-        Owned {
-            ptr: Box::into_raw(Box::new(value)),
-        }
+        let ptr = Box::into_raw(Box::new(value));
+        track_alloc(ptr);
+        Owned { ptr }
     }
 
     /// Converts into a [`Shared`] tied to `_guard`'s lifetime.
@@ -373,6 +594,7 @@ impl<T> Deref for Owned<T> {
 
 impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
+        track_free(self.ptr);
         unsafe { drop(Box::from_raw(self.ptr)) };
     }
 }
@@ -423,6 +645,9 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// The pointer must be valid under the current guard.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        if !self.ptr.is_null() {
+            check_deref(self.ptr);
+        }
         self.ptr.as_ref()
     }
 
@@ -432,6 +657,7 @@ impl<'g, T> Shared<'g, T> {
     ///
     /// The pointer must be non-null and valid under the current guard.
     pub unsafe fn deref(&self) -> &'g T {
+        check_deref(self.ptr);
         &*self.ptr
     }
 
@@ -512,8 +738,10 @@ impl<T> Atomic<T> {
 
     /// Allocates `value` and stores the pointer.
     pub fn new(value: T) -> Atomic<T> {
+        let raw = Box::into_raw(Box::new(value));
+        track_alloc(raw);
         Atomic {
-            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            ptr: AtomicPtr::new(raw),
         }
     }
 
@@ -600,7 +828,7 @@ mod tests {
         let g2 = pin();
         drop(g1);
         drop(g2);
-        LOCAL.with(|l| assert_eq!(l.nesting.get(), 0));
+        with_local(|l| assert_eq!(l.nesting.get(), 0));
     }
 
     #[test]

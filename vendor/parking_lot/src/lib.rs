@@ -10,11 +10,22 @@
 //!
 //! Only [`Mutex`], [`MutexGuard`], [`RwLock`] and its guards are
 //! provided — exactly the names imported anywhere in this repository.
+//!
+//! With the `dst` feature the backing locks come from the `dst` sync
+//! facade instead of `std::sync`: inside a model execution every
+//! acquisition becomes a scheduling point of the deterministic
+//! scheduler, and outside one the facade passes straight through to
+//! std, so enabling the feature does not change behavior of ordinary
+//! tests that happen to link it.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "dst")]
+use dst::sync;
+#[cfg(not(feature = "dst"))]
+use std::sync;
 
 /// Process-wide count of lock acquisitions (every successful `lock()`,
 /// `try_lock()`, `read()`, and `write()` through this shim).
