@@ -1,13 +1,19 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--full] [--metrics-out <path>] <experiment>...
+//! repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...
 //! experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10
-//!              table1 table2 table3 table4 space ablation pcc rename-scale all
+//!              table1 table2 table3 table4 space ablation pcc rename-scale
+//!              faults all
 //! ```
 //!
 //! Default scale is `--quick` (seconds per experiment); `--full`
 //! approaches the paper's parameters (minutes).
+//!
+//! `faults` replays the fig. 8 workload through the standard seeded
+//! fault campaign (`--seed N`, default 0x5EED) and reports hit rate and
+//! latency before, during, and after recovery; results land in
+//! `BENCH_faults.json` and are appended to `EXPERIMENTS.md`.
 //!
 //! `--metrics-out <path>` runs the observability workload and writes
 //! the unified metrics snapshot (latency histograms, trace-event
@@ -15,26 +21,43 @@
 //! may be given alone or combined with experiments; when combined, the
 //! metrics dump runs after the experiments finish.
 
-use dc_bench::{figs, Scale};
+use dc_bench::{faults, figs, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--full] [--metrics-out <path>] <experiment>...\n\
+        "usage: repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...\n\
          experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
-         \x20            table1 table2 table3 table4 space ablation pcc rename-scale all"
+         \x20            table1 table2 table3 table4 space ablation pcc rename-scale\n\
+         \x20            faults all"
     );
     std::process::exit(2);
+}
+
+/// Accepts decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
+    let mut seed: u64 = 0x5EED;
     let mut metrics_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => full = true,
+            "--seed" => match it.next().as_deref().and_then(parse_seed) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    usage();
+                }
+            },
             "--metrics-out" => match it.next() {
                 Some(path) => metrics_out = Some(path),
                 None => {
@@ -71,6 +94,7 @@ fn main() {
             "ablation" => figs::ablation(scale),
             "pcc" => figs::pcc_sensitivity(scale),
             "rename-scale" => figs::rename_scalability(scale),
+            "faults" => faults::faults(scale, seed),
             "all" => figs::all(scale),
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -3,11 +3,12 @@
 use crate::latency::LatencyModel;
 use crate::BLOCK_SIZE;
 use bytes::Bytes;
-use dc_obs::{Recorder, TraceEvent};
+use dc_fault::{FaultInjector, FaultKind, IoOp};
+use dc_obs::{FaultClass, Recorder, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Errors surfaced by the block layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,9 @@ pub enum BlockError {
     OutOfRange { block: u64, capacity: u64 },
     /// Buffer length does not match the block size.
     BadLength { got: usize, want: usize },
+    /// The device failed the access (injected or real). `transient`
+    /// faults may succeed if retried; permanent ones will not.
+    Io { block: u64, transient: bool },
 }
 
 impl std::fmt::Display for BlockError {
@@ -26,6 +30,10 @@ impl std::fmt::Display for BlockError {
             }
             BlockError::BadLength { got, want } => {
                 write!(f, "buffer length {got} != block size {want}")
+            }
+            BlockError::Io { block, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} I/O error on block {block}")
             }
         }
     }
@@ -76,6 +84,9 @@ pub struct RawDisk {
     /// deep inside FS setup, before any kernel exists). `OnceLock` keeps
     /// the read side lock-free; first attachment wins.
     obs: OnceLock<Recorder>,
+    /// Fault-injection hook, same attachment discipline as `obs`. A
+    /// disk with no injector (or a disarmed one) behaves perfectly.
+    fault: OnceLock<Arc<FaultInjector>>,
 }
 
 impl RawDisk {
@@ -90,6 +101,7 @@ impl RawDisk {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             obs: OnceLock::new(),
+            fault: OnceLock::new(),
         }
     }
 
@@ -97,6 +109,35 @@ impl RawDisk {
     /// `BlockIo` span from then on. Later attachments are ignored.
     pub fn attach_recorder(&self, obs: Recorder) {
         let _ = self.obs.set(obs);
+    }
+
+    /// Attaches a fault injector; every access from then on consults it
+    /// (a disarmed injector costs one atomic load). First attachment
+    /// wins, matching the recorder discipline.
+    pub fn attach_fault_injector(&self, injector: Arc<FaultInjector>) {
+        let _ = self.fault.set(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.get()
+    }
+
+    pub(crate) fn recorder(&self) -> Option<&Recorder> {
+        self.obs.get()
+    }
+
+    /// Reports an injected fault to the recorder, if one is attached.
+    fn record_fault(&self, kind: FaultKind) {
+        if let Some(obs) = self.obs.get() {
+            let class = match kind {
+                FaultKind::Transient => FaultClass::Transient,
+                FaultKind::Permanent => FaultClass::Permanent,
+                FaultKind::ShortRead => FaultClass::ShortRead,
+                FaultKind::LatencySpikeNs(_) => FaultClass::LatencySpike,
+            };
+            obs.event(|| TraceEvent::FaultInjected { class });
+        }
     }
 
     /// Block size in bytes.
@@ -120,8 +161,34 @@ impl RawDisk {
     }
 
     /// Reads one block, charging device latency.
+    ///
+    /// With an armed fault injector attached, the access may fail with
+    /// [`BlockError::Io`], stall for an injected latency spike, or
+    /// return a *short* buffer (fewer bytes than a block — a torn read
+    /// the caller must detect; [`crate::CachedDisk`] treats it as
+    /// transient and retries).
     pub fn read_block(&self, block: u64) -> BlockResult<Bytes> {
         self.check(block)?;
+        let fault = self
+            .fault
+            .get()
+            .and_then(|inj| inj.decide(IoOp::Read, block));
+        if let Some(kind) = fault {
+            self.record_fault(kind);
+            match kind {
+                FaultKind::Transient | FaultKind::Permanent => {
+                    // A failed access still spins the device, but the
+                    // read counter only tracks completed transfers.
+                    self.latency.charge_read();
+                    return Err(BlockError::Io {
+                        block,
+                        transient: kind == FaultKind::Transient,
+                    });
+                }
+                FaultKind::LatencySpikeNs(ns) => self.latency.charge_extra(ns),
+                FaultKind::ShortRead => {}
+            }
+        }
         self.latency.charge_read();
         self.reads.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = self.obs.get() {
@@ -130,14 +197,25 @@ impl RawDisk {
                 ns: self.latency.read_cost_ns(),
             });
         }
-        let guard = self.blocks.lock();
-        Ok(match guard.get(&block) {
-            Some(b) => b.clone(),
-            None => Bytes::from(vec![0u8; self.block_size]),
-        })
+        let data = {
+            let guard = self.blocks.lock();
+            match guard.get(&block) {
+                Some(b) => b.clone(),
+                None => Bytes::from(vec![0u8; self.block_size]),
+            }
+        };
+        if fault == Some(FaultKind::ShortRead) {
+            // Torn read: the transfer stopped partway through the block.
+            return Ok(Bytes::copy_from_slice(&data[..self.block_size / 2]));
+        }
+        Ok(data)
     }
 
     /// Writes one block, charging device latency.
+    ///
+    /// Subject to the same fault injection as reads; a `ShortRead` rule
+    /// that matches a write surfaces as a transient error (a torn write
+    /// the device detects and reports).
     pub fn write_block(&self, block: u64, data: &[u8]) -> BlockResult<()> {
         self.check(block)?;
         if data.len() != self.block_size {
@@ -145,6 +223,23 @@ impl RawDisk {
                 got: data.len(),
                 want: self.block_size,
             });
+        }
+        if let Some(kind) = self
+            .fault
+            .get()
+            .and_then(|inj| inj.decide(IoOp::Write, block))
+        {
+            self.record_fault(kind);
+            match kind {
+                FaultKind::Transient | FaultKind::ShortRead | FaultKind::Permanent => {
+                    self.latency.charge_write();
+                    return Err(BlockError::Io {
+                        block,
+                        transient: kind != FaultKind::Permanent,
+                    });
+                }
+                FaultKind::LatencySpikeNs(ns) => self.latency.charge_extra(ns),
+            }
         }
         self.latency.charge_write();
         self.writes.fetch_add(1, Ordering::Relaxed);

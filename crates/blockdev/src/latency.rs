@@ -68,6 +68,12 @@ impl LatencyModel {
         self.charge(self.write_ns);
     }
 
+    /// Charges an arbitrary extra cost (injected latency spikes, retry
+    /// backoff). Spins for real when the model does.
+    pub fn charge_extra(&self, ns: u64) {
+        self.charge(ns);
+    }
+
     fn charge(&self, ns: u64) {
         if ns == 0 {
             return;

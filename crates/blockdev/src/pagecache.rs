@@ -1,8 +1,10 @@
 //! Write-back page cache in front of the raw device.
 
-use crate::device::{BlockResult, DiskConfig, RawDisk};
+use crate::device::{BlockError, BlockResult, DiskConfig, RawDisk};
 use crate::lru::LruList;
 use bytes::Bytes;
+use dc_fault::RetryPolicy;
+use dc_obs::TraceEvent;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,6 +26,13 @@ pub struct DiskStats {
     pub simulated_io_ns: u64,
     /// Pages currently resident.
     pub resident_pages: u64,
+    /// Transiently failed accesses retried after backoff.
+    pub io_retries: u64,
+    /// Accesses that failed for good (permanent fault, or a transient
+    /// burst that outlasted the retry budget).
+    pub io_errors: u64,
+    /// Faults the attached injector has fired (0 without an injector).
+    pub faults_injected: u64,
 }
 
 struct Page {
@@ -67,6 +76,9 @@ pub struct CachedDisk {
     hits: AtomicU64,
     misses: AtomicU64,
     writebacks: AtomicU64,
+    retry: RetryPolicy,
+    io_retries: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 impl CachedDisk {
@@ -80,6 +92,30 @@ impl CachedDisk {
     /// writebacks) report `BlockIo` spans from then on.
     pub fn attach_recorder(&self, obs: dc_obs::Recorder) {
         self.disk.attach_recorder(obs);
+    }
+
+    /// Attaches a fault injector to the underlying device (see
+    /// [`RawDisk::attach_fault_injector`]). Transient faults it injects
+    /// are absorbed by this cache's retry policy.
+    pub fn attach_fault_injector(&self, injector: std::sync::Arc<dc_fault::FaultInjector>) {
+        self.disk.attach_fault_injector(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&std::sync::Arc<dc_fault::FaultInjector>> {
+        self.disk.fault_injector()
+    }
+
+    /// Replaces the transient-error retry policy (builder style, before
+    /// the disk is shared).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The transient-error retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Creates a cached disk per `config`.
@@ -102,6 +138,84 @@ impl CachedDisk {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            retry: RetryPolicy::default(),
+            io_retries: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// One device read with bounded retry: transient errors and short
+    /// (torn) reads are retried up to the policy's attempt budget, each
+    /// retry charging exponential backoff to the latency model. The
+    /// final failure — or any non-transient error — propagates.
+    fn device_read(&self, block: u64) -> BlockResult<Bytes> {
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match self.disk.read_block(block) {
+                Ok(data) if data.len() == self.disk.block_size() => return Ok(data),
+                // Short read: detected here by length, retried like a
+                // transient device error.
+                Ok(_) => BlockError::Io {
+                    block,
+                    transient: true,
+                },
+                Err(
+                    e @ BlockError::Io {
+                        transient: true, ..
+                    },
+                ) => e,
+                Err(e) => {
+                    if matches!(e, BlockError::Io { .. }) {
+                        self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            };
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+            self.backoff(attempt);
+        }
+    }
+
+    /// One device write with the same bounded-retry discipline.
+    fn device_write(&self, block: u64, data: &[u8]) -> BlockResult<()> {
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match self.disk.write_block(block, data) {
+                Ok(()) => return Ok(()),
+                Err(
+                    e @ BlockError::Io {
+                        transient: true, ..
+                    },
+                ) => e,
+                Err(e) => {
+                    if matches!(e, BlockError::Io { .. }) {
+                        self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            };
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+            self.backoff(attempt);
+        }
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let backoff_ns = self.retry.backoff_ns(attempt - 1);
+        self.disk.latency().charge_extra(backoff_ns);
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.disk.recorder() {
+            obs.event(|| TraceEvent::IoRetry {
+                attempt,
+                backoff_ns,
+            });
         }
     }
 
@@ -119,7 +233,7 @@ impl CachedDisk {
     pub fn read_block(&self, block: u64) -> BlockResult<Bytes> {
         if self.capacity_pages == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return self.disk.read_block(block);
+            return self.device_read(block);
         }
         {
             let mut inner = self.inner.lock();
@@ -136,7 +250,7 @@ impl CachedDisk {
         // Miss: read from the device outside the cache lock so that a
         // spinning latency model does not serialize unrelated hits.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let data = self.disk.read_block(block)?;
+        let data = self.device_read(block)?;
         let mut inner = self.inner.lock();
         // A racing reader may have inserted it meanwhile; keep theirs.
         if !inner.pages.contains_key(&block) {
@@ -150,7 +264,7 @@ impl CachedDisk {
     pub fn write_block(&self, block: u64, data: &[u8]) -> BlockResult<()> {
         if block >= self.disk.capacity_blocks() {
             // Surface range errors eagerly even in write-back mode.
-            return self.disk.write_block(block, data);
+            return self.device_write(block, data);
         }
         if data.len() != self.disk.block_size() {
             return Err(crate::BlockError::BadLength {
@@ -159,7 +273,7 @@ impl CachedDisk {
             });
         }
         if self.capacity_pages == 0 {
-            return self.disk.write_block(block, data);
+            return self.device_write(block, data);
         }
         let bytes = Bytes::copy_from_slice(data);
         let mut inner = self.inner.lock();
@@ -189,7 +303,15 @@ impl CachedDisk {
                 inner.free_slots.push(victim_slot);
                 if victim.dirty {
                     self.writebacks.fetch_add(1, Ordering::Relaxed);
-                    self.disk.write_block(victim_block, &victim.data)?;
+                    if let Err(e) = self.device_write(victim_block, &victim.data) {
+                        // Writeback failed for good: put the victim back
+                        // (still dirty) rather than losing the data, and
+                        // surface the error to the caller.
+                        inner.pages.insert(victim_block, victim);
+                        inner.lru.push_front(victim_slot);
+                        inner.free_slots.pop();
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -200,6 +322,10 @@ impl CachedDisk {
     }
 
     /// Writes all dirty pages back to the device.
+    ///
+    /// Best effort: every dirty page is attempted (with retry); pages
+    /// that fail stay dirty for a later sync, and the first error is
+    /// returned after the full pass.
     pub fn sync(&self) -> BlockResult<()> {
         let mut inner = self.inner.lock();
         // Collect first: writing under iteration would alias the map borrow.
@@ -209,26 +335,49 @@ impl CachedDisk {
             .filter(|(_, p)| p.dirty)
             .map(|(&b, p)| (b, p.data.clone()))
             .collect();
-        for (block, data) in &dirty {
-            self.disk.write_block(*block, data)?;
-        }
-        for (block, _) in dirty {
-            if let Some(p) = inner.pages.get_mut(&block) {
-                p.dirty = false;
+        let mut first_err = None;
+        for (block, data) in dirty {
+            match self.device_write(block, &data) {
+                Ok(()) => {
+                    if let Some(p) = inner.pages.get_mut(&block) {
+                        p.dirty = false;
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Flushes and discards every resident page (the `echo 3 >
     /// /proc/sys/vm/drop_caches` analog used for cold-cache runs).
+    ///
+    /// Never panics: clean pages and successfully written-back dirty
+    /// pages are dropped; dirty pages whose writeback fails (even after
+    /// retry) are *retained*, still dirty, so the data survives for a
+    /// later sync once the device heals.
     pub fn drop_caches(&self) {
-        self.sync().expect("sync during drop_caches");
         let mut inner = self.inner.lock();
-        inner.pages.clear();
+        let all: Vec<(u64, Page)> = {
+            let blocks: Vec<u64> = inner.pages.keys().copied().collect();
+            blocks
+                .into_iter()
+                .filter_map(|b| inner.pages.remove(&b).map(|p| (b, p)))
+                .collect()
+        };
         inner.lru.clear();
         inner.free_slots.clear();
         inner.slot_to_block.clear();
+        for (block, page) in all {
+            if page.dirty && self.device_write(block, &page.data).is_err() {
+                // insert_locked cannot fail here: the cache was just
+                // emptied, so no eviction (and thus no writeback) runs.
+                let _ = self.insert_locked(&mut inner, block, page.data, true);
+            }
+        }
     }
 
     /// Resets hit/miss and device statistics (residency is unaffected).
@@ -236,6 +385,8 @@ impl CachedDisk {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
+        self.io_retries.store(0, Ordering::Relaxed);
+        self.io_errors.store(0, Ordering::Relaxed);
         self.disk.reset_counters();
         self.disk.latency().reset_accounting();
     }
@@ -250,6 +401,13 @@ impl CachedDisk {
             writebacks: self.writebacks.load(Ordering::Relaxed),
             simulated_io_ns: self.disk.latency().accounted_ns(),
             resident_pages: self.inner.lock().pages.len() as u64,
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            faults_injected: self
+                .disk
+                .fault_injector()
+                .map(|inj| inj.stats().total())
+                .unwrap_or(0),
         }
     }
 }
@@ -344,5 +502,152 @@ mod tests {
         let d = small_cache(4);
         assert!(d.write_block(0, &[0u8; 3]).is_err());
         assert!(d.write_block(5000, &[0u8; 512]).is_err());
+    }
+
+    use dc_fault::{FaultKind, FaultPlan, FaultRule, IoOp};
+    use std::sync::Arc;
+
+    fn faulty_cache(pages: usize, plan: FaultPlan) -> (CachedDisk, Arc<dc_fault::FaultInjector>) {
+        let d = small_cache(pages);
+        let inj = Arc::new(plan.build());
+        d.attach_fault_injector(inj.clone());
+        (d, inj)
+    }
+
+    #[test]
+    fn transient_read_fault_is_absorbed_by_retry() {
+        // Every block faults on first touch and heals after 2 failures;
+        // the default 4-attempt policy must absorb that invisibly.
+        let (d, inj) = faulty_cache(
+            8,
+            FaultPlan::new(1).rule(
+                FaultRule::new(FaultKind::Transient, 1.0)
+                    .on(IoOp::Read)
+                    .burst(2)
+                    .max_fires(2),
+            ),
+        );
+        inj.arm();
+        let data = d.read_block(3).expect("retry must absorb the burst");
+        assert_eq!(data.len(), 512);
+        let s = d.stats();
+        assert_eq!(s.io_retries, 2);
+        assert_eq!(s.io_errors, 0);
+        assert_eq!(s.faults_injected, 2);
+    }
+
+    #[test]
+    fn transient_burst_longer_than_budget_surfaces_eio() {
+        let (d, inj) = faulty_cache(
+            8,
+            FaultPlan::new(2).rule(FaultRule::new(FaultKind::Transient, 1.0).burst(100)),
+        );
+        inj.arm();
+        let err = d.read_block(0).unwrap_err();
+        assert!(matches!(
+            err,
+            BlockError::Io {
+                transient: true,
+                ..
+            }
+        ));
+        let s = d.stats();
+        assert_eq!(s.io_retries, 3); // 4 attempts = 3 retries
+        assert_eq!(s.io_errors, 1);
+        // After healing, the block reads fine and the cache repopulates.
+        inj.disarm();
+        assert!(d.read_block(0).is_ok());
+        assert_eq!(d.stats().resident_pages, 1);
+    }
+
+    #[test]
+    fn permanent_fault_is_not_retried() {
+        let (d, inj) = faulty_cache(8, FaultPlan::new(3).permanent(IoOp::Read, 1.0));
+        inj.arm();
+        let err = d.read_block(9).unwrap_err();
+        assert!(matches!(
+            err,
+            BlockError::Io {
+                transient: false,
+                ..
+            }
+        ));
+        let s = d.stats();
+        assert_eq!(s.io_retries, 0);
+        assert_eq!(s.io_errors, 1);
+    }
+
+    #[test]
+    fn short_read_is_detected_and_retried() {
+        let (d, inj) = faulty_cache(
+            8,
+            FaultPlan::new(4).rule(FaultRule::new(FaultKind::ShortRead, 1.0).max_fires(1)),
+        );
+        d.write_block(5, &[7u8; 512]).unwrap();
+        d.sync().unwrap();
+        d.drop_caches();
+        inj.arm();
+        let data = d.read_block(5).expect("torn read must be retried");
+        assert_eq!(data.len(), 512);
+        assert_eq!(data[0], 7);
+        assert_eq!(d.stats().io_retries, 1);
+    }
+
+    #[test]
+    fn latency_spike_charges_but_succeeds() {
+        let (d, inj) = faulty_cache(8, FaultPlan::new(5).latency_spike(IoOp::Read, 1.0, 123_456));
+        inj.arm();
+        assert!(d.read_block(2).is_ok());
+        assert!(d.stats().simulated_io_ns >= 123_456);
+        assert_eq!(d.stats().io_retries, 0);
+    }
+
+    #[test]
+    fn drop_caches_retains_dirty_pages_when_device_is_broken() {
+        let (d, inj) = faulty_cache(
+            8,
+            // Burst far beyond the retry budget: every attempt in the
+            // writeback's retry chain fails (the injector's cooldown
+            // guarantee only kicks in once a burst drains).
+            FaultPlan::new(6).rule(
+                FaultRule::new(FaultKind::Transient, 1.0)
+                    .on(IoOp::Write)
+                    .burst(64),
+            ),
+        );
+        d.write_block(1, &[42u8; 512]).unwrap();
+        inj.arm();
+        // Writeback fails even after retries; the page must survive.
+        d.drop_caches();
+        assert_eq!(d.stats().resident_pages, 1);
+        assert_eq!(d.read_block(1).unwrap()[0], 42);
+        // Device heals: the retained page flushes and drops cleanly.
+        inj.disarm();
+        d.drop_caches();
+        assert_eq!(d.stats().resident_pages, 0);
+        assert_eq!(d.read_block(1).unwrap()[0], 42);
+    }
+
+    #[test]
+    fn sync_is_best_effort_and_keeps_failed_pages_dirty() {
+        let (d, inj) = faulty_cache(
+            8,
+            FaultPlan::new(7).rule(
+                FaultRule::new(FaultKind::Transient, 1.0)
+                    .on(IoOp::Write)
+                    .blocks(1..2)
+                    .burst(64),
+            ),
+        );
+        d.write_block(0, &[1u8; 512]).unwrap();
+        d.write_block(1, &[2u8; 512]).unwrap();
+        inj.arm();
+        // Block 1 cannot flush; block 0 must still make it to the device.
+        assert!(d.sync().is_err());
+        assert_eq!(d.stats().device_writes, 1);
+        inj.disarm();
+        // The failed page stayed dirty, so a later sync completes it.
+        d.sync().unwrap();
+        assert_eq!(d.stats().device_writes, 2);
     }
 }

@@ -184,14 +184,20 @@ impl Dcache {
         }
         d.set_flag(FLAG_DEAD);
         if let Some(parent) = d.parent() {
-            parent.remove_child_if(&d.name(), d.id());
             if reclaim {
+                // Break the completeness claim BEFORE the child leaves
+                // the parent: a racing lookup that misses the child must
+                // not see DIR_COMPLETE still set and fabricate ENOENT
+                // for a file the file system still has. (The child-map
+                // lock orders the flag clear before any post-removal
+                // miss.)
                 parent.bump_child_evict_gen();
                 if parent.flag(FLAG_DIR_COMPLETE) {
                     parent.clear_flag(FLAG_DIR_COMPLETE);
                     self.stats.complete_breaks.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            parent.remove_child_if(&d.name(), d.id());
         }
         self.dlht_remove(d);
         d.bump_seq();
@@ -209,7 +215,7 @@ impl Dcache {
             old_parent.remove_child_if(&d.name(), d.id());
         }
         debug_assert!(
-            new_parent.get_child(new_name).is_none(),
+            new_parent.get_child(new_name).is_none_or(|p| p.is_dead()),
             "destination name still hashed"
         );
         d.set_name_parent(new_name, Some(new_parent.clone()));
@@ -351,6 +357,15 @@ impl Dcache {
         if live > self.config.capacity {
             self.shrink(live - self.config.capacity + 64);
         }
+        if let Some(budget) = self.config.mem_budget_bytes {
+            // Cheap under-estimate (dentry structs only — no DLHT walk on
+            // the alloc path). Once it trips, `shrink_to_bytes` does exact
+            // accounting and evicts well below the trip point, so this
+            // does not retrigger on every allocation.
+            if live * std::mem::size_of::<Dentry>() > budget {
+                self.shrink_to_bytes(budget as u64);
+            }
+        }
     }
 
     /// Evicts up to `target` unused leaf dentries in approximate LRU
@@ -392,6 +407,71 @@ impl Dcache {
         self.unhash(d, true);
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// The cache's *reclaimable* footprint in bytes: dentry structs, DLHT
+    /// chain nodes (the fixed bucket arrays survive any shrink and are
+    /// excluded — see [`Dcache::space_report`] for the full footprint),
+    /// and occupied PCC lines. This is what a memory-pressure shrink can
+    /// actually free, minus the pinned floor (roots, cwds, open files).
+    pub fn reclaimable_bytes(&self) -> u64 {
+        let mut node_bytes = 0u64;
+        for t in self.dlhts.values() {
+            let fp = t.footprint();
+            node_bytes += fp.nodes * fp.node_bytes as u64;
+        }
+        let mut pcc_bytes = 0u64;
+        {
+            let mut list = self.pccs.lock();
+            list.retain(|w| w.strong_count() > 0);
+            for w in list.iter() {
+                if let Some(pcc) = w.upgrade() {
+                    pcc_bytes += pcc.occupied_bytes() as u64;
+                }
+            }
+        }
+        self.live() * std::mem::size_of::<Dentry>() as u64 + node_bytes + pcc_bytes
+    }
+
+    /// Memory-pressure entry point: reclaims until the footprint measured
+    /// by [`Dcache::reclaimable_bytes`] is at most `target_bytes`, or
+    /// nothing evictable remains. Dentries go first (leaf-first LRU passes
+    /// through the ordinary `unhash(reclaim)` coherence path — their DLHT
+    /// chain nodes go with them); if the cache is still over budget the
+    /// PCCs are flushed. Returns the bytes actually freed.
+    ///
+    /// This is the [`Shrinker`](crate::Shrinker) callback the kernel's
+    /// registry drives; it is also safe to call directly.
+    pub fn shrink_to_bytes(&self, target_bytes: u64) -> u64 {
+        let before = self.reclaimable_bytes();
+        if before <= target_bytes {
+            return 0;
+        }
+        let per = std::mem::size_of::<Dentry>() as u64;
+        // Bounded passes: pinned dentries can make the target unreachable.
+        for _ in 0..8 {
+            let now = self.reclaimable_bytes();
+            if now <= target_bytes {
+                break;
+            }
+            let goal = ((now - target_bytes) / per + 1) as usize;
+            if self.shrink(goal) == 0 {
+                break;
+            }
+        }
+        if self.reclaimable_bytes() > target_bytes {
+            self.flush_all_pccs();
+        }
+        let freed = before.saturating_sub(self.reclaimable_bytes());
+        self.stats.shrinks.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shrink_bytes_freed
+            .fetch_add(freed, Ordering::Relaxed);
+        self.obs.event(|| TraceEvent::Shrink {
+            target_bytes,
+            freed_bytes: freed,
+        });
+        freed
     }
 
     /// Evicts everything evictable (the dcache half of a cold-cache
@@ -453,6 +533,20 @@ impl Dcache {
             }
         }
         total
+    }
+}
+
+impl crate::shrinker::Shrinker for Dcache {
+    fn name(&self) -> &'static str {
+        "dcache"
+    }
+
+    fn count_bytes(&self) -> u64 {
+        self.reclaimable_bytes()
+    }
+
+    fn shrink(&self, target_bytes: u64) -> u64 {
+        self.shrink_to_bytes(target_bytes)
     }
 }
 
@@ -620,6 +714,93 @@ mod tests {
         assert_eq!(evicted, 3);
         assert_eq!(dc.live(), 1, "only the pinned root remains");
         assert!(!root.is_dead());
+    }
+
+    #[test]
+    fn shrink_to_bytes_reclaims_to_budget() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        for i in 0..512 {
+            neg(&dc, &root, &format!("f{i}"));
+        }
+        let before = dc.reclaimable_bytes();
+        let budget = before / 4;
+        let freed = dc.shrink_to_bytes(budget);
+        assert!(freed > 0);
+        assert!(dc.reclaimable_bytes() <= budget);
+        assert!(!root.is_dead(), "pinned root survives pressure");
+        assert_eq!(dc.stats.shrinks.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            dc.stats.shrink_bytes_freed.load(Ordering::Relaxed),
+            freed,
+            "freed-bytes counter matches the return value"
+        );
+    }
+
+    #[test]
+    fn shrink_to_bytes_under_budget_is_free() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        neg(&dc, &root, "only");
+        assert_eq!(dc.shrink_to_bytes(u64::MAX), 0);
+        assert_eq!(dc.stats.shrinks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shrink_to_bytes_flushes_pccs_as_last_resort() {
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        let held: Vec<_> = (0..64).map(|i| neg(&dc, &root, &format!("f{i}"))).collect();
+        let cred = dc_cred::Cred::user(1000, 1000);
+        let pcc = dc.pcc_for(&cred, 0);
+        for d in &held {
+            pcc.insert(d.id(), d.seq());
+        }
+        assert!(pcc.occupied_bytes() > 0);
+        // Every dentry is pinned by `held`, so only the PCC can give
+        // memory back.
+        dc.shrink_to_bytes(0);
+        assert_eq!(pcc.occupied_bytes(), 0, "PCC lines were reclaimed");
+        for d in &held {
+            assert!(!d.is_dead(), "pinned dentries survive");
+        }
+    }
+
+    #[test]
+    fn mem_budget_triggers_auto_shrink() {
+        let budget = 64 * 1024;
+        let dc = cache(DcacheConfig::optimized().with_mem_budget(budget));
+        let root = dc.new_root(1, root_inode(&dc));
+        for i in 0..4096 {
+            neg(&dc, &root, &format!("f{i}"));
+        }
+        assert!(
+            dc.stats.shrinks.load(Ordering::Relaxed) > 0,
+            "budget pressure fired at least once"
+        );
+        assert!(
+            dc.live() as usize * std::mem::size_of::<Dentry>() <= budget,
+            "cache stayed within budget (live={})",
+            dc.live()
+        );
+    }
+
+    #[test]
+    fn dcache_serves_the_shrinker_trait() {
+        use crate::shrinker::{Shrinker, ShrinkerRegistry};
+        let dc = cache(DcacheConfig::optimized());
+        let root = dc.new_root(1, root_inode(&dc));
+        for i in 0..256 {
+            neg(&dc, &root, &format!("f{i}"));
+        }
+        let reg = ShrinkerRegistry::new();
+        reg.register(dc.clone());
+        assert_eq!(reg.count_bytes(), dc.reclaimable_bytes());
+        let before = dc.reclaimable_bytes();
+        let freed = reg.pressure(before / 2);
+        assert!(freed > 0);
+        assert!(dc.reclaimable_bytes() <= before / 2);
+        assert_eq!(Shrinker::name(&*dc), "dcache");
     }
 
     #[test]

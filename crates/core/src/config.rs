@@ -38,6 +38,12 @@ pub struct DcacheConfig {
     pub dlht_buckets: usize,
     /// Maximum cached dentries before LRU eviction kicks in.
     pub capacity: usize,
+    /// Soft byte budget for the cache's reclaimable footprint (dentries +
+    /// DLHT chain nodes + occupied PCC lines). `None` disables budget
+    /// tracking; with a budget set, allocations that push past it trigger
+    /// [`Dcache::shrink_to_bytes`](crate::Dcache::shrink_to_bytes), the
+    /// same path a registered memory-pressure shrinker drives.
+    pub mem_budget_bytes: Option<usize>,
     /// Signature hash key seed; `None` draws boot-time entropy.
     pub hash_seed: Option<u64>,
     /// Synthetic worst case for Figure 6: execute the fastpath but force
@@ -66,6 +72,7 @@ impl DcacheConfig {
             pcc_bytes: 64 * 1024,
             dlht_buckets: 1 << 16,
             capacity: 1 << 20,
+            mem_budget_bytes: None,
             hash_seed: None,
             fastpath_always_miss: false,
             lockfree_reads: true,
@@ -128,6 +135,13 @@ impl DcacheConfig {
         self
     }
 
+    /// Sets a soft byte budget for the cache's reclaimable footprint
+    /// (memory-pressure experiments).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Validates invariants (power-of-two tables, sane sizes).
     pub fn validate(&self) -> Result<(), String> {
         if !self.dlht_buckets.is_power_of_two() || self.dlht_buckets > (1 << 16) {
@@ -141,6 +155,11 @@ impl DcacheConfig {
         }
         if self.capacity < 16 {
             return Err(format!("capacity too small: {}", self.capacity));
+        }
+        if let Some(budget) = self.mem_budget_bytes {
+            if budget < 4096 {
+                return Err(format!("mem_budget_bytes too small: {budget}"));
+            }
         }
         Ok(())
     }
@@ -184,5 +203,10 @@ mod tests {
         assert!(c.validate().is_ok());
         c.pcc_bytes = 8;
         assert!(c.validate().is_err());
+        c.pcc_bytes = 64 * 1024;
+        c.mem_budget_bytes = Some(100);
+        assert!(c.validate().is_err());
+        c.mem_budget_bytes = Some(64 * 1024);
+        assert!(c.validate().is_ok());
     }
 }

@@ -494,11 +494,18 @@ impl Dentry {
         self.children.read().get(name).cloned()
     }
 
-    /// Inserts a child; the caller guarantees no entry exists for `name`.
+    /// Inserts a child; the caller guarantees no *live* entry exists for
+    /// `name`. A dead occupant (mid-eviction: `FLAG_DEAD` set, but the
+    /// evictor has not yet reached `remove_child_if`) may be displaced —
+    /// the evictor's removal is id-guarded, so it no-ops on the
+    /// replacement.
     pub(crate) fn insert_child(&self, child: Arc<Dentry>) {
         let name = child.name();
         let prev = self.children.write().insert(name, child);
-        debug_assert!(prev.is_none(), "duplicate child insert");
+        debug_assert!(
+            prev.as_ref().is_none_or(|p| p.is_dead()),
+            "duplicate child insert"
+        );
         self.bump_children_version();
     }
 

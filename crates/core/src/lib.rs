@@ -14,6 +14,7 @@
 //! | Directory completeness (`DIR_COMPLETE`), §5.1 | dentry flags + [`Dcache`] helpers |
 //! | Negative and deep-negative dentries, §5.2 | [`DentryState::Negative`], [`NegKind`] |
 //! | LRU + bottom-up eviction | [`Dcache::shrink`], [`Dcache::drop_unused`] |
+//! | Memory-pressure reclaim (Linux shrinker analog) | [`Shrinker`], [`ShrinkerRegistry`], [`Dcache::shrink_to_bytes`] |
 //! | Feature toggles (baseline ⇄ optimized ⇄ ablations) | [`DcacheConfig`] |
 //!
 //! The *policy* of when to walk which path lives in `dc-vfs`; this crate is
@@ -32,6 +33,7 @@ mod lru;
 pub mod model;
 mod pcc;
 mod seqlock;
+mod shrinker;
 mod stats;
 
 pub use cache::{Dcache, NsId};
@@ -42,6 +44,7 @@ pub use inode::{Inode, SbId};
 pub use lru::EvictOutcome;
 pub use pcc::Pcc;
 pub use seqlock::{SeqCell, SeqCount, SeqLock, SeqWriteGuard};
+pub use shrinker::{Shrinker, ShrinkerRegistry};
 pub use stats::{DcacheStats, SpaceReport};
 
 pub use dc_sighash::{HashKey, HashState, Signature};

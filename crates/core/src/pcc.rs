@@ -218,6 +218,13 @@ impl Pcc {
         self.misses.store(0, Ordering::Relaxed);
     }
 
+    /// Logical bytes held by currently-published entries — the
+    /// reclaimable share of this PCC under memory pressure (the table
+    /// itself is fixed; flushing only empties the ways). O(capacity).
+    pub fn occupied_bytes(&self) -> usize {
+        self.occupancy() * ENTRY_BYTES
+    }
+
     /// Number of currently-published entries (diagnostics; O(capacity)).
     pub fn occupancy(&self) -> usize {
         self.sets

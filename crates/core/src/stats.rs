@@ -85,6 +85,13 @@ counters! {
     shootdown_visits,
     /// Symlink alias dentries created (§4.2).
     symlink_aliases,
+    /// Memory-pressure shrink operations ([`shrink_to_bytes`] calls that
+    /// found work to do).
+    ///
+    /// [`shrink_to_bytes`]: crate::Dcache::shrink_to_bytes
+    shrinks,
+    /// Bytes reclaimed by memory-pressure shrinks.
+    shrink_bytes_freed,
 }
 
 impl DcacheStats {

@@ -1,0 +1,522 @@
+//! Fault plans and the runtime injector compiled from them.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::rng::SplitMix64;
+
+/// Which side of the device an access is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    Read,
+    Write,
+}
+
+/// What the injector did to an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The access fails, but the block heals after a bounded burst:
+    /// a retry loop deeper than the burst always recovers.
+    Transient,
+    /// The block is broken for good; every later access fails too.
+    Permanent,
+    /// The read "succeeds" but returns fewer bytes than a block —
+    /// a torn read the page cache must detect and treat as transient.
+    ShortRead,
+    /// The access succeeds after an extra simulated delay of this many
+    /// nanoseconds (a stalled device, not an error).
+    LatencySpikeNs(u64),
+}
+
+/// One declarative rule: *which* accesses can fault, *how*, and *how
+/// often*. Rules are evaluated in plan order; the first one that fires
+/// wins for that access.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// Restrict to reads or writes; `None` matches both.
+    pub op: Option<IoOp>,
+    /// Restrict to a block range; `None` matches every block.
+    pub blocks: Option<Range<u64>>,
+    /// What happens when the rule fires.
+    pub kind: FaultKind,
+    /// Per-access firing probability in `[0, 1]`.
+    pub probability: f64,
+    /// For [`FaultKind::Transient`]: total consecutive failures the
+    /// triggered block serves (including the triggering access) before
+    /// it heals. Ignored for other kinds. Clamped to at least 1.
+    pub burst: u32,
+    /// Stop firing after this many triggers; `None` is unlimited.
+    pub max_fires: Option<u64>,
+}
+
+impl FaultRule {
+    pub fn new(kind: FaultKind, probability: f64) -> FaultRule {
+        FaultRule {
+            op: None,
+            blocks: None,
+            kind,
+            probability,
+            burst: 1,
+            max_fires: None,
+        }
+    }
+
+    pub fn on(mut self, op: IoOp) -> FaultRule {
+        self.op = Some(op);
+        self
+    }
+
+    pub fn blocks(mut self, range: Range<u64>) -> FaultRule {
+        self.blocks = Some(range);
+        self
+    }
+
+    pub fn burst(mut self, n: u32) -> FaultRule {
+        self.burst = n.max(1);
+        self
+    }
+
+    pub fn max_fires(mut self, n: u64) -> FaultRule {
+        self.max_fires = Some(n);
+        self
+    }
+
+    fn matches(&self, op: IoOp, block: u64) -> bool {
+        self.op.is_none_or(|o| o == op) && self.blocks.as_ref().is_none_or(|r| r.contains(&block))
+    }
+}
+
+/// A seeded, declarative fault schedule. Build one, [`FaultPlan::build`]
+/// it into a [`FaultInjector`], and hand that to the block device.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    max_total: Option<u64>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            max_total: None,
+        }
+    }
+
+    /// Add an arbitrary rule.
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Transient errors on `op` with per-access probability `p`; each
+    /// triggered block fails `burst` consecutive accesses, then heals.
+    pub fn transient(self, op: IoOp, p: f64, burst: u32) -> FaultPlan {
+        self.rule(FaultRule::new(FaultKind::Transient, p).on(op).burst(burst))
+    }
+
+    /// Permanent errors on `op` with per-access probability `p`.
+    pub fn permanent(self, op: IoOp, p: f64) -> FaultPlan {
+        self.rule(FaultRule::new(FaultKind::Permanent, p).on(op))
+    }
+
+    /// Torn reads with per-access probability `p` (reads only).
+    pub fn short_read(self, p: f64) -> FaultPlan {
+        self.rule(FaultRule::new(FaultKind::ShortRead, p).on(IoOp::Read))
+    }
+
+    /// Latency spikes of `spike_ns` on `op` with probability `p`.
+    pub fn latency_spike(self, op: IoOp, p: f64, spike_ns: u64) -> FaultPlan {
+        self.rule(FaultRule::new(FaultKind::LatencySpikeNs(spike_ns), p).on(op))
+    }
+
+    /// Stop injecting anything once `n` faults (of any kind) have
+    /// fired — the knob the "seeded N-fault campaign" tests use.
+    pub fn limit(mut self, n: u64) -> FaultPlan {
+        self.max_total = Some(n);
+        self
+    }
+
+    /// The standard campaign used by `repro faults` and the integration
+    /// tests: recoverable faults only (transient bursts shorter than the
+    /// default retry budget, torn reads, latency spikes), capped at
+    /// `total_faults` injections so runs of any length are comparable.
+    pub fn campaign(seed: u64, total_faults: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .transient(IoOp::Read, 0.02, 2)
+            .transient(IoOp::Write, 0.01, 1)
+            .short_read(0.005)
+            .latency_spike(IoOp::Read, 0.005, 2_000_000)
+            .limit(total_faults)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Compile into the runtime injector (initially disarmed).
+    pub fn build(self) -> FaultInjector {
+        FaultInjector {
+            rng: Mutex::new(SplitMix64::new(self.seed)),
+            armed: AtomicBool::new(false),
+            bursts: Mutex::new(HashMap::new()),
+            broken: Mutex::new(HashSet::new()),
+            cooldown: Mutex::new(HashSet::new()),
+            stats: CountersInner::default(),
+            plan: self,
+        }
+    }
+}
+
+#[derive(Default)]
+struct CountersInner {
+    accesses: AtomicU64,
+    transient: AtomicU64,
+    permanent: AtomicU64,
+    short_reads: AtomicU64,
+    latency_spikes: AtomicU64,
+}
+
+/// Snapshot of what an injector has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Armed accesses evaluated (faulted or not).
+    pub accesses: u64,
+    pub transient: u64,
+    pub permanent: u64,
+    pub short_reads: u64,
+    pub latency_spikes: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.transient + self.permanent + self.short_reads + self.latency_spikes
+    }
+}
+
+/// The runtime object the block device consults on every access.
+///
+/// Starts disarmed: [`FaultInjector::decide`] returns `None` until
+/// [`FaultInjector::arm`] is called, so a device can carry an injector
+/// permanently and only misbehave during a campaign window. Decisions
+/// are serialized through one seeded RNG, so a single-threaded workload
+/// replays bit-for-bit from the plan seed.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<SplitMix64>,
+    armed: AtomicBool,
+    /// Remaining transient failures per triggered block (burst decay).
+    bursts: Mutex<HashMap<u64, u32>>,
+    /// Blocks a permanent fault has broken for good.
+    broken: Mutex<HashSet<u64>>,
+    /// Blocks whose transient cause just resolved: the next access to a
+    /// cooled-down block is guaranteed clean. This turns "burst <
+    /// max_attempts" into a hard recoverability guarantee — without it,
+    /// an independent rule draw could re-fail a block mid-retry-chain
+    /// and push a recoverable fault past the backoff budget.
+    cooldown: Mutex<HashSet<u64>>,
+    stats: CountersInner,
+}
+
+impl FaultInjector {
+    /// Start injecting faults.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop injecting. Active bursts and broken blocks heal immediately
+    /// (a disarmed injector never fails an access), which is exactly
+    /// the "recovery" phase the campaign measures.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+        self.bursts.lock().clear();
+        self.broken.lock().clear();
+        self.cooldown.lock().clear();
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far, per kind.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            accesses: self.stats.accesses.load(Ordering::Relaxed),
+            transient: self.stats.transient.load(Ordering::Relaxed),
+            permanent: self.stats.permanent.load(Ordering::Relaxed),
+            short_reads: self.stats.short_reads.load(Ordering::Relaxed),
+            latency_spikes: self.stats.latency_spikes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn fired(&self) -> u64 {
+        let s = self.stats();
+        s.total()
+    }
+
+    /// The device-side hook: should this access fault, and how?
+    ///
+    /// Burst decay runs first — a block in the middle of a transient
+    /// burst keeps failing (deterministically) until the burst drains,
+    /// regardless of probabilities, which is what lets a retry loop
+    /// deeper than the burst always win.
+    pub fn decide(&self, op: IoOp, block: u64) -> Option<FaultKind> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.stats.accesses.fetch_add(1, Ordering::Relaxed);
+
+        // The global cap wins over everything, including in-flight
+        // bursts and broken blocks: once the budget is spent the device
+        // behaves perfectly, so an N-fault campaign injects exactly N.
+        if self
+            .plan
+            .max_total
+            .is_some_and(|limit| self.fired() >= limit)
+        {
+            return None;
+        }
+
+        if self.broken.lock().contains(&block) {
+            self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+            return Some(FaultKind::Permanent);
+        }
+
+        {
+            let mut bursts = self.bursts.lock();
+            if let Some(remaining) = bursts.get_mut(&block) {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    bursts.remove(&block);
+                    self.cooldown.lock().insert(block);
+                }
+                self.stats.transient.fetch_add(1, Ordering::Relaxed);
+                return Some(FaultKind::Transient);
+            }
+        }
+
+        // A block whose transient cause just resolved gets one clean
+        // access before the rules may fire on it again — the retrying
+        // caller is guaranteed to get through.
+        if self.cooldown.lock().remove(&block) {
+            return None;
+        }
+
+        for rule in &self.plan.rules {
+            if !rule.matches(op, block) {
+                continue;
+            }
+            if rule
+                .max_fires
+                .is_some_and(|limit| self.fires_of(rule.kind) >= limit)
+            {
+                continue;
+            }
+            let draw = self.rng.lock().next_f64();
+            if draw >= rule.probability {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::Transient => {
+                    // The triggering access is failure 1 of `burst`; a
+                    // one-shot burst cools down immediately.
+                    if rule.burst > 1 {
+                        self.bursts.lock().insert(block, rule.burst - 1);
+                    } else {
+                        self.cooldown.lock().insert(block);
+                    }
+                    self.stats.transient.fetch_add(1, Ordering::Relaxed);
+                }
+                FaultKind::Permanent => {
+                    self.broken.lock().insert(block);
+                    self.stats.permanent.fetch_add(1, Ordering::Relaxed);
+                }
+                FaultKind::ShortRead => {
+                    // Torn transfers are retried by the page cache; cool
+                    // the block down so the retry succeeds.
+                    self.cooldown.lock().insert(block);
+                    self.stats.short_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                FaultKind::LatencySpikeNs(_) => {
+                    self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return Some(rule.kind);
+        }
+        None
+    }
+
+    fn fires_of(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::Transient => self.stats.transient.load(Ordering::Relaxed),
+            FaultKind::Permanent => self.stats.permanent.load(Ordering::Relaxed),
+            FaultKind::ShortRead => self.stats.short_reads.load(Ordering::Relaxed),
+            FaultKind::LatencySpikeNs(_) => self.stats.latency_spikes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.plan.seed)
+            .field("armed", &self.is_armed())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_never_faults() {
+        let inj = FaultPlan::new(1).transient(IoOp::Read, 1.0, 2).build();
+        for b in 0..100 {
+            assert_eq!(inj.decide(IoOp::Read, b), None);
+        }
+        assert_eq!(inj.stats().total(), 0);
+        assert_eq!(inj.stats().accesses, 0);
+    }
+
+    #[test]
+    fn decisions_replay_from_seed() {
+        let run = |seed: u64| -> Vec<Option<FaultKind>> {
+            let inj = FaultPlan::new(seed)
+                .transient(IoOp::Read, 0.3, 2)
+                .short_read(0.1)
+                .latency_spike(IoOp::Write, 0.2, 500)
+                .build();
+            inj.arm();
+            (0..200)
+                .map(|i| {
+                    let op = if i % 3 == 0 { IoOp::Write } else { IoOp::Read };
+                    inj.decide(op, i % 17)
+                })
+                .collect()
+        };
+        assert_eq!(run(0xABCD), run(0xABCD));
+        assert_ne!(run(0xABCD), run(0xDCBA));
+    }
+
+    #[test]
+    fn transient_burst_fails_exactly_burst_times_then_heals() {
+        let inj = FaultPlan::new(9)
+            .rule(
+                FaultRule::new(FaultKind::Transient, 1.0)
+                    .burst(3)
+                    .max_fires(3),
+            )
+            .build();
+        inj.arm();
+        // p = 1.0 triggers on the first access; burst = 3 total failures.
+        assert_eq!(inj.decide(IoOp::Read, 5), Some(FaultKind::Transient));
+        assert_eq!(inj.decide(IoOp::Read, 5), Some(FaultKind::Transient));
+        assert_eq!(inj.decide(IoOp::Read, 5), Some(FaultKind::Transient));
+        // Burst drained and max_fires reached: the block has healed.
+        assert_eq!(inj.decide(IoOp::Read, 5), None);
+        assert_eq!(inj.stats().transient, 3);
+    }
+
+    #[test]
+    fn cooldown_makes_transients_recoverable_even_at_p1() {
+        // Worst case: every eligible access faults. A retrying caller
+        // must still get through — the access after a drained burst (or
+        // a one-shot fault, or a short read) is guaranteed clean.
+        let inj = FaultPlan::new(11).transient(IoOp::Read, 1.0, 2).build();
+        inj.arm();
+        for _ in 0..10 {
+            assert_eq!(inj.decide(IoOp::Read, 7), Some(FaultKind::Transient));
+            assert_eq!(inj.decide(IoOp::Read, 7), Some(FaultKind::Transient));
+            assert_eq!(inj.decide(IoOp::Read, 7), None, "cooled-down access");
+        }
+        let short = FaultPlan::new(12).short_read(1.0).build();
+        short.arm();
+        assert_eq!(short.decide(IoOp::Read, 3), Some(FaultKind::ShortRead));
+        assert_eq!(short.decide(IoOp::Read, 3), None, "retry gets through");
+        assert_eq!(short.decide(IoOp::Read, 3), Some(FaultKind::ShortRead));
+    }
+
+    #[test]
+    fn permanent_fault_sticks_until_disarm() {
+        let inj = FaultPlan::new(2).permanent(IoOp::Write, 1.0).build();
+        inj.arm();
+        assert_eq!(inj.decide(IoOp::Write, 7), Some(FaultKind::Permanent));
+        // Broken for reads too — the block itself is bad.
+        assert_eq!(inj.decide(IoOp::Read, 7), Some(FaultKind::Permanent));
+        inj.disarm();
+        assert_eq!(inj.decide(IoOp::Write, 7), None);
+        inj.arm();
+        // Re-arming starts from a healed device (but the RNG stream
+        // continues, so the schedule stays deterministic overall).
+        assert_eq!(inj.decide(IoOp::Read, 8), None);
+    }
+
+    #[test]
+    fn block_range_and_op_filters_apply() {
+        let inj = FaultPlan::new(3)
+            .rule(
+                FaultRule::new(FaultKind::Transient, 1.0)
+                    .on(IoOp::Read)
+                    .blocks(10..20),
+            )
+            .build();
+        inj.arm();
+        assert_eq!(inj.decide(IoOp::Read, 9), None);
+        assert_eq!(inj.decide(IoOp::Write, 15), None);
+        assert_eq!(inj.decide(IoOp::Read, 15), Some(FaultKind::Transient));
+    }
+
+    #[test]
+    fn global_limit_caps_total_faults() {
+        let inj = FaultPlan::new(4)
+            .transient(IoOp::Read, 1.0, 1)
+            .limit(5)
+            .build();
+        inj.arm();
+        for b in 0..100 {
+            inj.decide(IoOp::Read, b);
+        }
+        assert_eq!(inj.stats().total(), 5);
+    }
+
+    #[test]
+    fn campaign_is_recoverable_and_bounded() {
+        let inj = FaultPlan::campaign(0x5EED, 50).build();
+        inj.arm();
+        let mut faults = 0u64;
+        for i in 0..200_000u64 {
+            let op = if i % 8 == 0 { IoOp::Write } else { IoOp::Read };
+            if let Some(k) = inj.decide(op, i % 1024) {
+                faults += 1;
+                assert_ne!(k, FaultKind::Permanent, "campaign must be recoverable");
+            }
+        }
+        assert_eq!(faults, 50, "limit() must cap the campaign exactly");
+        assert_eq!(inj.stats().total(), 50);
+        // Transient bursts must fit inside the default retry budget.
+        let max_burst = inj
+            .plan()
+            .rules()
+            .iter()
+            .filter(|r| matches!(r.kind, FaultKind::Transient))
+            .map(|r| r.burst)
+            .max()
+            .unwrap();
+        assert!(max_burst < crate::RetryPolicy::default().max_attempts);
+    }
+}

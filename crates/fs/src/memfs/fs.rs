@@ -230,7 +230,9 @@ impl MemFs {
         if di.indirect != 0 {
             let blk = self.disk.read_block(di.indirect)?;
             for chunk in blk.chunks_exact(8) {
-                let p = u64::from_le_bytes(chunk.try_into().unwrap());
+                let mut ptr = [0u8; 8];
+                ptr.copy_from_slice(chunk);
+                let p = u64::from_le_bytes(ptr);
                 if p != 0 {
                     self.free_block(p)?;
                 }
@@ -302,8 +304,12 @@ impl MemFs {
             let data = self.disk.read_block(phys)?;
             if let Some((_, _, ftype)) = dir::find(&data, name.as_bytes())? {
                 let mut copy = data.to_vec();
-                let ino = dir::remove(&mut copy, name.as_bytes())?
-                    .expect("entry vanished between find and remove");
+                // find() just saw the entry in this same buffer; failing
+                // to remove it means the block is corrupt, not a bug to
+                // die on.
+                let Some(ino) = dir::remove(&mut copy, name.as_bytes())? else {
+                    return Err(FsError::Io);
+                };
                 self.disk.write_block(phys, &copy)?;
                 return Ok(Some((ino, ftype)));
             }

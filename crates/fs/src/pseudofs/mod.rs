@@ -99,7 +99,12 @@ impl PseudoFs {
         }
         let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
         nodes.insert(ino, node);
-        let p = nodes.get_mut(&parent).expect("parent just checked");
+        let Some(p) = nodes.get_mut(&parent) else {
+            // The parent was checked above and the write lock is still
+            // held; missing now means the table is corrupt.
+            nodes.remove(&ino);
+            return Err(FsError::Io);
+        };
         p.children.insert(name.to_string(), ino);
         if is_dir {
             p.nlink += 1;

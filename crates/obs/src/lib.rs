@@ -34,4 +34,4 @@ mod trace;
 pub use hist::{HistSummary, LatencyHist};
 pub use recorder::{current_tid, EventKind, Obs, ObsConfig, OpClass, Recorder};
 pub use registry::{MetricSource, MetricsSnapshot, Registry, Section};
-pub use trace::{LookupOutcome, Span, TraceEvent, TraceRing};
+pub use trace::{FaultClass, LookupOutcome, Span, TraceEvent, TraceRing};

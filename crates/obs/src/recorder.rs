@@ -113,11 +113,17 @@ pub enum EventKind {
     LookupEndNegative,
     /// `LookupEnd` with an error outcome.
     LookupEndError,
+    /// `FaultInjected` (any class).
+    FaultInjected,
+    /// `IoRetry`.
+    IoRetry,
+    /// `Shrink`.
+    Shrink,
 }
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 18;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -137,6 +143,9 @@ impl EventKind {
             EventKind::LookupEndPositive,
             EventKind::LookupEndNegative,
             EventKind::LookupEndError,
+            EventKind::FaultInjected,
+            EventKind::IoRetry,
+            EventKind::Shrink,
         ]
     }
 
@@ -159,6 +168,9 @@ impl EventKind {
             EventKind::LookupEndPositive => 12,
             EventKind::LookupEndNegative => 13,
             EventKind::LookupEndError => 14,
+            EventKind::FaultInjected => 15,
+            EventKind::IoRetry => 16,
+            EventKind::Shrink => 17,
         }
     }
 
@@ -180,6 +192,9 @@ impl EventKind {
             EventKind::LookupEndPositive => "lookup_end_positive",
             EventKind::LookupEndNegative => "lookup_end_negative",
             EventKind::LookupEndError => "lookup_end_error",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::IoRetry => "io_retry",
+            EventKind::Shrink => "shrink",
         }
     }
 
@@ -215,6 +230,9 @@ impl EventKind {
                 outcome: LookupOutcome::Error,
                 ..
             } => EventKind::LookupEndError,
+            TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TraceEvent::IoRetry { .. } => EventKind::IoRetry,
+            TraceEvent::Shrink { .. } => EventKind::Shrink,
         }
     }
 }

@@ -15,6 +15,20 @@ pub enum LookupOutcome {
     Error,
 }
 
+/// Broad class of an injected fault, for trace readability and
+/// per-class counting without `dc-obs` depending on `dc-fault`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The access failed but the block heals after a bounded burst.
+    Transient,
+    /// The block is broken for good.
+    Permanent,
+    /// A read returned fewer bytes than a block (torn read).
+    ShortRead,
+    /// The access succeeded after an injected device stall.
+    LatencySpike,
+}
+
 /// One step on the lookup path. Variants mirror the stages of the
 /// paper's fast/slow path: a DLHT probe, a PCC permission check, a
 /// seqlock retry, a slowpath component step, a fall-through to the
@@ -62,6 +76,25 @@ pub enum TraceEvent {
         outcome: LookupOutcome,
         /// Wall-clock nanoseconds from the matching `LookupStart`.
         ns: u64,
+    },
+    /// The fault injector failed (or stalled) a device access.
+    FaultInjected {
+        /// What kind of fault fired.
+        class: FaultClass,
+    },
+    /// The page cache retried a transiently failed device access.
+    IoRetry {
+        /// 1-based retry number for this access.
+        attempt: u32,
+        /// Simulated backoff charged before the retry.
+        backoff_ns: u64,
+    },
+    /// The memory-pressure shrinker reclaimed dcache memory.
+    Shrink {
+        /// Byte budget the shrinker was asked to reach.
+        target_bytes: u64,
+        /// Bytes actually freed by this pass.
+        freed_bytes: u64,
     },
 }
 

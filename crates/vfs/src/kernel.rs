@@ -10,7 +10,7 @@ use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
 use dc_cred::{Cred, SecurityStack};
 use dc_fs::{FileSystem, FsResult, MemFs, MemFsConfig};
 use dc_obs::{MetricSource, MetricsSnapshot, ObsConfig, Recorder, Registry};
-use dcache_core::{Dcache, DcacheConfig};
+use dcache_core::{Dcache, DcacheConfig, ShrinkerRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +43,9 @@ pub struct Kernel {
     /// Superblock registry: one superblock (and dentry tree) per mounted
     /// file-system instance, so mount aliases share dentries (§4.3).
     pub(crate) superblocks: Mutex<SuperBlockRegistry>,
+    /// Registered memory-pressure shrinkers (the dcache registers itself
+    /// at assembly); [`Kernel::memory_pressure`] drives them.
+    shrinkers: ShrinkerRegistry,
 }
 
 /// Registered (file system → superblock) pairs; weak on the FS side so
@@ -164,6 +167,8 @@ impl Kernel {
             init_ns.root_mount().sb.clone(),
         )];
         let timing = SyscallTiming::with_recorder(dcache.obs.clone());
+        let shrinkers = ShrinkerRegistry::new();
+        shrinkers.register(dcache.clone());
         Ok(Arc::new(Kernel {
             dcache,
             security,
@@ -179,6 +184,7 @@ impl Kernel {
             lock_walk_mutex: Mutex::new(()),
             tmp_rng: AtomicU64::new(0x9e3779b97f4a7c15),
             superblocks: Mutex::new(sb_registry),
+            shrinkers,
         }))
     }
 
@@ -269,6 +275,21 @@ impl Kernel {
         if let Some(memfs) = crate::kernel::as_memfs(&root_mount.sb.fs) {
             memfs.disk().drop_caches();
         }
+    }
+
+    /// The memory-pressure shrinker registry. Additional caches can
+    /// register themselves; the dcache already has.
+    pub fn shrinkers(&self) -> &ShrinkerRegistry {
+        &self.shrinkers
+    }
+
+    /// Applies memory pressure: asks every registered shrinker to reclaim
+    /// until the combined reclaimable footprint fits `budget_bytes` (best
+    /// effort — pinned objects survive). Returns the bytes freed. This is
+    /// the `echo N > drop_caches`-with-a-budget analog the fault and
+    /// pressure experiments drive.
+    pub fn memory_pressure(&self, budget_bytes: u64) -> u64 {
+        self.shrinkers.pressure(budget_bytes)
     }
 
     /// Resets every statistics counter (between experiment phases).
@@ -388,6 +409,9 @@ impl MetricSource for PageCacheMetrics {
             ("writebacks", s.writebacks),
             ("simulated_io_ns", s.simulated_io_ns),
             ("resident_pages", s.resident_pages),
+            ("io_retries", s.io_retries),
+            ("io_errors", s.io_errors),
+            ("faults_injected", s.faults_injected),
         ]
     }
     fn reset(&self) {

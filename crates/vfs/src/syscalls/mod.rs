@@ -74,14 +74,20 @@ impl Kernel {
         parent: &Arc<Dentry>,
         name: &str,
     ) -> FsResult<Arc<Dentry>> {
+        // A dying same-name entry (mid-eviction) can briefly coexist with
+        // a still-set completeness flag; seeing one disqualifies the
+        // completeness short-circuit below so eviction races can never
+        // fabricate ENOENT for a file the file system still has.
+        let mut dying_hit = false;
         if let Some(c) = self.dcache.d_lookup(parent, name) {
             if !c.is_dead() {
-                if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
-                    // The caller holds the dir lock; upgrade inline.
-                    let ino = c.with_state(|s| match s {
-                        DentryState::Partial { ino, .. } => *ino,
-                        _ => unreachable!(),
-                    });
+                // The caller holds the dir lock; upgrade partial entries
+                // inline.
+                let partial_ino = c.with_state(|s| match s {
+                    DentryState::Partial { ino, .. } => Some(*ino),
+                    _ => None,
+                });
+                if let Some(ino) = partial_ino {
                     match mount.sb.fs.getattr(ino) {
                         Ok(attr) => {
                             let inode = self.icache.get_or_create(mount.sb.id, &mount.sb.fs, attr);
@@ -93,10 +99,11 @@ impl Kernel {
                 }
                 return Ok(c);
             }
+            dying_hit = true;
         }
         let fs = &mount.sb.fs;
         let dir_ino = parent.inode().ok_or(FsError::NoEnt)?.ino;
-        if self.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
+        if !dying_hit && self.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
             self.dcache
                 .stats
                 .complete_neg_avoided

@@ -162,7 +162,9 @@ impl Kernel {
             while !remaining.is_empty() {
                 let before = remaining.len();
                 remaining.retain(|m| {
-                    let (pm, mp) = m.parent.as_ref().expect("filtered above");
+                    let Some((pm, mp)) = m.parent.as_ref() else {
+                        return false; // parentless mounts were filtered out
+                    };
                     if let Some(new_parent) = mapping.get(&pm.id).cloned() {
                         let cloned = Mount::new_child(
                             self.alloc_mount_id(),

@@ -92,7 +92,9 @@ impl Kernel {
             }
             match self.slow_resolve(proc, start, &parsed, follow_last, false)? {
                 WalkOutput::Full(r) => Ok(r),
-                WalkOutput::Parent(..) => unreachable!("full mode returned parent"),
+                // Mode mismatch is an internal bug; surface EIO, not a
+                // panic, so a syscall can never take the kernel down.
+                WalkOutput::Parent(..) => Err(FsError::Io),
             }
         })();
         if let Some(t0) = t0 {
@@ -128,7 +130,7 @@ impl Kernel {
                 name,
                 require_dir,
             }),
-            WalkOutput::Full(_) => unreachable!("parent mode returned full"),
+            WalkOutput::Full(_) => Err(FsError::Io), // mode mismatch: see resolve_from
         })();
         if let Some(t0) = t0 {
             let outcome = lookup_outcome(&out);
@@ -529,7 +531,9 @@ impl<'k> SlowWalk<'k> {
         }
         if child.is_negative() {
             self.publish_step(&child, self.cur.mount.id);
-            let kind = child.neg_kind().expect("negative dentry has a kind");
+            // A racing writer may upgrade the dentry to positive between
+            // the `is_negative` check and here; linearize at the check.
+            let kind = child.neg_kind().unwrap_or(NegKind::Enoent);
             if is_last {
                 self.cur = PathRef::new(self.cur.mount.clone(), child);
                 return Err(kind.error());
@@ -665,34 +669,63 @@ impl<'k> SlowWalk<'k> {
     fn lookup_child(&mut self, name: &str) -> FsResult<Arc<Dentry>> {
         let parent = self.cur.dentry.clone();
         let stats = &self.k.dcache.stats;
-        for _ in 0..8 {
+        // Cache races (an entry dying or reappearing mid-probe) retry;
+        // the final lap is authoritative — it treats a dead cached entry
+        // as a plain miss and answers from the file system, so memory
+        // pressure can slow this walk down but never fail it.
+        for attempt in 0..8 {
+            let authoritative = attempt == 7;
             if let Some(c) = self.k.dcache.d_lookup(&parent, name) {
-                if c.is_dead() {
+                if !c.is_dead() {
+                    if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
+                        upgrade_partial(self.k, &self.cur.mount, &c)?;
+                    }
+                    if c.is_negative() {
+                        stats.hit_negative.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.hit_positive.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(c);
+                }
+                if !authoritative {
                     continue;
                 }
-                if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
-                    upgrade_partial(self.k, &self.cur.mount, &c)?;
-                }
-                if c.is_negative() {
-                    stats.hit_negative.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    stats.hit_positive.fetch_add(1, Ordering::Relaxed);
-                }
-                return Ok(c);
             }
             // Miss. Completeness short-circuit (§5.1): a complete
             // directory proves absence without calling the file system.
             let fs = self.fs();
             let dir_ino = parent.inode().ok_or(FsError::NoEnt)?.ino;
             let _g = parent.dir_lock().lock();
+            // A dying same-name entry can briefly coexist with a
+            // still-set completeness flag (eviction clears the flag
+            // between marking the child dead and removing it), so its
+            // presence disqualifies the short-circuit below.
+            let mut dying_hit = false;
             if let Some(c) = self.k.dcache.d_lookup(&parent, name) {
                 if c.is_dead() {
-                    continue;
+                    if !authoritative {
+                        continue;
+                    }
+                    dying_hit = true;
+                } else {
+                    drop(_g);
+                    if authoritative {
+                        // No laps left: classify the live hit in place.
+                        if c.with_state(|s| matches!(s, DentryState::Partial { .. })) {
+                            upgrade_partial(self.k, &self.cur.mount, &c)?;
+                        }
+                        if c.is_negative() {
+                            stats.hit_negative.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            stats.hit_positive.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(c);
+                    }
+                    continue; // reclassify through the hit path
                 }
-                drop(_g);
-                continue; // reclassify through the hit path
             }
-            if self.k.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE) {
+            if !dying_hit && self.k.dcache.config.dir_completeness && parent.flag(FLAG_DIR_COMPLETE)
+            {
                 stats.complete_neg_avoided.fetch_add(1, Ordering::Relaxed);
                 if self.k.negatives_allowed(&fs) {
                     let c = self.k.dcache.d_alloc(

@@ -7,6 +7,7 @@
 
 pub use dc_blockdev as blockdev;
 pub use dc_cred as cred;
+pub use dc_fault as fault;
 pub use dc_fs as fs;
 pub use dc_sighash as sighash;
 pub use dc_vfs as vfs;
@@ -14,4 +15,4 @@ pub use dc_workloads as workloads;
 pub use dcache_core as dcache;
 
 pub use dc_vfs::{Kernel, KernelBuilder, OpenFlags, Process};
-pub use dcache_core::DcacheConfig;
+pub use dcache_core::{DcacheConfig, Dentry, Shrinker, ShrinkerRegistry};

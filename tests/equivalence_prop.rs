@@ -318,4 +318,42 @@ proptest! {
             ops,
         );
     }
+
+    /// A soft byte budget (auto-shrink on allocation pressure) must be
+    /// invisible to every operation outcome.
+    #[test]
+    fn mem_budget_pressure_is_observationally_equivalent(
+        ops in prop::collection::vec(op(), 1..40)
+    ) {
+        run_equivalence_against(
+            DcacheConfig::optimized().with_mem_budget(64 * 1024),
+            ops,
+        );
+    }
+
+    /// Interleaving full memory-pressure shrinks (budget 0: evict every
+    /// unpinned dentry, flush every PCC) between operations must be
+    /// invisible too — the shrinker may cost performance, never answers.
+    #[test]
+    fn shrink_interleaving_is_observationally_equivalent(
+        ops in prop::collection::vec(op(), 1..40),
+        every in 1usize..4
+    ) {
+        let kb = KernelBuilder::new(DcacheConfig::baseline().with_seed(0xEEEE))
+            .build()
+            .unwrap();
+        let ko = KernelBuilder::new(DcacheConfig::optimized().with_seed(0xFFFF))
+            .build()
+            .unwrap();
+        let pb = kb.init_process();
+        let po = ko.init_process();
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&kb, &pb, op, i as u64);
+            let b = apply(&ko, &po, op, i as u64);
+            assert_eq!(a, b, "divergence at op {i} {op:?} with shrinks every {every}");
+            if (i + 1) % every == 0 {
+                ko.memory_pressure(0);
+            }
+        }
+    }
 }

@@ -1,0 +1,190 @@
+//! Fault injection through the full stack: device → page cache → memfs →
+//! VFS syscalls → fastpath.
+//!
+//! Transient faults must be absorbed by the page cache's bounded retry;
+//! permanent faults must surface as clean `EIO` (never a panic, never a
+//! cached negative dentry) and heal when the device does.
+
+use dcache_repro::blockdev::{CachedDisk, DiskConfig, LatencyModel};
+use dcache_repro::fault::{FaultInjector, FaultPlan, IoOp};
+use dcache_repro::fs::{FsError, MemFs, MemFsConfig};
+use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
+use std::sync::Arc;
+
+/// A kernel whose root memfs sits on a disk with `plan` attached
+/// (disarmed). Returns the injector and the disk for the test to drive.
+fn faulty_kernel(
+    config: DcacheConfig,
+    plan: FaultPlan,
+) -> (Arc<Kernel>, Arc<FaultInjector>, Arc<CachedDisk>) {
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 1 << 16,
+        latency: LatencyModel::free(),
+        ..Default::default()
+    }));
+    let injector = Arc::new(plan.build());
+    disk.attach_fault_injector(injector.clone());
+    let memfs = MemFs::mkfs(
+        disk.clone(),
+        MemFsConfig {
+            max_inodes: 1 << 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let kernel = KernelBuilder::new(config.with_seed(0xFA_017))
+        .root_fs(memfs)
+        .build()
+        .unwrap();
+    (kernel, injector, disk)
+}
+
+fn touch(k: &Kernel, p: &Arc<Process>, path: &str) {
+    let fd = k.open(p, path, OpenFlags::create(), 0o644).unwrap();
+    k.close(p, fd).unwrap();
+}
+
+#[test]
+fn transient_faults_are_invisible_to_syscalls() {
+    let plan = FaultPlan::new(0x7AB5)
+        .transient(IoOp::Read, 0.05, 2)
+        .transient(IoOp::Write, 0.02, 1)
+        .short_read(0.01);
+    let (k, inj, disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    inj.arm();
+    for d in 0..4 {
+        k.mkdir(&p, &format!("/d{d}"), 0o755).unwrap();
+        for f in 0..64 {
+            touch(&k, &p, &format!("/d{d}/f{f}"));
+        }
+    }
+    // Force real device reads, repeatedly: every stat below misses the
+    // page cache and runs the retry gauntlet.
+    for round in 0..4 {
+        k.drop_caches();
+        for d in 0..4 {
+            for f in 0..64 {
+                let a = k
+                    .stat(&p, &format!("/d{d}/f{f}"))
+                    .unwrap_or_else(|e| panic!("round {round}: /d{d}/f{f} failed with {e:?}"));
+                assert_eq!(a.ftype, dcache_repro::fs::FileType::Regular);
+            }
+            assert_eq!(k.list_dir(&p, &format!("/d{d}")).unwrap().len(), 64);
+        }
+    }
+    let s = disk.stats();
+    assert!(inj.stats().total() > 0, "faults actually fired");
+    assert!(s.io_retries > 0, "retries absorbed the transients");
+    assert_eq!(s.io_errors, 0, "nothing leaked past the retry budget");
+}
+
+#[test]
+fn permanent_faults_surface_eio_and_heal() {
+    let plan = FaultPlan::new(0xDEAD).permanent(IoOp::Read, 1.0);
+    let (k, inj, _disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    k.mkdir(&p, "/a", 0o755).unwrap();
+    k.mkdir(&p, "/a/b", 0o755).unwrap();
+    touch(&k, &p, "/a/b/f");
+
+    // Warm: everything is served from the dcache, faults can't bite.
+    inj.arm();
+    assert!(k.stat(&p, "/a/b/f").is_ok(), "cached path unaffected");
+
+    // Cold: the walk needs the device and must fail with a clean EIO.
+    k.drop_caches();
+    assert_eq!(k.stat(&p, "/a/b/f"), Err(FsError::Io));
+    assert_eq!(k.list_dir(&p, "/a"), Err(FsError::Io));
+    assert!(
+        k.open(&p, "/a/b/f", OpenFlags::read_only(), 0).is_err(),
+        "open fails cleanly too"
+    );
+
+    // Healing: disarm clears the broken-block set; everything recovers
+    // and the cache re-populates.
+    inj.disarm();
+    assert!(k.stat(&p, "/a/b/f").is_ok(), "device healed");
+    assert_eq!(k.list_dir(&p, "/a").unwrap().len(), 1);
+    let hits_before = k
+        .dcache
+        .stats
+        .fast_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(k.stat(&p, "/a/b/f").is_ok());
+    assert!(
+        k.dcache
+            .stats
+            .fast_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > hits_before,
+        "fastpath repopulated after recovery"
+    );
+}
+
+#[test]
+fn eio_never_creates_negative_dentries() {
+    let plan = FaultPlan::new(0xBADB).permanent(IoOp::Read, 1.0);
+    let (k, inj, _disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    k.mkdir(&p, "/dir", 0o755).unwrap();
+    touch(&k, &p, "/dir/real");
+    k.drop_caches();
+    inj.arm();
+    // Both a real and a missing path answer EIO while the device is
+    // broken — the kernel cannot know which is which.
+    assert_eq!(k.stat(&p, "/dir/real"), Err(FsError::Io));
+    assert_eq!(k.stat(&p, "/dir/ghost"), Err(FsError::Io));
+    inj.disarm();
+    // After healing, the truth — not a cached EIO-era answer.
+    assert!(
+        k.stat(&p, "/dir/real").is_ok(),
+        "EIO must not have cached a negative dentry for a real file"
+    );
+    assert_eq!(k.stat(&p, "/dir/ghost"), Err(FsError::NoEnt));
+}
+
+#[test]
+fn sync_reports_and_survives_write_faults() {
+    let plan = FaultPlan::new(0x5CBE).permanent(IoOp::Write, 1.0);
+    let (k, inj, disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    k.mkdir(&p, "/keep", 0o755).unwrap();
+    let fd = k
+        .open(&p, "/keep/data", OpenFlags::create(), 0o644)
+        .unwrap();
+    k.write_fd(&p, fd, b"must survive").unwrap();
+    k.close(&p, fd).unwrap();
+
+    // Writebacks fail while armed; sync is best-effort and must say so
+    // without panicking or dropping the dirty pages.
+    inj.arm();
+    assert!(disk.sync().is_err(), "sync reports the device failure");
+    inj.disarm();
+    disk.sync().unwrap();
+
+    // The data survived the broken-device window.
+    k.drop_caches();
+    let fd = k.open(&p, "/keep/data", OpenFlags::read_only(), 0).unwrap();
+    let data = k.read_fd(&p, fd, 32).unwrap();
+    assert_eq!(&data[..], b"must survive");
+    k.close(&p, fd).unwrap();
+}
+
+#[test]
+fn latency_spikes_slow_but_never_fail() {
+    let plan = FaultPlan::new(0x51CC).latency_spike(IoOp::Read, 1.0, 1_000_000);
+    let (k, inj, disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    touch(&k, &p, "/f");
+    k.drop_caches();
+    let ns_before = disk.stats().simulated_io_ns;
+    inj.arm();
+    assert!(k.stat(&p, "/f").is_ok());
+    let ns_after = disk.stats().simulated_io_ns;
+    assert!(
+        ns_after >= ns_before + 1_000_000,
+        "the spike charged simulated time ({ns_before} -> {ns_after})"
+    );
+    assert_eq!(disk.stats().io_errors, 0);
+}

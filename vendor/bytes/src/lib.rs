@@ -16,12 +16,16 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+        }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Length in bytes.

@@ -143,11 +143,7 @@ impl Drop for Global {
         // destructions still parked in the garbage list so model runs
         // don't leak (the last reference drops after every virtual
         // thread finished, so nothing can still hold the pointers).
-        let garbage = std::mem::take(
-            self.garbage
-                .get_mut()
-                .unwrap_or_else(|e| e.into_inner()),
-        );
+        let garbage = std::mem::take(self.garbage.get_mut().unwrap_or_else(|e| e.into_inner()));
         for (_, d) in garbage {
             unsafe { d.execute() };
         }
@@ -759,7 +755,12 @@ impl<T> Atomic<T> {
     }
 
     /// Swaps in a new pointer, returning the previous one.
-    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
         Shared {
             ptr: self.ptr.swap(new.into_ptr(), ord),
             _marker: PhantomData,
@@ -853,12 +854,24 @@ mod tests {
         let cur = a.load(Ordering::Acquire, &g);
         // Successful CAS.
         let prev = a
-            .compare_exchange(cur, Owned::new(2usize), Ordering::AcqRel, Ordering::Acquire, &g)
+            .compare_exchange(
+                cur,
+                Owned::new(2usize),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &g,
+            )
             .expect("cas should succeed");
         unsafe { g.defer_destroy(prev) };
         // Failing CAS: `cur` is stale now; we must get the Owned back.
         let err = a
-            .compare_exchange(cur, Owned::new(3usize), Ordering::AcqRel, Ordering::Acquire, &g)
+            .compare_exchange(
+                cur,
+                Owned::new(3usize),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &g,
+            )
             .expect_err("cas should fail");
         assert_eq!(unsafe { *err.current.deref() }, 2);
         drop(err.new); // reclaim the rejected allocation normally
