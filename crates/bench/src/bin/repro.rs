@@ -4,7 +4,7 @@
 //! repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...
 //! experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10
 //!              table1 table2 table3 table4 space ablation pcc rename-scale
-//!              faults all
+//!              faults crash fsck all
 //! ```
 //!
 //! Default scale is `--quick` (seconds per experiment); `--full`
@@ -15,20 +15,27 @@
 //! latency before, during, and after recovery; results land in
 //! `BENCH_faults.json` and are appended to `EXPERIMENTS.md`.
 //!
+//! `crash` runs the seeded 200-point power-cut campaign: every captured
+//! image must remount, pass `fsck`, and match a committed-prefix shadow
+//! tree; the journal on/off overhead ablation closes the report.
+//! Results land in `BENCH_crash.json` and `EXPERIMENTS.md`. `fsck`
+//! runs the workload once, cuts power, and prints the recovered image's
+//! full invariant report.
+//!
 //! `--metrics-out <path>` runs the observability workload and writes
 //! the unified metrics snapshot (latency histograms, trace-event
 //! counters, dcache/syscall/page-cache stats) as JSON to `path`. It
 //! may be given alone or combined with experiments; when combined, the
 //! metrics dump runs after the experiments finish.
 
-use dc_bench::{faults, figs, Scale};
+use dc_bench::{crash, faults, figs, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...\n\
          experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
          \x20            table1 table2 table3 table4 space ablation pcc rename-scale\n\
-         \x20            faults all"
+         \x20            faults crash fsck all"
     );
     std::process::exit(2);
 }
@@ -95,6 +102,12 @@ fn main() {
             "pcc" => figs::pcc_sensitivity(scale),
             "rename-scale" => figs::rename_scalability(scale),
             "faults" => faults::faults(scale, seed),
+            "crash" => {
+                if !crash::crash(scale, seed) {
+                    std::process::exit(1);
+                }
+            }
+            "fsck" => crash::fsck_cmd(scale, seed),
             "all" => figs::all(scale),
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -7,6 +7,7 @@
 //! latency-shaped ones. [`Scale`] trades fidelity for runtime so the
 //! whole suite can run in CI (`quick`) or at paper scale (`full`).
 
+pub mod crash;
 pub mod faults;
 pub mod figs;
 pub mod setup;

@@ -1,5 +1,6 @@
 //! The raw simulated device.
 
+use crate::crash::{CrashImage, CrashMonitor};
 use crate::latency::LatencyModel;
 use crate::BLOCK_SIZE;
 use bytes::Bytes;
@@ -87,6 +88,9 @@ pub struct RawDisk {
     /// Fault-injection hook, same attachment discipline as `obs`. A
     /// disk with no injector (or a disarmed one) behaves perfectly.
     fault: OnceLock<Arc<FaultInjector>>,
+    /// Power-cut hook, same attachment discipline. An armed monitor
+    /// snapshots the raw image at seeded flushed-write ordinals.
+    crash: OnceLock<Arc<CrashMonitor>>,
 }
 
 impl RawDisk {
@@ -102,7 +106,17 @@ impl RawDisk {
             writes: AtomicU64::new(0),
             obs: OnceLock::new(),
             fault: OnceLock::new(),
+            crash: OnceLock::new(),
         }
+    }
+
+    /// A device whose initial contents come from a captured
+    /// [`CrashImage`] — what a machine finds on its disk after the
+    /// power came back.
+    pub fn from_image(image: &CrashImage, latency: LatencyModel) -> Self {
+        let disk = RawDisk::new(image.block_size, image.capacity_blocks, latency);
+        *disk.blocks.lock() = image.blocks.clone();
+        disk
     }
 
     /// Attaches an observability recorder; every device access reports a
@@ -121,6 +135,17 @@ impl RawDisk {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.fault.get()
+    }
+
+    /// Attaches a power-cut monitor; every flushed write from then on
+    /// is a candidate crash point. First attachment wins.
+    pub fn attach_crash_monitor(&self, monitor: Arc<CrashMonitor>) {
+        let _ = self.crash.set(monitor);
+    }
+
+    /// The attached crash monitor, if any.
+    pub fn crash_monitor(&self) -> Option<&Arc<CrashMonitor>> {
+        self.crash.get()
     }
 
     pub(crate) fn recorder(&self) -> Option<&Recorder> {
@@ -249,9 +274,39 @@ impl RawDisk {
                 ns: self.latency.write_cost_ns(),
             });
         }
-        self.blocks
-            .lock()
-            .insert(block, Bytes::copy_from_slice(data));
+        let mut guard = self.blocks.lock();
+        let prior = guard.get(&block).cloned();
+        guard.insert(block, Bytes::copy_from_slice(data));
+        // Crash capture happens under the same lock hold as the insert,
+        // so the snapshot is exactly the durable state after this write
+        // even with concurrent writers.
+        if let Some(mon) = self.crash.get() {
+            if let Some(cut) = mon.note_write() {
+                let mut blocks = guard.clone();
+                let torn_block = if cut.torn {
+                    // Tear the in-flight write: the first half of the
+                    // new data landed, the rest of the sector still
+                    // holds the old bytes (zeroes if never written).
+                    let half = self.block_size / 2;
+                    let mut torn = match &prior {
+                        Some(old) => old.to_vec(),
+                        None => vec![0u8; self.block_size],
+                    };
+                    torn[..half].copy_from_slice(&data[..half]);
+                    blocks.insert(block, Bytes::from(torn));
+                    Some(block)
+                } else {
+                    None
+                };
+                mon.store(CrashImage {
+                    cut_at_write: cut.ordinal,
+                    torn_block,
+                    block_size: self.block_size,
+                    capacity_blocks: self.capacity_blocks,
+                    blocks,
+                });
+            }
+        }
         Ok(())
     }
 

@@ -36,14 +36,16 @@
 //! assert!(disk.stats().device_reads > 0);
 //! ```
 
+mod crash;
 mod device;
 mod latency;
 mod lru;
 mod pagecache;
 
+pub use crash::{CrashImage, CrashMonitor};
 pub use device::{BlockError, BlockResult, DiskConfig, RawDisk};
 pub use latency::LatencyModel;
-pub use pagecache::{CachedDisk, DiskStats};
+pub use pagecache::{CachedDisk, DiskStats, SyncOutcome};
 
 /// Default block size, matching the paper's 4096-byte ext4 configuration.
 pub const BLOCK_SIZE: usize = 4096;

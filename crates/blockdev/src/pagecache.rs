@@ -62,6 +62,27 @@ impl CacheInner {
     }
 }
 
+/// Which pages a [`CachedDisk::sync_report`] pass flushed, and which
+/// it could not.
+///
+/// Failed pages **stay dirty**: a later sync retries them losslessly
+/// once the device heals — nothing is dropped on EIO.
+#[derive(Debug, Default)]
+pub struct SyncOutcome {
+    /// Dirty pages successfully written to the device this pass.
+    pub flushed: u64,
+    /// Pages whose writeback failed (still dirty), with the error each
+    /// one hit. Sorted by block number for deterministic reporting.
+    pub failed: Vec<(u64, BlockError)>,
+}
+
+impl SyncOutcome {
+    /// Whether every dirty page reached the device.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
 /// A write-back LRU page cache over a [`RawDisk`].
 ///
 /// This is the substrate analog of the Linux buffer/page cache: dcache
@@ -69,6 +90,29 @@ impl CacheInner {
 /// so a *warm-cache* miss pays deserialization but no device latency, while
 /// a *cold-cache* miss (after [`CachedDisk::drop_caches`]) pays both —
 /// the two miss tiers of §5 of the paper.
+///
+/// # Write-ordering contract
+///
+/// Write-back caching gives **no ordering**: dirty pages reach the
+/// device in arbitrary LRU/sync order, and a power cut
+/// ([`CachedDisk::power_cut`], or a [`crate::CrashMonitor`] cut point)
+/// loses every page that has not been flushed. Callers that need
+/// ordering — a journal whose commit record must not precede its
+/// payload — use the two ordered primitives:
+///
+/// * [`CachedDisk::flush_blocks`] synchronously writes the named pages
+///   to the device **in argument order**, stopping at the first error.
+///   Each simulated device write is atomic, so after `flush_blocks(A)`
+///   returns `Ok`, every block of `A` is durable before any later
+///   write is issued.
+/// * [`CachedDisk::barrier`] flushes *all* dirty pages and returns the
+///   first error; on `Ok(())` every write issued before the call is
+///   durable, so no write issued after it can reach the device first.
+///
+/// The journal's commit discipline is therefore
+/// `flush_blocks(payload)` → `flush_blocks([commit_record])`: the
+/// commit record is provably the last block of the transaction to
+/// become durable.
 pub struct CachedDisk {
     disk: RawDisk,
     capacity_pages: usize,
@@ -142,6 +186,50 @@ impl CachedDisk {
             io_retries: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
         }
+    }
+
+    /// A cached disk rehydrated from a captured [`crate::CrashImage`]:
+    /// the device holds exactly the blocks that were durable at the
+    /// cut, and the page cache starts **cold** — the machine just
+    /// rebooted.
+    pub fn from_image(
+        image: &crate::CrashImage,
+        cache_pages: usize,
+        latency: crate::LatencyModel,
+    ) -> Self {
+        CachedDisk {
+            disk: RawDisk::from_image(image, latency),
+            capacity_pages: cache_pages,
+            inner: Mutex::new(CacheInner {
+                pages: HashMap::new(),
+                slot_to_block: Vec::new(),
+                free_slots: Vec::new(),
+                lru: LruList::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+            retry: RetryPolicy::default(),
+            io_retries: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a power-cut monitor to the underlying device (see
+    /// [`RawDisk::attach_crash_monitor`]).
+    pub fn attach_crash_monitor(&self, monitor: std::sync::Arc<crate::CrashMonitor>) {
+        self.disk.attach_crash_monitor(monitor);
+    }
+
+    /// The attached crash monitor, if any.
+    pub fn crash_monitor(&self) -> Option<&std::sync::Arc<crate::CrashMonitor>> {
+        self.disk.crash_monitor()
+    }
+
+    /// The observability recorder attached to the underlying device,
+    /// if any (journal commit/replay events are reported through it).
+    pub fn recorder(&self) -> Option<&dc_obs::Recorder> {
+        self.disk.recorder()
     }
 
     /// One device read with bounded retry: transient errors and short
@@ -325,31 +413,96 @@ impl CachedDisk {
     ///
     /// Best effort: every dirty page is attempted (with retry); pages
     /// that fail stay dirty for a later sync, and the first error is
-    /// returned after the full pass.
+    /// returned after the full pass. Use [`CachedDisk::sync_report`]
+    /// to learn exactly which pages failed.
     pub fn sync(&self) -> BlockResult<()> {
+        let outcome = self.sync_report();
+        match outcome.failed.first() {
+            Some(&(_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes all dirty pages back to the device, reporting exactly
+    /// which pages flushed and which failed.
+    ///
+    /// Lossless on failure: every failed page **stays dirty**, so once
+    /// the device heals a later `sync`/`sync_report` retries precisely
+    /// the pages that were left behind — no data is dropped and no page
+    /// is ambiguously "maybe flushed".
+    pub fn sync_report(&self) -> SyncOutcome {
         let mut inner = self.inner.lock();
-        // Collect first: writing under iteration would alias the map borrow.
-        let dirty: Vec<(u64, Bytes)> = inner
+        // Collect first: writing under iteration would alias the map
+        // borrow. Sorted so failure reporting is deterministic.
+        let mut dirty: Vec<(u64, Bytes)> = inner
             .pages
             .iter()
             .filter(|(_, p)| p.dirty)
             .map(|(&b, p)| (b, p.data.clone()))
             .collect();
-        let mut first_err = None;
+        dirty.sort_unstable_by_key(|&(b, _)| b);
+        let mut outcome = SyncOutcome::default();
         for (block, data) in dirty {
             match self.device_write(block, &data) {
                 Ok(()) => {
                     if let Some(p) = inner.pages.get_mut(&block) {
                         p.dirty = false;
                     }
+                    outcome.flushed += 1;
                 }
-                Err(e) => first_err = first_err.or(Some(e)),
+                Err(e) => outcome.failed.push((block, e)),
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+        outcome
+    }
+
+    /// Synchronously writes the named pages to the device **in argument
+    /// order**, stopping at the first error (see the write-ordering
+    /// contract in the type docs). Pages that are clean, absent, or
+    /// beyond capacity are skipped — they are already durable or have
+    /// nothing to flush. Flushed pages are marked clean.
+    pub fn flush_blocks(&self, blocks: &[u64]) -> BlockResult<()> {
+        if self.capacity_pages == 0 {
+            return Ok(()); // write-through: everything already durable
         }
+        let mut inner = self.inner.lock();
+        for &block in blocks {
+            let Some(page) = inner.pages.get(&block) else {
+                continue;
+            };
+            if !page.dirty {
+                continue;
+            }
+            let data = page.data.clone();
+            self.device_write(block, &data)?;
+            if let Some(p) = inner.pages.get_mut(&block) {
+                p.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page and returns the first error, leaving
+    /// failed pages dirty. On `Ok(())` all writes issued before this
+    /// call are durable, so no later write can reach the device ahead
+    /// of them — the full-cache ordering barrier of the write-ordering
+    /// contract.
+    pub fn barrier(&self) -> BlockResult<()> {
+        self.sync()
+    }
+
+    /// Simulates a power cut: every resident page is discarded with
+    /// **no writeback** — dirty data that never reached the device is
+    /// gone, exactly as if the plug was pulled. Returns the number of
+    /// dirty pages lost. The device keeps only what was flushed.
+    pub fn power_cut(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let lost = inner.pages.values().filter(|p| p.dirty).count() as u64;
+        inner.pages.clear();
+        inner.lru.clear();
+        inner.free_slots.clear();
+        inner.slot_to_block.clear();
+        lost
     }
 
     /// Flushes and discards every resident page (the `echo 3 >

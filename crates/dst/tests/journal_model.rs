@@ -1,0 +1,147 @@
+//! Model check for the metadata journal's write-ordering contract
+//! (`dc-fs/src/memfs/journal.rs`, DESIGN.md §11).
+//!
+//! The journal's durability argument rests on one ordering discipline
+//! per transaction: **payload blocks reach the device, then the
+//! checksummed commit record, then (and only then) the in-place
+//! checkpoint writes**. A power cut observes the device at an arbitrary
+//! point in that stream, so at every instant the durable image must
+//! satisfy `payload ≥ commit ≥ in-place` (each side counted in
+//! transactions). Recovery reads the same relation right-to-left: any
+//! in-place state it finds is covered by a commit record, and any
+//! commit record it trusts has its payload.
+//!
+//! The model keeps the three durable regions as one atomic word each —
+//! the transaction number whose data last reached that region — and
+//! runs the real protocol under the deterministic scheduler with a
+//! concurrent crash observer. The `injected_*` test reverses one arc
+//! (checkpoint before commit — the bug a missing flush barrier causes):
+//! the checker must find a schedule where recovery would replay a
+//! transaction whose commit record never existed, and must reproduce it
+//! from the reported seed and trace.
+
+use dst::sync::atomic::{AtomicU64, Ordering};
+use dst::sync::Arc;
+
+/// The durable device image, one word per region. Each store models
+/// one flush (`flush_blocks`) completing — the only granularity a
+/// power cut can split.
+struct Device {
+    /// Highest txn whose journal payload (descriptor + data blocks) is
+    /// durable.
+    payload: AtomicU64,
+    /// Highest txn whose commit record is durable.
+    commit: AtomicU64,
+    /// Highest txn reflected by in-place (checkpointed) metadata.
+    inplace: AtomicU64,
+}
+
+impl Device {
+    fn new() -> Device {
+        Device {
+            payload: AtomicU64::new(0),
+            commit: AtomicU64::new(0),
+            inplace: AtomicU64::new(0),
+        }
+    }
+
+    /// One journaled transaction. `commit_first` is the real protocol;
+    /// the injected bug flips the last two flushes.
+    fn commit_txn(&self, n: u64, commit_first: bool) {
+        self.payload.store(n, Ordering::Release);
+        if commit_first {
+            self.commit.store(n, Ordering::Release);
+            self.inplace.store(n, Ordering::Release);
+        } else {
+            // BUG: checkpoint writes overtake the commit record — what
+            // happens if the commit record is written into the page
+            // cache before the payload flush and eviction pushes it or
+            // the in-place blocks out early.
+            self.inplace.store(n, Ordering::Release);
+            self.commit.store(n, Ordering::Release);
+        }
+    }
+
+    /// What mount-time recovery would find after a cut at this instant.
+    /// Reads run right-to-left (in-place first), mirroring recovery: it
+    /// trusts in-place state only as far as commit records cover it,
+    /// and commit records only as far as payload exists.
+    fn observe(&self) -> (u64, u64, u64) {
+        let inplace = self.inplace.load(Ordering::Acquire);
+        let commit = self.commit.load(Ordering::Acquire);
+        let payload = self.payload.load(Ordering::Acquire);
+        (payload, commit, inplace)
+    }
+}
+
+fn check_crash_point(d: &Device) {
+    let (payload, commit, inplace) = d.observe();
+    assert!(
+        commit <= payload,
+        "commit record {commit} durable before its payload (payload at {payload}): \
+         recovery would trust a checksummed record whose data blocks are garbage"
+    );
+    assert!(
+        inplace <= commit,
+        "in-place metadata at txn {inplace} but last commit record is {commit}: \
+         a cut here leaves changes fsck can see with no journal record to redo them"
+    );
+}
+
+#[test]
+fn commit_record_ordering_holds_at_every_crash_point() {
+    dst::check(
+        "journal-commit-order",
+        dst::Config::default()
+            .iterations(6000)
+            .seed(0x6A11)
+            .from_env(),
+        || {
+            let d = Arc::new(Device::new());
+            let writer = {
+                let d = d.clone();
+                dst::thread::spawn(move || {
+                    d.commit_txn(1, true);
+                    d.commit_txn(2, true);
+                })
+            };
+            // The crash observer: every interleaving point is a
+            // possible power cut.
+            for _ in 0..3 {
+                check_crash_point(&d);
+            }
+            writer.join().unwrap();
+            check_crash_point(&d);
+            assert_eq!(d.observe(), (2, 2, 2));
+        },
+    );
+}
+
+#[test]
+fn injected_checkpoint_before_commit_is_caught_and_replays() {
+    let body = || {
+        let d = Arc::new(Device::new());
+        let writer = {
+            let d = d.clone();
+            dst::thread::spawn(move || d.commit_txn(1, false))
+        };
+        for _ in 0..2 {
+            check_crash_point(&d);
+        }
+        writer.join().unwrap();
+    };
+    let report = dst::explore(dst::Config::default().iterations(4000).seed(0x6A12), body);
+    let failure = report
+        .failure
+        .expect("the checker must catch checkpoint-before-commit");
+    assert!(
+        failure.message.contains("no journal record to redo"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    // Seed replay and exact-trace replay both reproduce the violation.
+    let msg = dst::replay(failure.seed, failure.policy, body).expect("seed must reproduce");
+    assert!(msg.contains("no journal record to redo"));
+    let msg = dst::replay_trace(failure.trace.clone(), body).expect("trace must reproduce");
+    assert!(msg.contains("no journal record to redo"));
+}

@@ -44,5 +44,5 @@ pub use api::{
     MODE_SUID,
 };
 pub use error::{FsError, FsResult};
-pub use memfs::{MemFs, MemFsConfig};
+pub use memfs::{fsck, FsckError, FsckReport, JournalStats, MemFs, MemFsConfig, ReplayInfo};
 pub use pseudofs::{PseudoFs, PseudoNode};

@@ -1,7 +1,7 @@
 //! On-disk allocation bitmaps (inode and block).
 
+use super::store::MetaStore;
 use crate::error::{FsError, FsResult};
-use dc_blockdev::CachedDisk;
 
 /// A view over an on-disk bitmap region.
 ///
@@ -34,7 +34,7 @@ impl Bitmap {
 
     /// Tests bit `idx`.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn get(&self, disk: &CachedDisk, idx: u64) -> FsResult<bool> {
+    pub fn get<S: MetaStore + ?Sized>(&self, disk: &S, idx: u64) -> FsResult<bool> {
         if idx >= self.nbits {
             return Err(FsError::Inval);
         }
@@ -44,7 +44,7 @@ impl Bitmap {
     }
 
     /// Sets bit `idx` to `val`, returning the previous value.
-    pub fn set(&self, disk: &CachedDisk, idx: u64, val: bool) -> FsResult<bool> {
+    pub fn set<S: MetaStore + ?Sized>(&self, disk: &S, idx: u64, val: bool) -> FsResult<bool> {
         if idx >= self.nbits {
             return Err(FsError::Inval);
         }
@@ -65,7 +65,7 @@ impl Bitmap {
 
     /// Finds and claims the first clear bit at or after `hint`, wrapping
     /// around once. Returns the claimed index or `Err(NoSpc)`.
-    pub fn alloc(&self, disk: &CachedDisk, hint: u64) -> FsResult<u64> {
+    pub fn alloc<S: MetaStore + ?Sized>(&self, disk: &S, hint: u64) -> FsResult<u64> {
         let hint = if hint >= self.nbits { 0 } else { hint };
         if let Some(idx) = self.scan_from(disk, hint, self.nbits)? {
             self.set(disk, idx, true)?;
@@ -78,7 +78,12 @@ impl Bitmap {
         Err(FsError::NoSpc)
     }
 
-    fn scan_from(&self, disk: &CachedDisk, lo: u64, hi: u64) -> FsResult<Option<u64>> {
+    fn scan_from<S: MetaStore + ?Sized>(
+        &self,
+        disk: &S,
+        lo: u64,
+        hi: u64,
+    ) -> FsResult<Option<u64>> {
         let bits_per_block = (self.block_size * 8) as u64;
         let mut idx = lo;
         while idx < hi {
@@ -106,7 +111,7 @@ impl Bitmap {
     }
 
     /// Counts set bits (used to initialize free-space counters on mount).
-    pub fn count_set(&self, disk: &CachedDisk) -> FsResult<u64> {
+    pub fn count_set<S: MetaStore + ?Sized>(&self, disk: &S) -> FsResult<u64> {
         let bits_per_block = (self.block_size * 8) as u64;
         let nblocks = self.nbits.div_ceil(bits_per_block);
         let mut total = 0u64;
@@ -134,7 +139,7 @@ impl Bitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dc_blockdev::{DiskConfig, LatencyModel};
+    use dc_blockdev::{CachedDisk, DiskConfig, LatencyModel};
 
     fn disk() -> CachedDisk {
         CachedDisk::new(DiskConfig {

@@ -1,9 +1,9 @@
 //! On-disk inode records and logical→physical block mapping.
 
 use super::layout::{Geometry, Reader, Writer, INODE_SIZE, NDIRECT};
+use super::store::MetaStore;
 use crate::api::{FileType, InodeAttr};
 use crate::error::{FsError, FsResult};
-use dc_blockdev::CachedDisk;
 
 /// Bytes of inline storage available for short symlink targets (the
 /// pointer area of the record).
@@ -140,7 +140,11 @@ impl DiskInode {
 }
 
 /// Reads inode `ino` from the table; `Err(NoEnt)` if the slot is free.
-pub fn read_inode(disk: &CachedDisk, geo: &Geometry, ino: u64) -> FsResult<DiskInode> {
+pub fn read_inode<S: MetaStore + ?Sized>(
+    disk: &S,
+    geo: &Geometry,
+    ino: u64,
+) -> FsResult<DiskInode> {
     if ino >= geo.max_inodes {
         return Err(FsError::Inval);
     }
@@ -150,7 +154,12 @@ pub fn read_inode(disk: &CachedDisk, geo: &Geometry, ino: u64) -> FsResult<DiskI
 }
 
 /// Writes inode `ino` into the table.
-pub fn write_inode(disk: &CachedDisk, geo: &Geometry, ino: u64, di: &DiskInode) -> FsResult<()> {
+pub fn write_inode<S: MetaStore + ?Sized>(
+    disk: &S,
+    geo: &Geometry,
+    ino: u64,
+    di: &DiskInode,
+) -> FsResult<()> {
     let (block, off) = geo.inode_location(ino);
     let data = disk.read_block(block)?;
     let mut copy = data.to_vec();
@@ -160,7 +169,7 @@ pub fn write_inode(disk: &CachedDisk, geo: &Geometry, ino: u64, di: &DiskInode) 
 }
 
 /// Clears inode `ino`'s record (marks the slot free).
-pub fn clear_inode(disk: &CachedDisk, geo: &Geometry, ino: u64) -> FsResult<()> {
+pub fn clear_inode<S: MetaStore + ?Sized>(disk: &S, geo: &Geometry, ino: u64) -> FsResult<()> {
     let (block, off) = geo.inode_location(ino);
     let data = disk.read_block(block)?;
     let mut copy = data.to_vec();
@@ -176,7 +185,12 @@ pub fn max_logical_blocks(geo: &Geometry) -> u64 {
 
 /// Resolves logical block `lblk` of an inode to a physical block, or
 /// `Ok(None)` for a hole.
-pub fn bmap(disk: &CachedDisk, geo: &Geometry, di: &DiskInode, lblk: u64) -> FsResult<Option<u64>> {
+pub fn bmap<S: MetaStore + ?Sized>(
+    disk: &S,
+    geo: &Geometry,
+    di: &DiskInode,
+    lblk: u64,
+) -> FsResult<Option<u64>> {
     if lblk < NDIRECT as u64 {
         let p = di.direct[lblk as usize];
         return Ok(if p == 0 { None } else { Some(p) });

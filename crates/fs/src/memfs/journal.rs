@@ -1,0 +1,494 @@
+//! Physical metadata write-ahead journal (jbd2-flavored redo log).
+//!
+//! Every metadata mutation becomes a transaction: the full final
+//! content of each dirtied metadata block is logged to a reserved
+//! circular region, sealed by a checksummed commit record, and only
+//! then checkpointed in place through the write-back page cache. The
+//! commit discipline rides the block layer's ordered-flush contract
+//! (`flush_blocks(payload)` → `flush_blocks([commit])`), so a power cut
+//! can never leave a commit record whose payload is missing.
+//!
+//! On-disk format, all little-endian inside `journal_start..data_start`:
+//!
+//! ```text
+//! journal_start + 0   header copy A ┐  dual headers: a torn header
+//! journal_start + 1   header copy B ┘  write can lose at most one copy
+//! journal_start + 2.. circular log of transactions:
+//!     [descriptor]  JD_MAGIC, seq, n, target block numbers
+//!     [data × n]    full block images
+//!     [commit]      JC_MAGIC, seq, n, fnv64(seq, n, targets, data)
+//! ```
+//!
+//! Header fields: `tail_seq` (every txn ≤ it is checkpointed in place)
+//! and `tail_slot` (log slot where txn `tail_seq + 1` begins). Recovery
+//! replays the contiguous chain `tail_seq+1, tail_seq+2, …` from
+//! `tail_slot` and stops at the first hole or checksum mismatch — the
+//! torn tail. The tail advances **only** after a full checkpoint
+//! (`sync`, or a forced one when the log fills), which also closes the
+//! block-reuse hazard: a freed-then-reallocated block can only be
+//! re-logged *after* the stale record fell behind the tail.
+
+use super::layout::{Geometry, Reader, Writer};
+use super::store::TxnBuf;
+use crate::error::{FsError, FsResult};
+use dc_blockdev::CachedDisk;
+use dc_obs::TraceEvent;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const JH_MAGIC: u64 = 0x4443_4a48_4452_5331; // "DCJHDRS1"
+const JD_MAGIC: u64 = 0x4443_4a44_4553_4331; // "DCJDESC1"
+const JC_MAGIC: u64 = 0x4443_4a43_4d54_5331; // "DCJCMTS1"
+
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Counters exported through the metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Metadata block images logged (descriptor/commit blocks excluded).
+    pub blocks_logged: u64,
+    /// Checkpoints (tail advances), including forced ones.
+    pub checkpoints: u64,
+    /// Checkpoints forced by log-space pressure.
+    pub forced_checkpoints: u64,
+    /// Transactions replayed by recovery at mount.
+    pub replayed_txns: u64,
+}
+
+/// What recovery found and redid at mount.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayInfo {
+    /// Highest committed transaction recovered (0 = empty journal).
+    pub last_seq: u64,
+    /// Transactions actually replayed (those past the tail).
+    pub replayed: u64,
+    /// Log slot following the last recovered transaction.
+    pub(crate) end_slot: u64,
+    /// Header generation recovery wrote; the running journal continues
+    /// from here so its checkpoints always outrank recovery's headers.
+    pub(crate) gen: u64,
+}
+
+struct JState {
+    /// Sequence number the next commit takes.
+    next_seq: u64,
+    /// Log slot the next commit starts at.
+    head_slot: u64,
+    /// Log slots occupied between tail and head.
+    live_slots: u64,
+    /// Monotonic header generation (higher valid copy wins at mount).
+    gen: u64,
+    /// All txns ≤ tail_seq are checkpointed in place.
+    tail_seq: u64,
+    /// Slot where txn `tail_seq + 1` begins.
+    tail_slot: u64,
+}
+
+/// The running journal of one mounted memfs.
+pub(crate) struct Journal {
+    hdr_a: u64,
+    hdr_b: u64,
+    log_start: u64,
+    log_slots: u64,
+    block_size: usize,
+    state: Mutex<JState>,
+    commits: AtomicU64,
+    blocks_logged: AtomicU64,
+    checkpoints: AtomicU64,
+    forced_checkpoints: AtomicU64,
+    replayed_txns: AtomicU64,
+}
+
+impl Journal {
+    fn region(geo: &Geometry) -> (u64, u64, u64, u64) {
+        let hdr_a = geo.journal_start;
+        let hdr_b = geo.journal_start + 1;
+        let log_start = geo.journal_start + 2;
+        let log_slots = geo.journal_blocks - 2;
+        (hdr_a, hdr_b, log_start, log_slots)
+    }
+
+    fn encode_header(geo: &Geometry, gen: u64, tail_seq: u64, tail_slot: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; geo.block_size];
+        let mut w = Writer::new(&mut buf);
+        w.u64(JH_MAGIC);
+        w.u64(gen);
+        w.u64(tail_seq);
+        w.u64(tail_slot);
+        let sum = fnv64(&[&buf[..32]]);
+        let mut w = Writer::new(&mut buf);
+        w.seek(32);
+        w.u64(sum);
+        buf
+    }
+
+    fn decode_header(buf: &[u8]) -> Option<(u64, u64, u64)> {
+        let mut r = Reader::new(buf);
+        if r.u64().ok()? != JH_MAGIC {
+            return None;
+        }
+        let gen = r.u64().ok()?;
+        let tail_seq = r.u64().ok()?;
+        let tail_slot = r.u64().ok()?;
+        let sum = r.u64().ok()?;
+        if fnv64(&[&buf[..32]]) != sum {
+            return None;
+        }
+        Some((gen, tail_seq, tail_slot))
+    }
+
+    /// Initializes the journal region on a fresh file system (mkfs).
+    pub(crate) fn format(disk: &CachedDisk, geo: &Geometry) -> FsResult<()> {
+        let (hdr_a, hdr_b, _, _) = Self::region(geo);
+        disk.write_block(hdr_a, &Self::encode_header(geo, 1, 0, 0))?;
+        disk.write_block(hdr_b, &Self::encode_header(geo, 1, 0, 0))?;
+        Ok(())
+    }
+
+    /// Reads the best valid header copy; a freshly-zeroed region (no
+    /// valid copy) recovers as an empty journal.
+    fn read_header(disk: &CachedDisk, geo: &Geometry) -> FsResult<(u64, u64, u64)> {
+        let (hdr_a, hdr_b, _, _) = Self::region(geo);
+        let a = Self::decode_header(&disk.read_block(hdr_a)?);
+        let b = Self::decode_header(&disk.read_block(hdr_b)?);
+        Ok(match (a, b) {
+            (Some(a), Some(b)) => {
+                if a.0 >= b.0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => (0, 0, 0),
+        })
+    }
+
+    /// Recovers the journal at mount: replays every committed
+    /// transaction past the tail (in sequence order), discards the torn
+    /// tail, makes the replayed state durable, and advances the tail.
+    /// Idempotent — a crash during recovery just replays again.
+    pub(crate) fn recover(disk: &CachedDisk, geo: &Geometry) -> FsResult<ReplayInfo> {
+        let (hdr_a, hdr_b, log_start, log_slots) = Self::region(geo);
+        let (gen, tail_seq, tail_slot) = Self::read_header(disk, geo)?;
+        let slot_block = |slot: u64| log_start + slot % log_slots;
+
+        // Scan the contiguous committed chain from the tail.
+        let mut txns: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+        let mut slot = tail_slot;
+        let mut expected = tail_seq + 1;
+        let mut consumed = 0u64;
+        loop {
+            if consumed >= log_slots {
+                break; // wrapped the whole log: nothing further can be live
+            }
+            let desc = disk.read_block(slot_block(slot))?;
+            let mut r = Reader::new(&desc);
+            let Ok(magic) = r.u64() else { break };
+            if magic != JD_MAGIC {
+                break;
+            }
+            let (Ok(seq), Ok(n)) = (r.u64(), r.u32()) else {
+                break;
+            };
+            if seq != expected || n == 0 || n as u64 + 2 > log_slots - consumed {
+                break;
+            }
+            let mut targets = Vec::with_capacity(n as usize);
+            let mut ok = true;
+            for _ in 0..n {
+                match r.u64() {
+                    Ok(t)
+                        if t != 0
+                            && t < geo.capacity_blocks
+                            && !(geo.journal_start..geo.data_start).contains(&t) =>
+                    {
+                        targets.push(t)
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            let mut datas = Vec::with_capacity(n as usize);
+            for i in 0..n as u64 {
+                datas.push(disk.read_block(slot_block(slot + 1 + i))?);
+            }
+            // Validate the commit record before trusting anything.
+            let commit = disk.read_block(slot_block(slot + 1 + n as u64))?;
+            let mut c = Reader::new(&commit);
+            let valid = (|| {
+                if c.u64().ok()? != JC_MAGIC || c.u64().ok()? != seq || c.u32().ok()? != n {
+                    return None;
+                }
+                let sum = c.u64().ok()?;
+                let mut parts: Vec<&[u8]> = Vec::with_capacity(2 + datas.len());
+                let seq_bytes = seq.to_le_bytes();
+                let n_bytes = n.to_le_bytes();
+                parts.push(&seq_bytes);
+                parts.push(&n_bytes);
+                let target_bytes: Vec<u8> = targets.iter().flat_map(|t| t.to_le_bytes()).collect();
+                parts.push(&target_bytes);
+                for d in &datas {
+                    parts.push(d);
+                }
+                (fnv64(&parts) == sum).then_some(())
+            })();
+            if valid.is_none() {
+                break; // torn tail: commit record never became durable
+            }
+            txns.push(
+                targets
+                    .into_iter()
+                    .zip(datas.into_iter().map(|d| d.to_vec()))
+                    .collect(),
+            );
+            slot += n as u64 + 2;
+            consumed += n as u64 + 2;
+            expected += 1;
+        }
+
+        // Redo in order (physical replay is idempotent), then make the
+        // recovered state durable before advancing the tail — a crash
+        // in between replays the same chain again.
+        let replayed = txns.len() as u64;
+        for txn in &txns {
+            for (target, data) in txn {
+                disk.write_block(*target, data)?;
+            }
+        }
+        let last_seq = tail_seq + replayed;
+        let outcome = disk.sync_report();
+        if !outcome.is_clean() {
+            return Err(FsError::Io);
+        }
+        let new_gen = gen + 1;
+        disk.write_block(
+            hdr_a,
+            &Self::encode_header(geo, new_gen, last_seq, slot % log_slots),
+        )?;
+        disk.write_block(
+            hdr_b,
+            &Self::encode_header(geo, new_gen, last_seq, slot % log_slots),
+        )?;
+        disk.flush_blocks(&[hdr_a, hdr_b])?;
+        if replayed > 0 {
+            if let Some(obs) = disk.recorder() {
+                obs.event(|| TraceEvent::JournalReplay {
+                    txns: replayed as u32,
+                });
+            }
+        }
+        Ok(ReplayInfo {
+            last_seq,
+            replayed,
+            end_slot: slot % log_slots,
+            gen: new_gen,
+        })
+    }
+
+    /// A running journal picking up after [`Journal::recover`].
+    pub(crate) fn open(geo: &Geometry, info: &ReplayInfo) -> Journal {
+        let (hdr_a, hdr_b, log_start, log_slots) = Self::region(geo);
+        Journal {
+            hdr_a,
+            hdr_b,
+            log_start,
+            log_slots,
+            block_size: geo.block_size,
+            state: Mutex::new(JState {
+                next_seq: info.last_seq + 1,
+                head_slot: info.end_slot,
+                live_slots: 0,
+                gen: info.gen,
+                tail_seq: info.last_seq,
+                tail_slot: info.end_slot,
+            }),
+            commits: AtomicU64::new(0),
+            blocks_logged: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            forced_checkpoints: AtomicU64::new(0),
+            replayed_txns: AtomicU64::new(info.replayed),
+        }
+    }
+
+    fn slot_block(&self, slot: u64) -> u64 {
+        self.log_start + slot % self.log_slots
+    }
+
+    /// Flushes all in-place metadata and advances the tail (both header
+    /// copies rewritten and flushed). The only operation that reclaims
+    /// log space.
+    pub(crate) fn checkpoint(&self, disk: &CachedDisk) -> FsResult<()> {
+        let mut st = self.state.lock();
+        self.checkpoint_locked(disk, &mut st, false)
+    }
+
+    fn checkpoint_locked(&self, disk: &CachedDisk, st: &mut JState, forced: bool) -> FsResult<()> {
+        // Everything (journal slots included) must be durable before the
+        // tail may move past the live transactions.
+        let outcome = disk.sync_report();
+        if !outcome.is_clean() {
+            return Err(FsError::Io);
+        }
+        st.tail_seq = st.next_seq - 1;
+        st.tail_slot = st.head_slot;
+        st.live_slots = 0;
+        st.gen += 1;
+        let geo_stub = self.encode_header_for(st);
+        disk.write_block(self.hdr_a, &geo_stub)?;
+        disk.write_block(self.hdr_b, &geo_stub)?;
+        disk.flush_blocks(&[self.hdr_a, self.hdr_b])?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if forced {
+            self.forced_checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(obs) = disk.recorder() {
+            obs.event(|| TraceEvent::JournalCheckpoint);
+        }
+        Ok(())
+    }
+
+    fn encode_header_for(&self, st: &JState) -> Vec<u8> {
+        let mut buf = vec![0u8; self.block_size];
+        let mut w = Writer::new(&mut buf);
+        w.u64(JH_MAGIC);
+        w.u64(st.gen);
+        w.u64(st.tail_seq);
+        w.u64(st.tail_slot);
+        let sum = fnv64(&[&buf[..32]]);
+        let mut w = Writer::new(&mut buf);
+        w.seek(32);
+        w.u64(sum);
+        buf
+    }
+
+    /// Commits one transaction: logs the write set, flushes payload
+    /// then commit record (the ordering barrier), and only then applies
+    /// the writes in place through the page cache. Returns the
+    /// transaction's sequence number.
+    pub(crate) fn commit(&self, disk: &CachedDisk, buf: &TxnBuf) -> FsResult<u64> {
+        let n = buf.len() as u64;
+        let need = n + 2;
+        let mut st = self.state.lock();
+        if need > self.log_slots {
+            return Err(FsError::NoSpc); // single txn larger than the log
+        }
+        if st.live_slots + need > self.log_slots {
+            self.checkpoint_locked(disk, &mut st, true)?;
+        }
+        let seq = st.next_seq;
+
+        // Descriptor.
+        let mut desc = vec![0u8; self.block_size];
+        {
+            let mut w = Writer::new(&mut desc);
+            w.u64(JD_MAGIC);
+            w.u64(seq);
+            w.u32(n as u32);
+            for (target, _) in buf.iter() {
+                w.u64(target);
+            }
+        }
+        let desc_block = self.slot_block(st.head_slot);
+        disk.write_block(desc_block, &desc)?;
+
+        // Data images.
+        let mut payload_blocks = Vec::with_capacity(need as usize - 1);
+        payload_blocks.push(desc_block);
+        for (i, (_, data)) in buf.iter().enumerate() {
+            let b = self.slot_block(st.head_slot + 1 + i as u64);
+            disk.write_block(b, data)?;
+            payload_blocks.push(b);
+        }
+
+        // The ordering barrier, part 1: the payload must be durable
+        // before the commit record *exists anywhere the device could see
+        // it* — so flush first, and only then let the record enter the
+        // page cache (a dirty commit-record page could otherwise be
+        // evicted to the device ahead of the payload).
+        disk.flush_blocks(&payload_blocks)?;
+
+        // Commit record sealing the payload.
+        let seq_bytes = seq.to_le_bytes();
+        let n_bytes = (n as u32).to_le_bytes();
+        let target_bytes: Vec<u8> = buf.iter().flat_map(|(t, _)| t.to_le_bytes()).collect();
+        let mut parts: Vec<&[u8]> = vec![&seq_bytes, &n_bytes, &target_bytes];
+        for (_, data) in buf.iter() {
+            parts.push(data);
+        }
+        let sum = fnv64(&parts);
+        let mut commit = vec![0u8; self.block_size];
+        {
+            let mut w = Writer::new(&mut commit);
+            w.u64(JC_MAGIC);
+            w.u64(seq);
+            w.u32(n as u32);
+            w.u64(sum);
+        }
+        let commit_block = self.slot_block(st.head_slot + 1 + n);
+        disk.write_block(commit_block, &commit)?;
+        // Part 2: the record itself becomes durable, sealing the txn.
+        disk.flush_blocks(&[commit_block])?;
+
+        // Checkpoint in place (write-back: durability comes from the log).
+        for (target, data) in buf.iter() {
+            disk.write_block(target, data)?;
+        }
+
+        st.head_slot += need;
+        st.live_slots += need;
+        st.next_seq += 1;
+        drop(st);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.blocks_logged.fetch_add(n, Ordering::Relaxed);
+        if let Some(obs) = disk.recorder() {
+            obs.event(|| TraceEvent::JournalCommit { blocks: n as u32 });
+        }
+        Ok(seq)
+    }
+
+    /// Highest committed sequence number.
+    pub(crate) fn committed_seq(&self) -> u64 {
+        self.state.lock().next_seq - 1
+    }
+
+    /// Zeroes the counters (the mount-time replay count included), so
+    /// `Kernel::reset_stats` can discard construction-phase samples
+    /// across every metric source at once and the `journal_commit` /
+    /// `journal_replay` event totals keep reconciling with these.
+    pub(crate) fn reset_stats(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        self.blocks_logged.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
+        self.forced_checkpoints.store(0, Ordering::Relaxed);
+        self.replayed_txns.store(0, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> JournalStats {
+        JournalStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            blocks_logged: self.blocks_logged.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            forced_checkpoints: self.forced_checkpoints.load(Ordering::Relaxed),
+            replayed_txns: self.replayed_txns.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -3,8 +3,10 @@
 use crate::error::{FsError, FsResult};
 use dc_blockdev::CachedDisk;
 
-/// Magic tag identifying a memfs superblock.
-pub const MAGIC: u64 = 0x4443_4d45_4d46_5331; // "DCMEMFS1"
+/// Magic tag identifying a memfs superblock. Bumped to `S2` when the
+/// reserved journal region was added to the geometry — `S1` images are
+/// not mountable (the layout shifted).
+pub const MAGIC: u64 = 0x4443_4d45_4d46_5332; // "DCMEMFS2"
 
 /// Bytes per on-disk inode record.
 pub const INODE_SIZE: usize = 128;
@@ -33,6 +35,11 @@ pub struct Geometry {
     pub itab_start: u64,
     /// Blocks in the inode table.
     pub itab_blocks: u64,
+    /// First block of the metadata journal (two header blocks, then the
+    /// circular log region).
+    pub journal_start: u64,
+    /// Total journal blocks (headers + log region).
+    pub journal_blocks: u64,
     /// First data block.
     pub data_start: u64,
 }
@@ -48,7 +55,12 @@ impl Geometry {
         let ibmap_start = 1;
         let bbmap_start = ibmap_start + ibmap_blocks;
         let itab_start = bbmap_start + bbmap_blocks;
-        let data_start = itab_start + itab_blocks;
+        let journal_start = itab_start + itab_blocks;
+        // ~1.5% of the device, floored so the smallest test disks still
+        // fit a useful log, capped so huge devices don't waste space.
+        // +2 for the dual header blocks.
+        let journal_blocks = (capacity_blocks / 64).clamp(16, 1024) + 2;
+        let data_start = journal_start + journal_blocks;
         Geometry {
             block_size,
             capacity_blocks,
@@ -59,6 +71,8 @@ impl Geometry {
             bbmap_blocks,
             itab_start,
             itab_blocks,
+            journal_start,
+            journal_blocks,
             data_start,
         }
     }
@@ -91,6 +105,8 @@ impl Geometry {
         w.u64(self.bbmap_blocks);
         w.u64(self.itab_start);
         w.u64(self.itab_blocks);
+        w.u64(self.journal_start);
+        w.u64(self.journal_blocks);
         w.u64(self.data_start);
         buf
     }
@@ -116,6 +132,8 @@ impl Geometry {
             bbmap_blocks: r.u64()?,
             itab_start: r.u64()?,
             itab_blocks: r.u64()?,
+            journal_start: r.u64()?,
+            journal_blocks: r.u64()?,
             data_start: r.u64()?,
         };
         // Cross-check against a fresh computation to reject corruption.
@@ -239,9 +257,22 @@ mod tests {
         let g = Geometry::compute(4096, 1 << 20, 1 << 16);
         assert!(g.ibmap_start < g.bbmap_start);
         assert!(g.bbmap_start < g.itab_start);
-        assert!(g.itab_start < g.data_start);
+        assert!(g.itab_start < g.journal_start);
+        assert!(g.journal_start < g.data_start);
+        assert_eq!(g.journal_start + g.journal_blocks, g.data_start);
         assert!(g.data_start < g.capacity_blocks);
         assert_eq!(g.ibmap_blocks, (1u64 << 16).div_ceil(4096 * 8));
+    }
+
+    #[test]
+    fn journal_region_is_clamped() {
+        // Tiny device: floor of 16 log blocks + 2 headers.
+        assert_eq!(Geometry::compute(4096, 512, 128).journal_blocks, 18);
+        // Huge device: cap of 1024 log blocks + 2 headers.
+        assert_eq!(
+            Geometry::compute(4096, 1 << 22, 1 << 20).journal_blocks,
+            1026
+        );
     }
 
     #[test]

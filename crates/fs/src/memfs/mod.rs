@@ -19,7 +19,12 @@
 mod bitmap;
 mod dir;
 mod fs;
+mod fsck;
 mod inode;
+mod journal;
 mod layout;
+mod store;
 
 pub use fs::{MemFs, MemFsConfig};
+pub use fsck::{fsck, FsckError, FsckReport};
+pub use journal::{JournalStats, ReplayInfo};

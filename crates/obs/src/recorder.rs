@@ -119,11 +119,17 @@ pub enum EventKind {
     IoRetry,
     /// `Shrink`.
     Shrink,
+    /// `JournalCommit`.
+    JournalCommit,
+    /// `JournalReplay`.
+    JournalReplay,
+    /// `JournalCheckpoint`.
+    JournalCheckpoint,
 }
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -146,6 +152,9 @@ impl EventKind {
             EventKind::FaultInjected,
             EventKind::IoRetry,
             EventKind::Shrink,
+            EventKind::JournalCommit,
+            EventKind::JournalReplay,
+            EventKind::JournalCheckpoint,
         ]
     }
 
@@ -171,6 +180,9 @@ impl EventKind {
             EventKind::FaultInjected => 15,
             EventKind::IoRetry => 16,
             EventKind::Shrink => 17,
+            EventKind::JournalCommit => 18,
+            EventKind::JournalReplay => 19,
+            EventKind::JournalCheckpoint => 20,
         }
     }
 
@@ -195,6 +207,9 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::IoRetry => "io_retry",
             EventKind::Shrink => "shrink",
+            EventKind::JournalCommit => "journal_commit",
+            EventKind::JournalReplay => "journal_replay",
+            EventKind::JournalCheckpoint => "journal_checkpoint",
         }
     }
 
@@ -233,6 +248,9 @@ impl EventKind {
             TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
             TraceEvent::IoRetry { .. } => EventKind::IoRetry,
             TraceEvent::Shrink { .. } => EventKind::Shrink,
+            TraceEvent::JournalCommit { .. } => EventKind::JournalCommit,
+            TraceEvent::JournalReplay { .. } => EventKind::JournalReplay,
+            TraceEvent::JournalCheckpoint => EventKind::JournalCheckpoint,
         }
     }
 }

@@ -96,6 +96,20 @@ pub enum TraceEvent {
         /// Bytes actually freed by this pass.
         freed_bytes: u64,
     },
+    /// The metadata journal committed a transaction (payload flushed,
+    /// then the checksummed commit record).
+    JournalCommit {
+        /// Metadata blocks logged by the transaction.
+        blocks: u32,
+    },
+    /// Mount replayed committed journal transactions into place.
+    JournalReplay {
+        /// Transactions replayed (torn tail already discarded).
+        txns: u32,
+    },
+    /// The journal advanced its tail after a full checkpoint (all
+    /// in-place metadata durable; log space reclaimed).
+    JournalCheckpoint,
 }
 
 /// A [`TraceEvent`] stamped with a global sequence number and the

@@ -301,6 +301,7 @@ impl Kernel {
         root_mount.sb.fs.stats().reset();
         if let Some(memfs) = as_memfs(&root_mount.sb.fs) {
             memfs.disk().reset_stats();
+            memfs.reset_journal_stats();
         }
     }
 
@@ -318,8 +319,11 @@ impl Kernel {
         let mut reg = Registry::new(self.dcache.obs.clone());
         reg.register(Box::new(DcacheMetrics(self.clone())));
         reg.register(Box::new(SyscallMetrics(self.clone())));
-        if as_memfs(&self.init_ns.root_mount().sb.fs).is_some() {
+        if let Some(memfs) = as_memfs(&self.init_ns.root_mount().sb.fs) {
             reg.register(Box::new(PageCacheMetrics(self.clone())));
+            if memfs.journal_stats().is_some() {
+                reg.register(Box::new(JournalMetrics(self.clone())));
+            }
         }
         reg
     }
@@ -418,6 +422,32 @@ impl MetricSource for PageCacheMetrics {
         if let Some(memfs) = as_memfs(&self.0.init_ns.root_mount().sb.fs) {
             memfs.disk().reset_stats();
         }
+    }
+}
+
+/// [`MetricSource`] view of the root memfs's metadata journal (only
+/// registered when the root is a memfs with journaling on).
+struct JournalMetrics(Arc<Kernel>);
+
+impl MetricSource for JournalMetrics {
+    fn name(&self) -> &'static str {
+        "journal"
+    }
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = as_memfs(&self.0.init_ns.root_mount().sb.fs)
+            .and_then(|m| m.journal_stats())
+            .unwrap_or_default();
+        vec![
+            ("commits", s.commits),
+            ("blocks_logged", s.blocks_logged),
+            ("checkpoints", s.checkpoints),
+            ("forced_checkpoints", s.forced_checkpoints),
+            ("replayed_txns", s.replayed_txns),
+        ]
+    }
+    fn reset(&self) {
+        // Journal counters are cumulative since mount; there is nothing
+        // safe to zero without losing the replay record.
     }
 }
 

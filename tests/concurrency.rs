@@ -31,7 +31,11 @@ fn readers_race_renames_without_stale_results() {
         touch(&k, &p, "/race/a/file");
         let stop = Arc::new(AtomicBool::new(false));
         let anomalies = Arc::new(AtomicU64::new(0));
-        // Completed renames; readers only judge windows with no flip.
+        // Seqlock-style rename epoch: odd while a rename is in flight,
+        // even when quiescent. Readers only judge windows whose epoch
+        // was even and unchanged — bumping only *after* the rename
+        // would leave a gap where a completed (visible) rename hasn't
+        // been counted yet and a reader wrongly judges the window.
         let flips = Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
             // Renamer: flips the directory between two names.
@@ -48,18 +52,22 @@ fn readers_race_renames_without_stale_results() {
                         } else {
                             ("/race/a", "/race/b")
                         };
+                        flips.fetch_add(1, Ordering::SeqCst);
                         k.rename(&p, from, to).unwrap();
                         flips.fetch_add(1, Ordering::SeqCst);
                         flip = !flip;
                         std::thread::sleep(std::time::Duration::from_micros(100));
                     }
                     if flip {
+                        flips.fetch_add(1, Ordering::SeqCst);
                         k.rename(&p, "/race/b", "/race/a").unwrap();
+                        flips.fetch_add(1, Ordering::SeqCst);
                     }
                 });
             }
-            // Readers: within a quiescent window (no rename completed
-            // between the two stats), exactly one path must resolve.
+            // Readers: within a quiescent window (no rename in flight
+            // or completed between the two stats), exactly one path
+            // must resolve.
             for _ in 0..4 {
                 let k = k.clone();
                 let p = k.spawn(&p);
@@ -72,7 +80,7 @@ fn readers_race_renames_without_stale_results() {
                         let a = k.stat(&p, "/race/a/file");
                         let b = k.stat(&p, "/race/b/file");
                         let f1 = flips.load(Ordering::SeqCst);
-                        if f0 != f1 {
+                        if f0 != f1 || f0 % 2 == 1 {
                             continue; // a rename interleaved; not judgeable
                         }
                         match (a, b) {

@@ -7,7 +7,7 @@
 
 use dcache_repro::blockdev::{CachedDisk, DiskConfig, LatencyModel};
 use dcache_repro::fault::{FaultInjector, FaultPlan, IoOp};
-use dcache_repro::fs::{FsError, MemFs, MemFsConfig};
+use dcache_repro::fs::{FileSystem, FsError, MemFs, MemFsConfig};
 use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
 use std::sync::Arc;
 
@@ -187,4 +187,68 @@ fn latency_spikes_slow_but_never_fail() {
         "the spike charged simulated time ({ns_before} -> {ns_after})"
     );
     assert_eq!(disk.stats().io_errors, 0);
+}
+
+#[test]
+fn sync_report_enumerates_failed_pages_and_retries_losslessly() {
+    let plan = FaultPlan::new(0x10B5).permanent(IoOp::Write, 1.0);
+    let (k, inj, disk) = faulty_kernel(DcacheConfig::optimized(), plan);
+    let p = k.init_process();
+    k.mkdir(&p, "/spool", 0o755).unwrap();
+    for f in 0..8 {
+        let fd = k
+            .open(&p, &format!("/spool/m{f}"), OpenFlags::create(), 0o644)
+            .unwrap();
+        k.write_fd(&p, fd, b"queued mail").unwrap();
+        k.close(&p, fd).unwrap();
+    }
+
+    // Broken device: sync must say exactly which pages it could not
+    // write, with a per-page error, and must keep them dirty.
+    inj.arm();
+    let first = disk.sync_report();
+    assert!(!first.is_clean(), "a fully broken device cannot sync clean");
+    assert!(!first.failed.is_empty(), "failed pages are enumerated");
+    let mut first_blocks: Vec<u64> = first.failed.iter().map(|(b, _)| *b).collect();
+    first_blocks.sort_unstable();
+    first_blocks.dedup();
+    assert_eq!(
+        first_blocks.len(),
+        first.failed.len(),
+        "each failed page is reported once"
+    );
+
+    // A second attempt on the still-broken device sees the same pages
+    // again: nothing was dropped, nothing was silently marked clean.
+    let second = disk.sync_report();
+    let mut second_blocks: Vec<u64> = second.failed.iter().map(|(b, _)| *b).collect();
+    second_blocks.sort_unstable();
+    assert_eq!(
+        first_blocks, second_blocks,
+        "failed pages stay dirty for lossless retry"
+    );
+
+    // Device heals: the retried sync flushes every page it previously
+    // reported and comes back clean.
+    inj.disarm();
+    let healed = disk.sync_report();
+    assert!(healed.is_clean(), "healed device syncs clean");
+    assert!(
+        healed.flushed >= first_blocks.len() as u64,
+        "the kept-dirty pages were flushed on retry ({} < {})",
+        healed.flushed,
+        first_blocks.len()
+    );
+
+    // End to end: nothing was lost across the broken-device window —
+    // even a power cut after the clean sync keeps the whole tree.
+    drop(k);
+    disk.power_cut();
+    let rfs = MemFs::mount(disk.clone()).unwrap();
+    let root = rfs.root_ino();
+    let spool = rfs.lookup(root, "spool").unwrap();
+    for f in 0..8 {
+        let a = rfs.lookup(spool.ino, &format!("m{f}")).unwrap();
+        assert_eq!(a.size, 11, "mail m{f} survived intact");
+    }
 }
