@@ -797,6 +797,14 @@ pub fn crash(scale: Scale, seed: u64) -> bool {
         CAMPAIGN_POINTS,
         TEAR_PROB,
     ));
+    let scheduled = monitor.scheduled().len();
+    if scheduled < CAMPAIGN_POINTS {
+        println!(
+            "note: only {scheduled} distinct cut points available \
+             ({} device writes < {CAMPAIGN_POINTS} requested)",
+            pass1.writes_during,
+        );
+    }
     let t1 = Instant::now();
     let pass2 = run_campaign(seed, ops, Some(&monitor));
     let images = monitor.take_images();

@@ -145,14 +145,24 @@ impl CrashMonitor {
     /// Samples `count` distinct cut ordinals uniformly from
     /// `1..=total_writes` using a seeded stream — the deterministic
     /// crash-point enumeration behind `repro crash --seed N`.
+    ///
+    /// There are only `total_writes` ordinals to draw from, so `count`
+    /// is clamped to it; the monitor always schedules exactly
+    /// `min(count, total_writes)` points. Campaigns should check
+    /// [`CrashMonitor::scheduled`] and report when the achieved count
+    /// falls short of the requested one.
     pub fn sample(seed: u64, total_writes: u64, count: usize, tear_prob: f64) -> CrashMonitor {
         let mut rng = SplitMix64::new(seed);
-        let mut points = Vec::with_capacity(count);
-        let mut tries = 0usize;
-        while points.len() < count && tries < count * 64 {
-            tries += 1;
-            let p = 1 + rng.next_u64() % total_writes.max(1);
-            if !points.contains(&p) {
+        let count = (count as u64).min(total_writes);
+        let mut points: Vec<u64> = Vec::with_capacity(count as usize);
+        // Floyd's sampling: exactly `count` distinct ordinals in
+        // `count` draws — no rejection loop that can fall short when
+        // `count` approaches `total_writes`.
+        for j in (total_writes - count + 1)..=total_writes {
+            let p = 1 + rng.next_u64() % j;
+            if points.contains(&p) {
+                points.push(j);
+            } else {
                 points.push(p);
             }
         }
@@ -234,6 +244,25 @@ mod tests {
         assert!(pts.iter().all(|&p| (1..=10_000).contains(&p)));
         let c = CrashMonitor::sample(43, 10_000, 200, 0.25);
         assert_ne!(a.scheduled(), c.scheduled());
+    }
+
+    #[test]
+    fn sample_clamps_to_available_ordinals() {
+        // Fewer flushed writes than requested cuts: every ordinal is
+        // scheduled, none invented, and the shortfall is visible via
+        // scheduled().len().
+        let m = CrashMonitor::sample(7, 5, 200, 0.0);
+        assert_eq!(m.scheduled(), vec![1, 2, 3, 4, 5]);
+        let none = CrashMonitor::sample(7, 0, 200, 0.0);
+        assert!(none.scheduled().is_empty());
+    }
+
+    #[test]
+    fn sample_exact_count_near_boundary() {
+        // count == total_writes is the case rejection sampling could
+        // starve on; Floyd's must deliver the full permutation.
+        let m = CrashMonitor::sample(11, 200, 200, 0.0);
+        assert_eq!(m.scheduled(), (1..=200).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl Default for MemFsConfig {
     }
 }
 
+#[derive(Clone, Copy)]
 struct AllocState {
     ino_hint: u64,
     blk_hint: u64,
@@ -72,8 +73,10 @@ struct AllocState {
 /// transaction: the write set is logged to the reserved journal region,
 /// sealed by a checksummed commit record (payload flushed strictly before
 /// the record), and only then applied in place through the page cache.
-/// Nothing uncommitted ever reaches the shared cache, so neither LRU
-/// eviction nor a power cut can expose a half-applied operation. Mount
+/// Nothing uncommitted ever reaches the shared cache, and the in-place
+/// apply runs while the operation's inode shard locks are still held,
+/// so neither LRU eviction, a power cut, nor a concurrent reader can
+/// observe a half-applied operation. Mount
 /// replays committed transactions and discards the torn tail, making each
 /// operation atomic across crashes. File *content* is write-back (the
 /// ext3 `data=writeback` analogy): crash recovery guarantees the metadata
@@ -204,24 +207,39 @@ impl MemFs {
         self.replay.replayed
     }
 
-    /// Runs one mutating operation. With journaling on, the operation's
-    /// metadata writes accumulate in a buffered [`Tx`] and commit as one
-    /// journal transaction afterwards; an operation error discards the
-    /// buffer, so failed operations leave no trace. With journaling off
-    /// the `Tx` is a passthrough shim.
-    fn with_tx<T>(&self, f: impl FnOnce(&Tx<'_>) -> FsResult<T>) -> FsResult<T> {
+    /// Runs one mutating operation under the shard locks covering
+    /// `inos`. With journaling on, the operation's metadata writes
+    /// accumulate in a buffered [`Tx`] and commit as one journal
+    /// transaction *while the shard locks are still held* — the
+    /// commit's in-place apply is what makes the operation visible in
+    /// the shared page cache, so dropping the locks first would let a
+    /// concurrent lookup/readdir observe a half-applied operation. An
+    /// operation (or commit) error discards the buffer and rolls the
+    /// allocator counters back, so failed operations leave no trace.
+    /// With journaling off the `Tx` is a passthrough shim.
+    fn with_tx<T>(&self, inos: &[u64], f: impl FnOnce(&Tx<'_>) -> FsResult<T>) -> FsResult<T> {
         match &self.journal {
-            None => f(&Tx::passthrough(&self.disk)),
+            None => {
+                let _g = self.lock_many(inos);
+                f(&Tx::passthrough(&self.disk))
+            }
             Some(j) => {
                 let _big = self.big_op.lock();
+                let _g = self.lock_many(inos);
+                // Allocator counters mutate eagerly inside the op, but
+                // the matching bitmap bits live only in the tx buffer
+                // until commit: if either fails, restore the snapshot
+                // so counters and on-disk bitmaps stay in agreement.
+                let snap = *self.alloc.lock();
                 let tx = Tx::buffered(&self.disk);
-                let out = f(&tx)?;
-                if let Some(buf) = tx.into_buf() {
-                    if !buf.is_empty() {
-                        j.commit(&self.disk, &buf)?;
-                    }
+                let res = f(&tx).and_then(|out| match tx.into_buf() {
+                    Some(buf) if !buf.is_empty() => j.commit(&self.disk, &buf).map(|_| out),
+                    _ => Ok(out),
+                });
+                if res.is_err() {
+                    *self.alloc.lock() = snap;
                 }
-                Ok(out)
+                res
             }
         }
     }
@@ -464,7 +482,9 @@ impl MemFs {
         Ok(())
     }
 
-    /// Shared creation path for regular files, directories, and symlinks.
+    /// Shared creation path for regular files, directories, and
+    /// symlinks. Caller (via [`MemFs::with_tx`]) holds `dirino`'s
+    /// shard lock.
     fn create_entry<S: MetaStore + ?Sized>(
         &self,
         store: &S,
@@ -475,7 +495,6 @@ impl MemFs {
     ) -> FsResult<InodeAttr> {
         Self::validate_name(name)?;
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        let _g = self.lock_many(&[dirino]);
         let mut dir_di = self.read_dir_di(store, dirino)?;
         if self.dir_find(store, &dir_di, name)?.is_some() {
             return Err(FsError::Exist);
@@ -604,12 +623,12 @@ impl FileSystem for MemFs {
 
     fn create(&self, dir: u64, name: &str, mode: u16, uid: u32, gid: u32) -> FsResult<InodeAttr> {
         let child = DiskInode::new(FileType::Regular, mode, uid, gid, self.now());
-        self.with_tx(|tx| self.create_entry(tx, dir, name, child, None))
+        self.with_tx(&[dir], |tx| self.create_entry(tx, dir, name, child, None))
     }
 
     fn mkdir(&self, dir: u64, name: &str, mode: u16, uid: u32, gid: u32) -> FsResult<InodeAttr> {
         let child = DiskInode::new(FileType::Directory, mode, uid, gid, self.now());
-        self.with_tx(|tx| self.create_entry(tx, dir, name, child, None))
+        self.with_tx(&[dir], |tx| self.create_entry(tx, dir, name, child, None))
     }
 
     fn symlink(
@@ -624,7 +643,9 @@ impl FileSystem for MemFs {
             return Err(FsError::Inval);
         }
         let child = DiskInode::new(FileType::Symlink, 0o777, uid, gid, self.now());
-        self.with_tx(|tx| self.create_entry(tx, dir, name, child, Some(target)))
+        self.with_tx(&[dir], |tx| {
+            self.create_entry(tx, dir, name, child, Some(target))
+        })
     }
 
     fn readlink(&self, ino: u64) -> FsResult<String> {
@@ -644,8 +665,7 @@ impl FileSystem for MemFs {
     fn link(&self, dir: u64, name: &str, ino: u64) -> FsResult<InodeAttr> {
         Self::validate_name(name)?;
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[dir, ino]);
+        self.with_tx(&[dir, ino], |tx| {
             let mut target = self.read_di(tx, ino)?;
             if target.ftype == FileType::Directory {
                 return Err(FsError::Perm);
@@ -667,8 +687,7 @@ impl FileSystem for MemFs {
     fn unlink(&self, dir: u64, name: &str) -> FsResult<()> {
         Self::validate_name(name)?;
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[dir]);
+        self.with_tx(&[dir], |tx| {
             let mut dir_di = self.read_dir_di(tx, dir)?;
             match self.dir_find(tx, &dir_di, name)? {
                 None => Err(FsError::NoEnt),
@@ -688,8 +707,7 @@ impl FileSystem for MemFs {
     fn rmdir(&self, dir: u64, name: &str) -> FsResult<()> {
         Self::validate_name(name)?;
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[dir]);
+        self.with_tx(&[dir], |tx| {
             let mut dir_di = self.read_dir_di(tx, dir)?;
             match self.dir_find(tx, &dir_di, name)? {
                 None => Err(FsError::NoEnt),
@@ -715,8 +733,7 @@ impl FileSystem for MemFs {
         Self::validate_name(old_name)?;
         Self::validate_name(new_name)?;
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[old_dir, new_dir]);
+        self.with_tx(&[old_dir, new_dir], |tx| {
             let mut odi = self.read_dir_di(tx, old_dir)?;
             let (src_ino, src_ft_raw) = self.dir_find(tx, &odi, old_name)?.ok_or(FsError::NoEnt)?;
             let src_ft = FileType::from_u8(src_ft_raw).ok_or(FsError::Io)?;
@@ -785,8 +802,7 @@ impl FileSystem for MemFs {
 
     fn setattr(&self, ino: u64, changes: SetAttr) -> FsResult<InodeAttr> {
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[ino]);
+        self.with_tx(&[ino], |tx| {
             let mut di = self.read_di(tx, ino)?;
             if let Some(m) = changes.mode {
                 di.mode = m & 0o7777;
@@ -849,8 +865,7 @@ impl FileSystem for MemFs {
 
     fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<usize> {
         self.stats.mutations.fetch_add(1, Ordering::Relaxed);
-        self.with_tx(|tx| {
-            let _g = self.lock_many(&[ino]);
+        self.with_tx(&[ino], |tx| {
             let mut di = self.read_di(tx, ino)?;
             if di.ftype == FileType::Directory {
                 return Err(FsError::IsDir);

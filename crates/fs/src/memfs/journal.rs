@@ -347,14 +347,26 @@ impl Journal {
         if !outcome.is_clean() {
             return Err(FsError::Io);
         }
-        st.tail_seq = st.next_seq - 1;
-        st.tail_slot = st.head_slot;
-        st.live_slots = 0;
-        st.gen += 1;
-        let geo_stub = self.encode_header_for(st);
-        disk.write_block(self.hdr_a, &geo_stub)?;
-        disk.write_block(self.hdr_b, &geo_stub)?;
+        // Compute the advanced tail, but publish it to `st` only once
+        // the header naming it is durable. If the header flush fails,
+        // the in-memory state must keep treating the log slots as live:
+        // reclaiming them here would let later commits overwrite
+        // records the on-disk header still points recovery at, silently
+        // losing durable transactions on an EIO-then-crash path. (The
+        // candidate header itself is safe even if a dirty copy leaks
+        // out later — the sync above already made everything it claims
+        // checkpointed durable.)
+        let gen = st.gen + 1;
+        let tail_seq = st.next_seq - 1;
+        let tail_slot = st.head_slot;
+        let hdr = self.encode_header_for(gen, tail_seq, tail_slot);
+        disk.write_block(self.hdr_a, &hdr)?;
+        disk.write_block(self.hdr_b, &hdr)?;
         disk.flush_blocks(&[self.hdr_a, self.hdr_b])?;
+        st.gen = gen;
+        st.tail_seq = tail_seq;
+        st.tail_slot = tail_slot;
+        st.live_slots = 0;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         if forced {
             self.forced_checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -365,13 +377,13 @@ impl Journal {
         Ok(())
     }
 
-    fn encode_header_for(&self, st: &JState) -> Vec<u8> {
+    fn encode_header_for(&self, gen: u64, tail_seq: u64, tail_slot: u64) -> Vec<u8> {
         let mut buf = vec![0u8; self.block_size];
         let mut w = Writer::new(&mut buf);
         w.u64(JH_MAGIC);
-        w.u64(st.gen);
-        w.u64(st.tail_seq);
-        w.u64(st.tail_slot);
+        w.u64(gen);
+        w.u64(tail_seq);
+        w.u64(tail_slot);
         let sum = fnv64(&[&buf[..32]]);
         let mut w = Writer::new(&mut buf);
         w.seek(32);

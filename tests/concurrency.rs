@@ -363,3 +363,72 @@ fn negative_dentries_cohere_under_concurrent_rename() {
         assert_eq!(k.stat(&p, "/neg/ghost"), Err(FsError::NoEnt));
     }
 }
+
+#[test]
+fn journaled_apply_is_invisible_in_flight_to_memfs_readers() {
+    // Regression for the journal's commit-time apply: an operation's
+    // buffered write set reaches the shared page cache only at commit,
+    // and that apply must run under the operation's inode shard locks.
+    // Otherwise a reader that legally holds the directory lock can
+    // observe a half-applied operation — here, a same-directory rename
+    // whose remove and insert land in different directory blocks, with
+    // a window where the name exists in neither.
+    use dcache_repro::blockdev::{CachedDisk, DiskConfig, LatencyModel};
+    use dcache_repro::fs::{FileSystem, MemFs, MemFsConfig};
+
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 1 << 14,
+        latency: LatencyModel::free(),
+        ..Default::default()
+    }));
+    let fs = MemFs::mkfs(
+        disk,
+        MemFsConfig {
+            max_inodes: 1 << 12,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let r = fs.root_ino();
+    let arena = fs.mkdir(r, "arena", 0o755, 0, 0).unwrap().ino;
+    // Pack the first directory block: "a" early, then wide fillers, so
+    // renaming "a" to a long name forces the insert into a different
+    // block than the remove — two distinct block writes in one
+    // transaction.
+    fs.create(arena, "a", 0o644, 0, 0).unwrap();
+    for i in 0.. {
+        let filler = format!("{:x<200}", format!("filler{i}-"));
+        fs.create(arena, &filler, 0o644, 0, 0).unwrap();
+        if fs.getattr(arena).unwrap().size > 4096 {
+            break;
+        }
+    }
+    let b_name = "b".repeat(200);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let observer = {
+            let fs = fs.clone();
+            let stop = stop.clone();
+            let b_name = b_name.clone();
+            s.spawn(move || {
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut out = Vec::new();
+                    fs.readdir(arena, 0, usize::MAX, &mut out).unwrap();
+                    let a = out.iter().any(|e| e.name == "a");
+                    let b = out.iter().any(|e| e.name == b_name);
+                    assert!(a ^ b, "half-applied rename visible to readdir: a={a} b={b}");
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        for _ in 0..400 {
+            fs.rename(arena, "a", arena, &b_name).unwrap();
+            fs.rename(arena, &b_name, arena, "a").unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(observer.join().unwrap() > 0, "observer never ran");
+    });
+}

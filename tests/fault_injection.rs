@@ -6,8 +6,8 @@
 //! cached negative dentry) and heal when the device does.
 
 use dcache_repro::blockdev::{CachedDisk, DiskConfig, LatencyModel};
-use dcache_repro::fault::{FaultInjector, FaultPlan, IoOp};
-use dcache_repro::fs::{FileSystem, FsError, MemFs, MemFsConfig};
+use dcache_repro::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, IoOp};
+use dcache_repro::fs::{fsck, FileSystem, FsError, MemFs, MemFsConfig};
 use dcache_repro::{DcacheConfig, Kernel, KernelBuilder, OpenFlags, Process};
 use std::sync::Arc;
 
@@ -187,6 +187,130 @@ fn latency_spikes_slow_but_never_fail() {
         "the spike charged simulated time ({ns_before} -> {ns_after})"
     );
     assert_eq!(disk.stats().io_errors, 0);
+}
+
+#[test]
+fn failed_journal_commit_rolls_back_allocator_counters() {
+    // A journaled op whose commit fails must leave no trace: the
+    // buffered bitmap writes are discarded with the transaction, so the
+    // in-memory free counters must roll back with them — otherwise
+    // statfs and NoSpc checks drift from the on-disk bitmaps with every
+    // faulted operation.
+    let disk = Arc::new(CachedDisk::new(DiskConfig {
+        capacity_blocks: 1 << 12,
+        latency: LatencyModel::free(),
+        ..Default::default()
+    }));
+    let injector = Arc::new(FaultPlan::new(0xA110).permanent(IoOp::Write, 1.0).build());
+    disk.attach_fault_injector(injector.clone());
+    let fs = MemFs::mkfs(
+        disk.clone(),
+        MemFsConfig {
+            max_inodes: 1 << 10,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let r = fs.root_ino();
+    // Allocate root's first directory block up front so the doomed
+    // create below allocates only an inode.
+    fs.create(r, "warmup", 0o644, 0, 0).unwrap();
+    let before = fs.statfs().unwrap();
+
+    injector.arm();
+    assert_eq!(
+        fs.create(r, "doomed", 0o644, 0, 0),
+        Err(FsError::Io),
+        "journal commit must fail on a broken device"
+    );
+    injector.disarm();
+
+    let after = fs.statfs().unwrap();
+    assert_eq!(after.ffree, before.ffree, "inode counter rolled back");
+    assert_eq!(after.bfree, before.bfree, "block counter rolled back");
+
+    // Healed device: the same create succeeds and accounts exactly once.
+    fs.create(r, "doomed", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.statfs().unwrap().ffree, before.ffree - 1);
+}
+
+#[test]
+fn failed_checkpoint_header_flush_keeps_durable_commits_recoverable() {
+    // The EIO-then-crash path: a checkpoint whose header flush fails
+    // must not reclaim log space in memory, or later commits overwrite
+    // slots the on-disk header still points recovery at and durable
+    // transactions silently vanish at the next power cut. The exact
+    // wrap position depends on per-transaction slot counts, so the
+    // scenario runs at several post-failure depths — every one must
+    // recover every committed operation.
+    for posts in 1..=6usize {
+        // Tiny device: the journal clamps to 16 log slots, so a
+        // handful of transactions wraps the log.
+        let disk = Arc::new(CachedDisk::new(DiskConfig {
+            capacity_blocks: 512,
+            latency: LatencyModel::free(),
+            ..Default::default()
+        }));
+        let fs = MemFs::mkfs(
+            disk.clone(),
+            MemFsConfig {
+                max_inodes: 128,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = fs.root_ino();
+        fs.create(r, "pre", 0o644, 0, 0).unwrap();
+        fs.sync().unwrap(); // durable baseline checkpoint
+
+        // Commit live transactions, then break ONLY the journal header
+        // blocks: the checkpoint's full-cache flush succeeds, the
+        // header write+flush does not.
+        fs.create(r, "mid0", 0o644, 0, 0).unwrap();
+        fs.create(r, "mid1", 0o644, 0, 0).unwrap();
+        let hdr = fs.geometry().journal_start;
+        let injector = Arc::new(
+            FaultPlan::new(0xC4EC)
+                .rule(
+                    FaultRule::new(FaultKind::Permanent, 1.0)
+                        .on(IoOp::Write)
+                        .blocks(hdr..hdr + 2),
+                )
+                .build(),
+        );
+        disk.attach_fault_injector(injector.clone());
+        injector.arm();
+        assert_eq!(fs.sync(), Err(FsError::Io), "header flush must fail");
+        injector.disarm();
+
+        // Healed device: journaled mutations continue and wrap the log.
+        for i in 0..posts {
+            fs.create(r, &format!("post{i}"), 0o644, 0, 0).unwrap();
+        }
+
+        // Power cut with the in-place copies of the post-failure ops
+        // still dirty: only the journal can bring them back.
+        disk.power_cut();
+        drop(fs);
+        let rfs = MemFs::mount(disk.clone()).unwrap();
+        let report = fsck(&disk).unwrap();
+        assert!(
+            report.is_clean(),
+            "posts={posts}: fsck after EIO-then-crash: {:?}",
+            report.errors
+        );
+        let root = rfs.root_ino();
+        for name in ["pre", "mid0", "mid1"]
+            .into_iter()
+            .map(str::to_owned)
+            .chain((0..posts).map(|i| format!("post{i}")))
+        {
+            assert!(
+                rfs.lookup(root, &name).is_ok(),
+                "posts={posts}: {name} lost after EIO-then-crash recovery"
+            );
+        }
+    }
 }
 
 #[test]
