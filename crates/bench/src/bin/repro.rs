@@ -4,7 +4,7 @@
 //! repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...
 //! experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10
 //!              table1 table2 table3 table4 space ablation pcc rename-scale
-//!              faults crash fsck all
+//!              faults crash fsck serve all
 //! ```
 //!
 //! Default scale is `--quick` (seconds per experiment); `--full`
@@ -22,20 +22,28 @@
 //! runs the workload once, cuts power, and prints the recovered image's
 //! full invariant report.
 //!
+//! `serve` spawns the batched metadata server (`dc-server`)
+//! in-process and drives it with a seeded 64-client load generator:
+//! steady-state throughput, a memory-pressure shed/recover cycle, the
+//! batch-size ablation, and the admission-control ablation. Results
+//! land in `BENCH_serve.json` and `EXPERIMENTS.md`; the run fails
+//! (exit 1) on any unexpected request error, a throughput floor miss,
+//! or incomplete recovery.
+//!
 //! `--metrics-out <path>` runs the observability workload and writes
 //! the unified metrics snapshot (latency histograms, trace-event
 //! counters, dcache/syscall/page-cache stats) as JSON to `path`. It
 //! may be given alone or combined with experiments; when combined, the
 //! metrics dump runs after the experiments finish.
 
-use dc_bench::{crash, faults, figs, Scale};
+use dc_bench::{crash, faults, figs, serve, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...\n\
          experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10\n\
          \x20            table1 table2 table3 table4 space ablation pcc rename-scale\n\
-         \x20            faults crash fsck all"
+         \x20            faults crash fsck serve all"
     );
     std::process::exit(2);
 }
@@ -102,6 +110,11 @@ fn main() {
             "pcc" => figs::pcc_sensitivity(scale),
             "rename-scale" => figs::rename_scalability(scale),
             "faults" => faults::faults(scale, seed),
+            "serve" => {
+                if !serve::serve(scale, seed) {
+                    std::process::exit(1);
+                }
+            }
             "crash" => {
                 if !crash::crash(scale, seed) {
                     std::process::exit(1);

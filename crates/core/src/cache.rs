@@ -1,5 +1,6 @@
 //! The directory-cache facade: allocation, hashing tables, coherence.
 
+use crate::batch::BatchPin;
 use crate::config::DcacheConfig;
 use crate::dentry::{
     Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE, FLAG_LOCKED_READS,
@@ -95,6 +96,22 @@ impl Dcache {
     /// Live (hashed) dentries.
     pub fn live(&self) -> u64 {
         self.live.load(Ordering::Relaxed)
+    }
+
+    /// Pins the reclamation epoch for a whole batch of lookups.
+    ///
+    /// While the returned guard is alive, per-lookup epoch pins on this
+    /// thread collapse to re-entrant nesting (no publication fence) and
+    /// skip their per-pin stats/trace accounting — this pin is the one
+    /// `EpochPin` recorded for the batch. See [`crate::batch`].
+    pub fn batch_pin(&self) -> BatchPin {
+        let already_nested = crate::batch::batch_pin_active();
+        let guard = crossbeam_epoch::pin();
+        if !already_nested {
+            self.stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
+            self.obs.event(|| TraceEvent::EpochPin);
+        }
+        BatchPin::new(guard)
     }
 
     // --- allocation ------------------------------------------------------

@@ -22,6 +22,8 @@
 //! so the same structures serve both the baseline (component-at-a-time)
 //! and optimized (single-hash-lookup) walkers.
 
+pub mod admission;
+pub mod batch;
 mod cache;
 mod config;
 mod dentry;
@@ -36,6 +38,8 @@ mod seqlock;
 mod shrinker;
 mod stats;
 
+pub use admission::{MemoryGate, Verdict};
+pub use batch::{batch_pin_active, BatchPin};
 pub use cache::{Dcache, NsId};
 pub use config::DcacheConfig;
 pub use dentry::{Dentry, DentryId, DentryState, NegKind, FLAG_DIR_COMPLETE};

@@ -126,6 +126,18 @@ impl LatencyHist {
     }
 
     /// Adds every cell of `other` into `self` (cross-thread merge).
+    ///
+    /// Because the buckets are fixed and identical across instances,
+    /// merging per-thread histograms is lossless: quantiles of the
+    /// merged histogram equal those of a single histogram that had
+    /// recorded every sample directly. `other` is unchanged, so workers
+    /// can keep recording into their own instance while a snapshot
+    /// aggregates — no locking on the record path.
+    pub fn merge_from(&self, other: &LatencyHist) {
+        self.merge(other);
+    }
+
+    /// Adds every cell of `other` into `self` (cross-thread merge).
     pub fn merge(&self, other: &LatencyHist) {
         for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
             let v = theirs.load(Ordering::Relaxed);
@@ -247,6 +259,43 @@ mod tests {
         let p = h.percentile(0.5);
         assert!(p >= v, "upper-bound convention: {p} < {v}");
         assert!(p as f64 <= v as f64 * (1.0 + 1.0 / 32.0) + 1.0);
+    }
+
+    #[test]
+    fn merged_quantiles_match_single_combined_histogram() {
+        // Three per-worker histograms vs one histogram fed every sample:
+        // identical buckets make the merge lossless, so every headline
+        // statistic must match exactly.
+        let combined = LatencyHist::new();
+        let workers: Vec<LatencyHist> = (0..3).map(|_| LatencyHist::new()).collect();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for i in 0..30_000u64 {
+            // splitmix64 keeps the sample spread across many groups.
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let sample = (z ^ (z >> 31)) % 50_000_000;
+            combined.record(sample);
+            workers[(i % 3) as usize].record(sample);
+        }
+        let merged = LatencyHist::new();
+        for w in &workers {
+            merged.merge_from(w);
+        }
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.max(), combined.max());
+        assert!((merged.mean() - combined.mean()).abs() < 1e-6);
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.percentile(q),
+                combined.percentile(q),
+                "quantile {q} diverges after merge"
+            );
+        }
+        assert_eq!(merged.summary(), combined.summary());
+        // The merge source is untouched and still usable.
+        assert_eq!(workers[0].count(), 10_000);
     }
 
     #[test]

@@ -125,11 +125,17 @@ pub enum EventKind {
     JournalReplay,
     /// `JournalCheckpoint`.
     JournalCheckpoint,
+    /// `ServeBatch`.
+    ServeBatch,
+    /// `ServeReject`.
+    ServeReject,
+    /// `ServeConn`.
+    ServeConn,
 }
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -155,6 +161,9 @@ impl EventKind {
             EventKind::JournalCommit,
             EventKind::JournalReplay,
             EventKind::JournalCheckpoint,
+            EventKind::ServeBatch,
+            EventKind::ServeReject,
+            EventKind::ServeConn,
         ]
     }
 
@@ -183,6 +192,9 @@ impl EventKind {
             EventKind::JournalCommit => 18,
             EventKind::JournalReplay => 19,
             EventKind::JournalCheckpoint => 20,
+            EventKind::ServeBatch => 21,
+            EventKind::ServeReject => 22,
+            EventKind::ServeConn => 23,
         }
     }
 
@@ -210,6 +222,9 @@ impl EventKind {
             EventKind::JournalCommit => "journal_commit",
             EventKind::JournalReplay => "journal_replay",
             EventKind::JournalCheckpoint => "journal_checkpoint",
+            EventKind::ServeBatch => "serve_batch",
+            EventKind::ServeReject => "serve_reject",
+            EventKind::ServeConn => "serve_conn",
         }
     }
 
@@ -251,6 +266,9 @@ impl EventKind {
             TraceEvent::JournalCommit { .. } => EventKind::JournalCommit,
             TraceEvent::JournalReplay { .. } => EventKind::JournalReplay,
             TraceEvent::JournalCheckpoint => EventKind::JournalCheckpoint,
+            TraceEvent::ServeBatch { .. } => EventKind::ServeBatch,
+            TraceEvent::ServeReject { .. } => EventKind::ServeReject,
+            TraceEvent::ServeConn => EventKind::ServeConn,
         }
     }
 }

@@ -16,6 +16,14 @@ pub trait MetricSource: Send + Sync {
     fn rates(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+    /// Latency histograms this source owns (optional), keyed by a
+    /// stable snake_case name. Appears alongside the recorder's per-op
+    /// histograms in both exporters — this is how components with their
+    /// own per-worker histograms (e.g. the metadata server) surface
+    /// latency without routing through the recorder's `OpClass` set.
+    fn hists(&self) -> Vec<(String, HistSummary)> {
+        Vec::new()
+    }
     /// Zeroes the underlying counters.
     fn reset(&self);
 }
@@ -170,6 +178,13 @@ impl Registry {
             }
         }
         let mut hists = Vec::new();
+        for source in &self.sources {
+            for (key, summary) in source.hists() {
+                if summary.count > 0 {
+                    hists.push((key, summary));
+                }
+            }
+        }
         if let Some(obs) = self.recorder.obs() {
             sections.push(Section {
                 name: "events".to_string(),
@@ -296,6 +311,48 @@ mod tests {
         assert!(text.contains("[events]"));
         assert!(text.contains("[rates]"));
         assert!(text.contains("unlink"));
+    }
+
+    #[test]
+    fn source_hists_appear_in_both_exporters() {
+        struct WithHist {
+            h: crate::hist::LatencyHist,
+        }
+        impl MetricSource for WithHist {
+            fn name(&self) -> &'static str {
+                "serve"
+            }
+            fn counters(&self) -> Vec<(&'static str, u64)> {
+                vec![("requests", self.h.count())]
+            }
+            fn hists(&self) -> Vec<(String, HistSummary)> {
+                vec![
+                    ("serve_lookup".to_string(), self.h.summary()),
+                    // Empty histograms are suppressed, like per-op ones.
+                    (
+                        "serve_empty".to_string(),
+                        crate::hist::LatencyHist::new().summary(),
+                    ),
+                ]
+            }
+            fn reset(&self) {
+                self.h.reset();
+            }
+        }
+        let mut reg = Registry::new(Recorder::disabled());
+        let src = WithHist {
+            h: crate::hist::LatencyHist::new(),
+        };
+        src.h.record(640);
+        reg.register(Box::new(src));
+        let snap = reg.snapshot();
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].0, "serve_lookup");
+        let json = snap.to_json();
+        assert!(json.contains("\"serve_lookup\""));
+        assert!(!json.contains("\"serve_empty\""));
+        let text = snap.to_text();
+        assert!(text.contains("serve_lookup"));
     }
 
     #[test]

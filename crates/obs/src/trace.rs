@@ -110,6 +110,20 @@ pub enum TraceEvent {
     /// The journal advanced its tail after a full checkpoint (all
     /// in-place metadata durable; log space reclaimed).
     JournalCheckpoint,
+    /// The metadata server executed one request batch under a single
+    /// batch-scoped epoch pin.
+    ServeBatch {
+        /// Requests in the batch.
+        ops: u32,
+    },
+    /// The metadata server shed a frame at admission (queue full or
+    /// memory gate tripped).
+    ServeReject {
+        /// Requests in the rejected frame.
+        ops: u32,
+    },
+    /// A client connection was accepted by the metadata server.
+    ServeConn,
 }
 
 /// A [`TraceEvent`] stamped with a global sequence number and the

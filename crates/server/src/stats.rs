@@ -1,0 +1,221 @@
+//! Server counters and per-worker latency histograms, exported through
+//! the kernel's metrics registry.
+//!
+//! Workers never share a histogram: each owns a [`WorkerHists`] and
+//! records with plain relaxed atomics on its own cache lines. A
+//! metrics snapshot merges them on demand ([`LatencyHist::merge_from`]
+//! is lossless — identical buckets), so the hot path pays nothing for
+//! observability beyond the per-record atomic adds.
+
+use crate::proto::Op;
+use dc_obs::{HistSummary, LatencyHist, MetricSource};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters for the serving tier. All relaxed; exact under
+/// quiescence (snapshots between load phases), approximate during.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub conns: AtomicU64,
+    /// Request frames executed (one batch each).
+    pub batches: AtomicU64,
+    /// Requests executed (records in executed frames).
+    pub requests: AtomicU64,
+    /// Frames shed by admission control before decoding.
+    pub rejected_frames: AtomicU64,
+    /// Requests inside shed frames (by the frame header's count).
+    pub rejected_requests: AtomicU64,
+    /// Frames answered `BadRequest`/`BadVersion` without execution.
+    pub bad_frames: AtomicU64,
+    /// Executed requests that returned a non-`Ok` status.
+    pub errors: AtomicU64,
+    /// Executed requests per op, indexed by [`Op::idx`].
+    pub per_op: [AtomicU64; 4],
+    /// Signature lookups not answerable from the cache (`SigMiss`).
+    pub sig_miss: AtomicU64,
+}
+
+impl ServeStats {
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.conns.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.rejected_frames.store(0, Ordering::Relaxed);
+        self.rejected_requests.store(0, Ordering::Relaxed);
+        self.bad_frames.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        for c in &self.per_op {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sig_miss.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One worker's latency histograms: the four ops plus the pipeline
+/// stages around them.
+#[derive(Debug, Default)]
+pub struct WorkerHists {
+    /// Per-op execution latency (the kernel call only), by [`Op::idx`].
+    pub per_op: [LatencyHist; 4],
+    /// Request-frame decode.
+    pub decode: LatencyHist,
+    /// Response-frame encode.
+    pub encode: LatencyHist,
+    /// Whole-batch execution (pin + every request).
+    pub batch_exec: LatencyHist,
+    /// Time a frame waited in the submission queue.
+    pub queue_wait: LatencyHist,
+}
+
+/// Export names for the stage histograms, aligned with [`stage_of`].
+const STAGE_NAMES: [&str; 4] = [
+    "serve_decode_frame",
+    "serve_encode_frame",
+    "serve_batch_exec",
+    "serve_queue_wait",
+];
+
+fn stage_of(w: &WorkerHists, i: usize) -> &LatencyHist {
+    match i {
+        0 => &w.decode,
+        1 => &w.encode,
+        2 => &w.batch_exec,
+        _ => &w.queue_wait,
+    }
+}
+
+impl WorkerHists {
+    /// Zeroes every histogram.
+    pub fn reset(&self) {
+        for h in &self.per_op {
+            h.reset();
+        }
+        self.decode.reset();
+        self.encode.reset();
+        self.batch_exec.reset();
+        self.queue_wait.reset();
+    }
+}
+
+/// The serving tier's [`MetricSource`]: counters from [`ServeStats`],
+/// histograms merged across workers at snapshot time. Registered on
+/// the kernel by `Server::start`, so `--metrics-out` exports and
+/// `Kernel::reset_stats` cover served traffic with no extra wiring.
+pub struct ServeMetrics {
+    stats: Arc<ServeStats>,
+    workers: Vec<Arc<WorkerHists>>,
+}
+
+impl ServeMetrics {
+    /// Bundles the server's stats and per-worker histograms.
+    pub fn new(stats: Arc<ServeStats>, workers: Vec<Arc<WorkerHists>>) -> ServeMetrics {
+        ServeMetrics { stats, workers }
+    }
+
+    /// Merges one op's histogram across every worker.
+    pub fn merged_op(&self, op: Op) -> LatencyHist {
+        let out = LatencyHist::new();
+        for w in &self.workers {
+            out.merge_from(&w.per_op[op.idx()]);
+        }
+        out
+    }
+}
+
+impl MetricSource for ServeMetrics {
+    fn name(&self) -> &'static str {
+        "serve"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        let ld = Ordering::Relaxed;
+        vec![
+            ("requests", s.requests.load(ld)),
+            ("batches", s.batches.load(ld)),
+            ("rejected_requests", s.rejected_requests.load(ld)),
+            ("rejected_frames", s.rejected_frames.load(ld)),
+            ("bad_frames", s.bad_frames.load(ld)),
+            ("errors", s.errors.load(ld)),
+            ("conns", s.conns.load(ld)),
+            ("op_lookup", s.per_op[Op::Lookup.idx()].load(ld)),
+            ("op_stat", s.per_op[Op::Stat.idx()].load(ld)),
+            ("op_readdir", s.per_op[Op::Readdir.idx()].load(ld)),
+            ("op_lookup_sig", s.per_op[Op::LookupSig.idx()].load(ld)),
+            ("sig_miss", s.sig_miss.load(ld)),
+        ]
+    }
+
+    fn rates(&self) -> Vec<(&'static str, f64)> {
+        let executed = self.stats.requests.load(Ordering::Relaxed);
+        let rejected = self.stats.rejected_requests.load(Ordering::Relaxed);
+        let offered = executed + rejected;
+        if offered == 0 {
+            return Vec::new();
+        }
+        vec![("reject_rate", rejected as f64 / offered as f64)]
+    }
+
+    fn hists(&self) -> Vec<(String, HistSummary)> {
+        let mut out = Vec::new();
+        for op in Op::all() {
+            let merged = self.merged_op(op);
+            if merged.count() > 0 {
+                out.push((format!("serve_{}", op.key()), merged.summary()));
+            }
+        }
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            let merged = LatencyHist::new();
+            for w in &self.workers {
+                merged.merge_from(stage_of(w, i));
+            }
+            if merged.count() > 0 {
+                out.push((name.to_string(), merged.summary()));
+            }
+        }
+        out
+    }
+
+    fn reset(&self) {
+        self.stats.reset();
+        for w in &self.workers {
+            w.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hists_merge_across_workers_and_skip_empty() {
+        let stats = Arc::new(ServeStats::default());
+        let workers: Vec<Arc<WorkerHists>> =
+            (0..3).map(|_| Arc::new(WorkerHists::default())).collect();
+        workers[0].per_op[Op::Lookup.idx()].record(100);
+        workers[2].per_op[Op::Lookup.idx()].record(300);
+        workers[1].decode.record(50);
+        let m = ServeMetrics::new(stats, workers);
+        let hists = m.hists();
+        let names: Vec<&str> = hists.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["serve_lookup", "serve_decode_frame"]);
+        assert_eq!(hists[0].1.count, 2);
+        assert_eq!(hists[0].1.max_ns, 300);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_worker_hists() {
+        let stats = Arc::new(ServeStats::default());
+        stats.requests.fetch_add(9, Ordering::Relaxed);
+        let worker = Arc::new(WorkerHists::default());
+        worker.queue_wait.record(7);
+        let m = ServeMetrics::new(stats.clone(), vec![worker.clone()]);
+        m.reset();
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 0);
+        assert_eq!(worker.queue_wait.count(), 0);
+        assert!(m.hists().is_empty());
+    }
+}

@@ -65,6 +65,23 @@ impl Signature {
     pub fn signature_bits() -> u32 {
         SIGNATURE_BITS
     }
+
+    /// All 256 bits — the compared 240 plus the table-index bits — for
+    /// transport. Unlike [`sig240`](Signature::sig240), this preserves
+    /// the index bits, so a signature reconstructed with
+    /// [`from_wire`](Signature::from_wire) probes the same DLHT bucket
+    /// as the original.
+    #[inline]
+    pub fn to_wire(&self) -> [u64; 4] {
+        self.lanes
+    }
+
+    /// Reconstructs a signature from [`to_wire`](Signature::to_wire)
+    /// output (exact round-trip, index bits included).
+    #[inline]
+    pub fn from_wire(lanes: [u64; 4]) -> Self {
+        Signature { lanes }
+    }
 }
 
 impl PartialEq for Signature {

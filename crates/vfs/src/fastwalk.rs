@@ -47,9 +47,14 @@ impl Kernel {
         // Pin the reclamation epoch once for the whole resolution: every
         // snapshot/chain read below nests under this guard, so retired
         // snapshots and DLHT nodes stay alive while we look at them.
+        // Under a batch-scoped pin (server workers) this nests for free
+        // and the batch pin already accounted the one EpochPin.
+        let in_batch = dcache_core::batch_pin_active();
         let _epoch = crossbeam_epoch::pin();
-        stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
-        self.dcache.obs.event(|| TraceEvent::EpochPin);
+        if !in_batch {
+            stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
+            self.dcache.obs.event(|| TraceEvent::EpochPin);
+        }
         let ns = proc.namespace();
         let cred = proc.cred();
         let root = proc.root();
@@ -105,19 +110,37 @@ impl Kernel {
         }
 
         let sig = self.dcache.key.finish(&h);
+        self.fast_validate(&ns, &pcc, &cred, &sig, follow_last, parsed.require_dir)
+    }
 
-        // Phase 3 runs optimistically: dentry fields are read from
-        // epoch-published snapshots, and every terminal answer is
-        // revalidated against the per-dentry seq counter. A mismatch
-        // means a writer republished mid-read — restart from the DLHT
-        // probe (bounded; exhaustion falls back to the slowpath).
+    /// Phase 3 of the fastpath: validates a signature against the DLHT
+    /// and answers definitively or not at all. Shared by path-keyed
+    /// resolution ([`fast_resolve`](Kernel::fast_resolve)) and
+    /// signature-keyed server lookups ([`Kernel::lookup_sig`]); the
+    /// caller must hold an epoch pin.
+    ///
+    /// Runs optimistically: dentry fields are read from epoch-published
+    /// snapshots, and every terminal answer is revalidated against the
+    /// per-dentry seq counter. A mismatch means a writer republished
+    /// mid-read — restart from the DLHT probe (bounded; exhaustion
+    /// falls back to the slowpath).
+    pub(crate) fn fast_validate(
+        &self,
+        ns: &Arc<crate::namespace::MountNamespace>,
+        pcc: &Pcc,
+        cred: &dc_cred::Cred,
+        sig: &dcache_core::Signature,
+        follow_last: bool,
+        require_dir: bool,
+    ) -> Option<FsResult<WalkResult>> {
+        let stats = &self.dcache.stats;
         let mut attempts = 0u32;
         'restart: loop {
             if attempts == MAX_READ_RETRIES {
                 return None;
             }
             attempts += 1;
-            let Some(first) = self.dcache.dlht_lookup(ns.id, &sig) else {
+            let Some(first) = self.dcache.dlht_lookup(ns.id, sig) else {
                 stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
                 return None;
             };
@@ -148,7 +171,7 @@ impl Kernel {
                 let seq_sample = obj.seq();
                 if !pcc.check(obj.id(), seq_sample) {
                     if self
-                        .fast_revalidate(&ns, &pcc, &obj, seq_sample, &cred)
+                        .fast_revalidate(ns, pcc, &obj, seq_sample, cred)
                         .is_none()
                     {
                         stats.fast_miss_pcc.fetch_add(1, Ordering::Relaxed);
@@ -219,7 +242,7 @@ impl Kernel {
                 self.dcache.obs.event(|| TraceEvent::ReadRetry);
                 continue 'restart;
             }
-            if parsed.require_dir && !inode.is_dir() {
+            if require_dir && !inode.is_dir() {
                 return Some(Err(FsError::NotDir));
             }
             stats.fast_hits.fetch_add(1, Ordering::Relaxed);

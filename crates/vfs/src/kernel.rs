@@ -46,6 +46,11 @@ pub struct Kernel {
     /// Registered memory-pressure shrinkers (the dcache registers itself
     /// at assembly); [`Kernel::memory_pressure`] drives them.
     shrinkers: ShrinkerRegistry,
+    /// Extra metric sources registered by components layered on top of
+    /// the kernel (e.g. the metadata server); included in
+    /// [`Kernel::metrics_registry`] and cleared by
+    /// [`Kernel::reset_stats`].
+    extra_sources: Mutex<Vec<Arc<dyn MetricSource>>>,
 }
 
 /// Registered (file system → superblock) pairs; weak on the FS side so
@@ -185,6 +190,7 @@ impl Kernel {
             tmp_rng: AtomicU64::new(0x9e3779b97f4a7c15),
             superblocks: Mutex::new(sb_registry),
             shrinkers,
+            extra_sources: Mutex::new(Vec::new()),
         }))
     }
 
@@ -292,7 +298,9 @@ impl Kernel {
         self.shrinkers.pressure(budget_bytes)
     }
 
-    /// Resets every statistics counter (between experiment phases).
+    /// Resets every statistics counter (between experiment phases),
+    /// including any [registered](Kernel::register_metric_source) extra
+    /// sources (e.g. the metadata server's counters).
     pub fn reset_stats(&self) {
         self.dcache.stats.reset();
         self.timing.reset();
@@ -303,6 +311,18 @@ impl Kernel {
             memfs.disk().reset_stats();
             memfs.reset_journal_stats();
         }
+        for src in self.extra_sources.lock().iter() {
+            src.reset();
+        }
+    }
+
+    /// Registers an additional [`MetricSource`] to appear in
+    /// [`metrics_registry`](Kernel::metrics_registry) snapshots and be
+    /// cleared by [`reset_stats`](Kernel::reset_stats). Used by
+    /// components layered above the syscall surface (the metadata
+    /// server registers its counters and latency histograms here).
+    pub fn register_metric_source(&self, source: Arc<dyn MetricSource>) {
+        self.extra_sources.lock().push(source);
     }
 
     /// The kernel-wide observability recorder (disabled unless
@@ -324,6 +344,9 @@ impl Kernel {
             if memfs.journal_stats().is_some() {
                 reg.register(Box::new(JournalMetrics(self.clone())));
             }
+        }
+        for src in self.extra_sources.lock().iter() {
+            reg.register(Box::new(SharedSource(src.clone())));
         }
         reg
     }
@@ -448,6 +471,28 @@ impl MetricSource for JournalMetrics {
     fn reset(&self) {
         // Journal counters are cumulative since mount; there is nothing
         // safe to zero without losing the replay record.
+    }
+}
+
+/// Adapts an `Arc`-shared [`MetricSource`] (kept alive by the kernel's
+/// registration list) into the boxed form [`Registry`] owns.
+struct SharedSource(Arc<dyn MetricSource>);
+
+impl MetricSource for SharedSource {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.0.counters()
+    }
+    fn rates(&self) -> Vec<(&'static str, f64)> {
+        self.0.rates()
+    }
+    fn hists(&self) -> Vec<(String, dc_obs::HistSummary)> {
+        self.0.hists()
+    }
+    fn reset(&self) {
+        self.0.reset();
     }
 }
 

@@ -47,6 +47,7 @@ mod mount;
 mod namespace;
 mod path;
 mod process;
+mod serve;
 mod syscalls;
 mod timing;
 mod walk;
@@ -57,6 +58,7 @@ pub use mount::{Mount, MountFlags, SuperBlock};
 pub use namespace::MountNamespace;
 pub use path::{split_path, PathRef, WalkResult};
 pub use process::Process;
+pub use serve::{LookupReply, SigLookup};
 pub use timing::{SyscallClass, SyscallTiming};
 
 pub use dc_cred::{Cred, CredBuilder, SecurityStack};
