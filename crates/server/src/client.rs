@@ -61,12 +61,20 @@ pub struct StreamClient {
 }
 
 impl StreamClient {
-    /// Wraps one end of a duplex stream.
+    /// Wraps one end of a duplex stream. Response frames are read
+    /// under the default [`MAX_FRAME_BYTES`](crate::proto::MAX_FRAME_BYTES)
+    /// cap — the server bounds every response it encodes to its own
+    /// `max_frame_bytes`, so the caps only disagree if the server was
+    /// configured with a larger one (use [`with_max_frame`](Self::with_max_frame)
+    /// to match it).
     pub fn new(stream: DuplexEnd) -> StreamClient {
-        StreamClient {
-            stream,
-            max_frame: crate::proto::MAX_FRAME_BYTES,
-        }
+        StreamClient::with_max_frame(stream, crate::proto::MAX_FRAME_BYTES)
+    }
+
+    /// Wraps a stream with an explicit response-frame cap, for servers
+    /// configured with a non-default `max_frame_bytes`.
+    pub fn with_max_frame(stream: DuplexEnd, max_frame: usize) -> StreamClient {
+        StreamClient { stream, max_frame }
     }
 
     /// Sends one batch over the wire and blocks for its responses.

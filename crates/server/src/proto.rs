@@ -36,7 +36,10 @@
 //!
 //! An entire frame can be shed before decoding: the response then has
 //! `frame_status = 32` and `count = 0`, and the client fails every
-//! request it sent in that frame with [`Status::Overloaded`].
+//! request it sent in that frame with [`Status::Overloaded`]. A batch
+//! whose *encoded response* would exceed the server's frame cap is
+//! likewise answered at the frame level with `frame_status = 38`
+//! (`TooBig`) — split the batch and retry.
 //!
 //! Versioning: breaking layout changes bump `version`; a server
 //! receiving an unknown version answers with an empty frame whose
@@ -409,7 +412,19 @@ pub fn get_sig(buf: &[u8], at: &mut usize) -> Option<Signature> {
 
 /// Encodes a batch of requests into one frame (without the 4-byte
 /// length prefix — the transport owns that).
+///
+/// # Panics
+///
+/// The frame's count and argument-length fields are `u16`; more than
+/// 65535 requests or a path longer than 65535 bytes cannot be encoded
+/// and panics rather than silently truncating into a frame the server
+/// would decode as malformed (or worse, misframed).
 pub fn encode_request_frame(reqs: &[Request<'_>]) -> Vec<u8> {
+    assert!(
+        reqs.len() <= u16::MAX as usize,
+        "batch of {} requests exceeds the u16 frame count",
+        reqs.len()
+    );
     let mut out = Vec::with_capacity(16 + reqs.len() * 48);
     out.push(REQ_MAGIC);
     out.push(VERSION);
@@ -425,6 +440,11 @@ pub fn encode_request_frame(reqs: &[Request<'_>]) -> Vec<u8> {
         put_u16(&mut out, r.cred);
         match r.body {
             ReqBody::Lookup { path, .. } | ReqBody::Stat { path } | ReqBody::Readdir { path } => {
+                assert!(
+                    path.len() <= u16::MAX as usize,
+                    "path of {} bytes exceeds the u16 argument length",
+                    path.len()
+                );
                 put_u16(&mut out, path.len() as u16);
                 out.extend_from_slice(path.as_bytes());
             }
@@ -535,6 +555,14 @@ pub fn peek_request_count(buf: &[u8]) -> u32 {
 
 // --- response encode/decode ---------------------------------------------
 
+/// Encoded size of a readdir body: the `u16` entry count plus
+/// `u64 ino, u8 ftype, u8 name_len, name` per entry. The server checks
+/// this against `u16::MAX` before encoding — body_len is a `u16`, so a
+/// listing past ~6500 entries is unencodable in one record.
+pub fn readdir_wire_len(entries: &[dc_fs::DirEntry]) -> usize {
+    2 + entries.iter().map(|e| 10 + e.name.len()).sum::<usize>()
+}
+
 /// Incremental response-frame builder the server encodes into.
 #[derive(Debug)]
 pub struct RespWriter {
@@ -566,8 +594,18 @@ impl RespWriter {
     }
 
     fn patch_body_len(&mut self, len_at: usize) {
-        let body_len = (self.buf.len() - len_at - 2) as u16;
-        self.buf[len_at..len_at + 2].copy_from_slice(&body_len.to_le_bytes());
+        let body_len = self.buf.len() - len_at - 2;
+        debug_assert!(
+            body_len <= u16::MAX as usize,
+            "response body of {body_len} bytes overflows the u16 body_len \
+             (the server must bound bodies before encoding)"
+        );
+        self.buf[len_at..len_at + 2].copy_from_slice(&(body_len as u16).to_le_bytes());
+    }
+
+    /// Bytes encoded so far (header plus every pushed record).
+    pub fn encoded_len(&self) -> usize {
+        self.buf.len()
     }
 
     /// An error (or otherwise body-less) response.
@@ -610,8 +648,10 @@ impl RespWriter {
         self.patch_body_len(at);
     }
 
-    /// A successful readdir. Entries beyond `u16::MAX` or names beyond
-    /// 255 bytes cannot be encoded; the caller bounds both.
+    /// A successful readdir. Names beyond 255 bytes and listings whose
+    /// encoded body ([`readdir_wire_len`]) exceeds the `u16` body_len
+    /// cannot be encoded; the caller bounds both (the server answers
+    /// such listings with [`Status::TooBig`] instead).
     pub fn push_readdir(&mut self, id: u64, entries: &[dc_fs::DirEntry]) {
         let at = self.record_header(id, Status::Ok, Op::Readdir as u8);
         put_u16(&mut self.buf, entries.len() as u16);
@@ -929,6 +969,50 @@ mod tests {
         for cut in 1..frame.len() {
             assert!(decode_response_frame(&frame[..cut]).is_none());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 frame count")]
+    fn oversized_batch_panics_instead_of_truncating() {
+        let reqs = vec![
+            Request {
+                id: 0,
+                cred: 0,
+                body: ReqBody::Stat { path: "/x" },
+            };
+            u16::MAX as usize + 1
+        ];
+        let _ = encode_request_frame(&reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 argument length")]
+    fn oversized_path_panics_instead_of_truncating() {
+        let long = "x".repeat(u16::MAX as usize + 1);
+        let _ = encode_request_frame(&[Request {
+            id: 0,
+            cred: 0,
+            body: ReqBody::Lookup {
+                path: &long,
+                want_sig: false,
+            },
+        }]);
+    }
+
+    #[test]
+    fn readdir_wire_len_matches_encoding() {
+        let entries: Vec<dc_fs::DirEntry> = (0..37)
+            .map(|i| dc_fs::DirEntry {
+                name: format!("entry{i}"),
+                ino: i,
+                ftype: FileType::Regular,
+            })
+            .collect();
+        let mut w = RespWriter::new(0);
+        let before = w.encoded_len();
+        w.push_readdir(1, &entries);
+        // record header is u64 id + u8 status + u8 op + u16 body_len.
+        assert_eq!(w.encoded_len() - before - 12, readdir_wire_len(&entries));
     }
 
     #[test]

@@ -246,10 +246,16 @@ impl Server {
     /// `Overloaded` responses (no request is silently dropped), then
     /// the workers are joined.
     pub fn shutdown(&self) {
-        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        let drained: Vec<Job> = self.inner.queue.lock().unwrap().drain(..).collect();
+        // Flag and drain under the queue lock: any submit that takes
+        // the lock afterwards sees the flag and rejects, so nothing can
+        // slip into the queue once the drain has run.
+        let drained: Vec<Job> = {
+            let mut q = self.inner.queue.lock().unwrap();
+            if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            q.drain(..).collect()
+        };
         for job in drained {
             self.inner.reject(&job.conn, &job.frame);
         }
@@ -275,6 +281,8 @@ impl Inner {
             conn.push(RespWriter::new(Status::TooBig.code()).finish());
             return;
         }
+        // Fast path only — the authoritative shutdown check happens
+        // under the queue lock below, where it cannot race the drain.
         if self.shutdown.load(Ordering::SeqCst) {
             self.reject(conn, &frame);
             return;
@@ -294,7 +302,11 @@ impl Inner {
         }
         {
             let mut q = self.queue.lock().unwrap();
-            if q.len() >= self.config.queue_depth {
+            // Re-checked under the lock: shutdown() sets the flag and
+            // drains while holding it, so a frame enqueued here is
+            // either seen by that drain or rejected right now — never
+            // stranded in the queue with no worker left to answer it.
+            if self.shutdown.load(Ordering::SeqCst) || q.len() >= self.config.queue_depth {
                 drop(q);
                 self.reject(conn, &frame);
                 return;
@@ -396,6 +408,7 @@ impl Inner {
 
         let t = Instant::now();
         let mut w = RespWriter::new(0);
+        let mut too_big = false;
         for (id, op, result) in results {
             match result {
                 ExecResult::Status(status) => {
@@ -411,8 +424,22 @@ impl Inner {
                 ExecResult::Stat(attr) => w.push_stat(id, &attr),
                 ExecResult::Readdir(entries) => w.push_readdir(id, &entries),
             }
+            // The peer reads responses under the same frame cap as
+            // requests; a batch whose encoded response would blow it
+            // (e.g. many near-cap readdirs) fails typed at the frame
+            // level instead of poisoning the connection. Checked per
+            // record so the overshoot stays bounded by one record.
+            if w.encoded_len() > self.config.max_frame_bytes {
+                too_big = true;
+                break;
+            }
         }
-        let resp = w.finish();
+        let resp = if too_big {
+            self.stats.resp_too_big.fetch_add(1, Ordering::Relaxed);
+            RespWriter::new(Status::TooBig.code()).finish()
+        } else {
+            w.finish()
+        };
         hists.encode.record(t.elapsed().as_nanos() as u64);
         resp
     }
@@ -452,7 +479,10 @@ impl Inner {
                     },
                     Op::Readdir => match self.kernel.list_dir(&proc, path) {
                         Ok(entries) => {
-                            if entries.len() > u16::MAX as usize
+                            // The encoded body (2 + Σ(10 + name_len))
+                            // must fit the u16 body_len — bounding the
+                            // entry count alone is not enough.
+                            if proto::readdir_wire_len(&entries) > u16::MAX as usize
                                 || entries.iter().any(|e| e.name.len() > 255)
                             {
                                 ExecResult::Status(Status::TooBig)

@@ -28,6 +28,9 @@ pub struct ServeStats {
     pub rejected_requests: AtomicU64,
     /// Frames answered `BadRequest`/`BadVersion` without execution.
     pub bad_frames: AtomicU64,
+    /// Executed frames whose encoded response blew the frame cap and
+    /// were answered with a frame-level `TooBig` instead.
+    pub resp_too_big: AtomicU64,
     /// Executed requests that returned a non-`Ok` status.
     pub errors: AtomicU64,
     /// Executed requests per op, indexed by [`Op::idx`].
@@ -45,6 +48,7 @@ impl ServeStats {
         self.rejected_frames.store(0, Ordering::Relaxed);
         self.rejected_requests.store(0, Ordering::Relaxed);
         self.bad_frames.store(0, Ordering::Relaxed);
+        self.resp_too_big.store(0, Ordering::Relaxed);
         self.errors.store(0, Ordering::Relaxed);
         for c in &self.per_op {
             c.store(0, Ordering::Relaxed);
@@ -138,6 +142,7 @@ impl MetricSource for ServeMetrics {
             ("rejected_requests", s.rejected_requests.load(ld)),
             ("rejected_frames", s.rejected_frames.load(ld)),
             ("bad_frames", s.bad_frames.load(ld)),
+            ("resp_too_big", s.resp_too_big.load(ld)),
             ("errors", s.errors.load(ld)),
             ("conns", s.conns.load(ld)),
             ("op_lookup", s.per_op[Op::Lookup.idx()].load(ld)),

@@ -49,10 +49,17 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Vec<u8>>> 
     Ok(Some(buf))
 }
 
+/// High-water mark on a pipe's buffer: writes block once the reader
+/// falls this far behind, like a socket's send buffer. One full frame
+/// (plus its length prefix) always fits, so a request/response
+/// exchange never deadlocks on its own data.
+pub const PIPE_HIGH_WATER: usize = crate::proto::MAX_FRAME_BYTES + 4;
+
 /// One direction of the in-process pipe.
 struct Pipe {
     state: Mutex<PipeState>,
     readable: Condvar,
+    writable: Condvar,
 }
 
 struct PipeState {
@@ -68,20 +75,35 @@ impl Pipe {
                 closed: false,
             }),
             readable: Condvar::new(),
+            writable: Condvar::new(),
         })
     }
 
-    fn write(&self, data: &[u8]) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
-        if st.closed {
-            return Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "peer closed the pipe",
-            ));
+    /// Writes up to the high-water mark, blocking while the buffer is
+    /// full (backpressure: a producer cannot outrun a stalled reader
+    /// without bound). Returns the bytes accepted; `write_all` in the
+    /// framing layer loops over partial writes.
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
         }
-        st.buf.extend(data);
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "peer closed the pipe",
+                ));
+            }
+            if st.buf.len() < PIPE_HIGH_WATER {
+                break;
+            }
+            st = self.writable.wait(st).unwrap();
+        }
+        let n = (PIPE_HIGH_WATER - st.buf.len()).min(data.len());
+        st.buf.extend(&data[..n]);
         self.readable.notify_all();
-        Ok(())
+        Ok(n)
     }
 
     /// Blocks until data is available or the writer closed; returns the
@@ -95,12 +117,16 @@ impl Pipe {
         for slot in out.iter_mut().take(n) {
             *slot = st.buf.pop_front().unwrap();
         }
+        if n > 0 {
+            self.writable.notify_all();
+        }
         n
     }
 
     fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.readable.notify_all();
+        self.writable.notify_all();
     }
 }
 
@@ -161,8 +187,7 @@ impl Read for DuplexEnd {
 
 impl Write for DuplexEnd {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.tx.write(buf)?;
-        Ok(buf.len())
+        self.tx.write(buf)
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -215,6 +240,35 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         write_frame(&mut a, b"late").unwrap();
         assert_eq!(t.join().unwrap(), b"late");
+    }
+
+    #[test]
+    fn writes_block_at_the_high_water_mark() {
+        let (mut a, mut b) = duplex_pair();
+        let total = PIPE_HIGH_WATER * 2 + 17;
+        let writer = std::thread::spawn(move || {
+            a.write_all(&vec![0xAB; total]).unwrap();
+        });
+        // The writer cannot finish: the buffer caps at the high-water
+        // mark and nothing has been read yet. (This holds regardless of
+        // timing — completion would require draining the pipe.)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!writer.is_finished(), "writer ran past the buffer cap");
+        let mut drained = vec![0u8; total];
+        b.read_exact(&mut drained).unwrap();
+        assert!(drained.iter().all(|&x| x == 0xAB));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_writer_errors_when_the_pipe_closes() {
+        let (mut a, _b) = duplex_pair();
+        a.write_all(&vec![0u8; PIPE_HIGH_WATER]).unwrap(); // fill to the cap
+        let tx = a.tx.clone();
+        let writer = std::thread::spawn(move || a.write_all(b"one more byte"));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.close();
+        assert!(writer.join().unwrap().is_err());
     }
 
     #[test]

@@ -305,6 +305,120 @@ fn stream_transport_serves_frames_over_the_wire() {
 }
 
 #[test]
+fn huge_readdir_is_rejected_typed_not_truncated() {
+    let k = obs_kernel();
+    let p = k.init_process();
+    // Encoded readdir body is 2 + Σ(10 + name_len); 3500 entries with
+    // 9-byte names is ~66.5 KB — past the u16 body_len, though both the
+    // entry count and every name length are individually in bounds.
+    k.mkdir(&p, "/big", 0o755).unwrap();
+    for f in 0..3500 {
+        let fd = k
+            .open(&p, &format!("/big/file{f:05}"), OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&p, fd).unwrap();
+    }
+    let server = Server::start(k.clone(), ServerConfig::default());
+    server.register_cred(1, k.init_process());
+    let client = Client::new(server.connect());
+    let resps = client.call(&[
+        Request {
+            id: 1,
+            cred: 1,
+            body: ReqBody::Readdir { path: "/big" },
+        },
+        Request {
+            id: 2,
+            cred: 1,
+            body: ReqBody::Stat { path: "/big" },
+        },
+    ]);
+    // The oversized listing fails typed; its batch-mates still succeed
+    // and the response frame stays decodable (no silent u16 wraparound).
+    assert_eq!(resps[0].status, Status::TooBig);
+    assert_eq!(resps[1].status, Status::Ok);
+}
+
+#[test]
+fn oversized_response_frame_fails_typed_at_the_frame_level() {
+    let k = obs_kernel();
+    populate(&k, 1, 400);
+    // A 4 KiB frame cap: each readdir of /d0 encodes to ~5.5 KB, well
+    // under the u16 per-record bound but past the whole-frame cap.
+    let server = Server::start(
+        k.clone(),
+        ServerConfig {
+            max_frame_bytes: 4096,
+            ..ServerConfig::default()
+        },
+    );
+    server.register_cred(1, k.init_process());
+    let client = Client::new(server.connect());
+    let resps = client.call(&[Request {
+        id: 1,
+        cred: 1,
+        body: ReqBody::Readdir { path: "/d0" },
+    }]);
+    assert_eq!(
+        resps[0].status,
+        Status::TooBig,
+        "response past the frame cap must fail typed, not poison the stream"
+    );
+    assert_eq!(server.stats().resp_too_big.load(Ordering::Relaxed), 1);
+    let json = k.metrics_registry().snapshot().to_json();
+    assert!(json.contains("\"resp_too_big\": 1"), "export: {json}");
+
+    // A small request on the same connection still succeeds: the
+    // connection survives the rejection.
+    let resps = client.call(&[Request {
+        id: 2,
+        cred: 1,
+        body: ReqBody::Stat { path: "/d0/f0" },
+    }]);
+    assert_eq!(resps[0].status, Status::Ok);
+}
+
+#[test]
+fn shutdown_racing_submits_never_strands_a_client() {
+    let k = obs_kernel();
+    populate(&k, 1, 1);
+    for _ in 0..8 {
+        let server = Arc::new(Server::start(
+            k.clone(),
+            ServerConfig {
+                workers: 2,
+                queue_depth: 4,
+                ..ServerConfig::default()
+            },
+        ));
+        server.register_cred(1, k.init_process());
+        let clients: Vec<_> = (0..4)
+            .map(|t| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let client = Client::new(server.connect());
+                    for i in 0..50 {
+                        // Every call must come back — Ok before the
+                        // shutdown, Overloaded after — never hang on a
+                        // frame enqueued behind the drain.
+                        let resps = client.call(&[Request {
+                            id: t * 1000 + i,
+                            cred: 1,
+                            body: ReqBody::Stat { path: "/d0/f0" },
+                        }]);
+                        assert!(matches!(resps[0].status, Status::Ok | Status::Overloaded));
+                    }
+                })
+            })
+            .collect();
+        server.shutdown();
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+}
+
+#[test]
 fn serve_metrics_export_in_both_formats_and_reset_clears() {
     let k = obs_kernel();
     populate(&k, 1, 4);
