@@ -1,0 +1,67 @@
+//! Throwaway hot-path attribution probe (not part of `repro`).
+
+use dc_vfs::{DcacheConfig, KernelBuilder, OpenFlags, SyscallClass};
+use std::time::Instant;
+
+fn time<R>(label: &str, iters: u64, mut f: impl FnMut() -> R) {
+    for _ in 0..1000 {
+        std::hint::black_box(f());
+    }
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!("{label:32} {best:8.1} ns");
+}
+
+fn main() {
+    let k = KernelBuilder::new(DcacheConfig::optimized().with_seed(7))
+        .build()
+        .unwrap();
+    let p = k.init_process();
+    k.mkdir(&p, "/a", 0o755).unwrap();
+    k.mkdir(&p, "/a/b", 0o755).unwrap();
+    k.mkdir(&p, "/a/b/c", 0o755).unwrap();
+    let fd = k.open(&p, "/a/b/c/f", OpenFlags::create(), 0o644).unwrap();
+    k.close(&p, fd).unwrap();
+    for _ in 0..4 {
+        k.stat(&p, "/a/b/c/f").unwrap();
+    }
+
+    const N: u64 = 200_000;
+    time("stat 4-comp", N, || k.stat(&p, "/a/b/c/f").unwrap());
+    time("stat 1-comp", N, || k.stat(&p, "/a").unwrap());
+    time("timing.record(nop)", N, || {
+        k.timing.record(SyscallClass::AccessStat, || 1u64)
+    });
+    time("proc.namespace+cred+root", N, || {
+        let ns = p.namespace();
+        let c = p.cred();
+        let r = p.root();
+        (ns.id, c.uid, r.mount.id)
+    });
+    time("batch_pin (epoch pin)", N, || k.dcache.batch_pin());
+    time("dcache.dlht_for", N, || {
+        let ns = p.namespace();
+        k.dcache.dlht_for(ns.id).len()
+    });
+    time("dcache.pcc_for", N, || {
+        let c = p.cred();
+        let ns = p.namespace();
+        k.dcache.pcc_for(&c, ns.id).capacity()
+    });
+    time("split_path 4-comp", N, || {
+        dc_vfs::split_path("/a/b/c/f").unwrap().components.len()
+    });
+    time("Instant::now x2", N, || {
+        let a = Instant::now();
+        a.elapsed().as_nanos() as u64
+    });
+}

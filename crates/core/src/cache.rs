@@ -4,6 +4,7 @@ use crate::batch::BatchPin;
 use crate::config::DcacheConfig;
 use crate::dentry::{
     Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE, FLAG_LOCKED_READS,
+    FLAG_SNAP_BOXED,
 };
 use crate::dlht::Dlht;
 use crate::inode::{Inode, SbId};
@@ -72,7 +73,8 @@ impl Dcache {
         let key = match config.hash_seed {
             Some(seed) => HashKey::from_seed(seed),
             None => HashKey::from_entropy(),
-        };
+        }
+        .with_wide(config.sighash_wide);
         Arc::new(Dcache {
             config,
             key,
@@ -130,6 +132,9 @@ impl Dcache {
         if !self.config.lockfree_reads {
             d.set_flag(FLAG_LOCKED_READS);
         }
+        if !self.config.snap_slab {
+            d.set_flag(FLAG_SNAP_BOXED);
+        }
         d.store_hash_state(self.key.root_state());
         self.live.fetch_add(1, Ordering::Relaxed);
         d
@@ -150,6 +155,9 @@ impl Dcache {
         );
         if !self.config.lockfree_reads {
             d.set_flag(FLAG_LOCKED_READS);
+        }
+        if !self.config.snap_slab {
+            d.set_flag(FLAG_SNAP_BOXED);
         }
         parent.insert_child(d.clone());
         d.touch(self.tick.fetch_add(1, Ordering::Relaxed));
@@ -255,13 +263,32 @@ impl Dcache {
     /// path is an epoch-protected snapshot scan — no lock.
     pub fn dlht_for(&self, ns: NsId) -> Arc<Dlht> {
         self.dlhts.get_or_insert_with(ns, || {
-            Dlht::new_with_mode(ns, self.config.dlht_buckets, self.config.lockfree_reads)
+            Dlht::new_with_layout(
+                ns,
+                self.config.dlht_buckets,
+                self.config.lockfree_reads,
+                self.config.dlht_open_addressed,
+            )
         })
     }
 
     /// Direct lookup by full-path signature in namespace `ns`.
     pub fn dlht_lookup(&self, ns: NsId, sig: &crate::Signature) -> Option<Arc<Dentry>> {
-        let found = self.dlht_for(ns).lookup(sig);
+        let guard = crossbeam_epoch::pin();
+        self.dlht_lookup_in(&self.dlht_for(ns), sig, &guard)
+    }
+
+    /// Direct lookup against an already-resolved namespace table (the
+    /// fastpath's memoized handle — skips the per-namespace map scan of
+    /// [`dlht_lookup`](Dcache::dlht_lookup) while keeping its probe
+    /// accounting).
+    pub fn dlht_lookup_in(
+        &self,
+        dlht: &Dlht,
+        sig: &crate::Signature,
+        guard: &crossbeam_epoch::Guard,
+    ) -> Option<Arc<Dentry>> {
+        let found = dlht.lookup_with(sig, guard);
         let hit = found.is_some();
         self.obs.event(|| TraceEvent::DlhtProbe { hit });
         found
@@ -309,6 +336,20 @@ impl Dcache {
         }
         any.downcast::<Pcc>()
             .expect("cred cache slot held a non-PCC value")
+    }
+
+    /// Borrows the PCC for `(cred, ns)` under a caller-held epoch guard —
+    /// the fastpath variant of [`pcc_for`](Dcache::pcc_for): no nested
+    /// pin, no `Arc` clones, no downcast allocation. `None` when no PCC
+    /// is attached yet; the caller runs `pcc_for` once to create it.
+    pub fn pcc_ref<'g>(
+        &self,
+        cred: &Cred,
+        ns: NsId,
+        guard: &'g crossbeam_epoch::Guard,
+    ) -> Option<&'g Pcc> {
+        let any = cred.cache_ref(ns, guard)?;
+        any.downcast_ref::<Pcc>()
     }
 
     /// Flushes every live PCC (the paper's version-wraparound handling;
@@ -427,15 +468,15 @@ impl Dcache {
     }
 
     /// The cache's *reclaimable* footprint in bytes: dentry structs, DLHT
-    /// chain nodes (the fixed bucket arrays survive any shrink and are
-    /// excluded — see [`Dcache::space_report`] for the full footprint),
-    /// and occupied PCC lines. This is what a memory-pressure shrink can
-    /// actually free, minus the pinned floor (roots, cwds, open files).
+    /// chain nodes or bucket groups (walked — the fixed bucket arrays
+    /// survive any shrink and are excluded; see [`Dcache::space_report`]
+    /// for the full footprint), and occupied PCC lines. This is what a
+    /// memory-pressure shrink can actually free, minus the pinned floor
+    /// (roots, cwds, open files).
     pub fn reclaimable_bytes(&self) -> u64 {
         let mut node_bytes = 0u64;
         for t in self.dlhts.values() {
-            let fp = t.footprint();
-            node_bytes += fp.nodes * fp.node_bytes as u64;
+            node_bytes += t.footprint().reclaimable_bytes();
         }
         let mut pcc_bytes = 0u64;
         {
@@ -507,20 +548,26 @@ impl Dcache {
     // --- reporting ---------------------------------------------------------
 
     /// Space-overhead report (§6.1). DLHT numbers come from walking the
-    /// real chains: exact bucket-head and node sizes, not stand-ins.
+    /// real buckets: exact head, node, and group sizes, not stand-ins.
     pub fn space_report(&self) -> SpaceReport {
         let mut dlht_bytes = 0usize;
         let mut dlht_buckets = 0usize;
         let mut dlht_nodes = 0u64;
+        let mut dlht_groups = 0u64;
+        let mut dlht_entries = 0u64;
         let mut dlht_bucket_bytes = 0usize;
         let mut dlht_node_bytes = 0usize;
+        let mut dlht_group_bytes = 0usize;
         for t in self.dlhts.values() {
             let fp = t.footprint();
             dlht_bytes += fp.total_bytes();
             dlht_buckets += fp.buckets;
             dlht_nodes += fp.nodes;
+            dlht_groups += fp.groups;
+            dlht_entries += fp.entries;
             dlht_bucket_bytes = fp.bucket_bytes;
             dlht_node_bytes = fp.node_bytes;
+            dlht_group_bytes = fp.group_bytes;
         }
         let pccs = {
             let mut list = self.pccs.lock();
@@ -533,8 +580,12 @@ impl Dcache {
             dlht_bytes,
             dlht_bucket_bytes,
             dlht_node_bytes,
+            dlht_group_bytes,
             dlht_buckets,
             dlht_nodes,
+            dlht_groups,
+            dlht_entries,
+            snap_slab_bytes: crate::snapslab::footprint().total_bytes(),
             pcc_bytes_each: Pcc::new(self.config.pcc_bytes).approx_bytes(),
             pccs,
         }

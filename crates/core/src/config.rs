@@ -55,6 +55,25 @@ pub struct DcacheConfig {
     /// per-bucket/per-field locks — the pre-refactor behavior, kept as an
     /// ablation for the Figure 8 before/after columns.
     pub lockfree_reads: bool,
+    /// Wide sighash mixing: process 8 path bytes per multiply-accumulate
+    /// step across all four lanes over the interleaved key schedule
+    /// (DESIGN.md §13). Disabling falls back to the byte-at-a-time
+    /// oracle — the layout ablation's "before" column; signatures are
+    /// bit-identical either way.
+    pub sighash_wide: bool,
+    /// Open-addressed DLHT layout: cache-line-aligned bucket groups with
+    /// inline signature tags instead of per-entry pointer-chained nodes
+    /// (DESIGN.md §13). Both layouts share the epoch/CAS discipline.
+    pub dlht_open_addressed: bool,
+    /// Slab-allocated `DentrySnap` snapshots: republished snapshots come
+    /// from a lock-free slab instead of per-mutation `Box` allocations,
+    /// and the hot fields are packed into the first cache line
+    /// (DESIGN.md §13).
+    pub snap_slab: bool,
+    /// Per-thread lookup scratch arena: path components and the pending
+    /// stack in the fastwalk live in thread-local inline buffers, so a
+    /// warm hit performs zero heap allocation (DESIGN.md §13).
+    pub scratch_arena: bool,
 }
 
 impl DcacheConfig {
@@ -76,6 +95,10 @@ impl DcacheConfig {
             hash_seed: None,
             fastpath_always_miss: false,
             lockfree_reads: true,
+            sighash_wide: true,
+            dlht_open_addressed: true,
+            snap_slab: true,
+            scratch_arena: true,
         }
     }
 
@@ -83,6 +106,43 @@ impl DcacheConfig {
     pub fn with_locked_reads(mut self) -> Self {
         self.lockfree_reads = false;
         self
+    }
+
+    /// Selects the wide (8-bytes-per-step) or byte-at-a-time oracle
+    /// sighash mixing path (layout ablation).
+    pub fn with_sighash_wide(mut self, enabled: bool) -> Self {
+        self.sighash_wide = enabled;
+        self
+    }
+
+    /// Selects the open-addressed bucket-group or pointer-chained DLHT
+    /// layout (layout ablation).
+    pub fn with_open_addressed(mut self, enabled: bool) -> Self {
+        self.dlht_open_addressed = enabled;
+        self
+    }
+
+    /// Selects slab-allocated packed snapshots or per-mutation boxed
+    /// snapshots (layout ablation).
+    pub fn with_snap_slab(mut self, enabled: bool) -> Self {
+        self.snap_slab = enabled;
+        self
+    }
+
+    /// Selects the thread-local scratch arena or per-lookup heap vectors
+    /// in the fastwalk (layout ablation).
+    pub fn with_scratch_arena(mut self, enabled: bool) -> Self {
+        self.scratch_arena = enabled;
+        self
+    }
+
+    /// All four memory-layout overhauls disabled — the pre-overhaul
+    /// hot path, the "before" row of the layout-attribution table.
+    pub fn pre_layout(self) -> Self {
+        self.with_sighash_wide(false)
+            .with_open_addressed(false)
+            .with_snap_slab(false)
+            .with_scratch_arena(false)
     }
 
     /// Every optimization from the paper enabled.
@@ -189,6 +249,14 @@ mod tests {
         // switches a config back to locked reads.
         assert!(b.lockfree_reads && o.lockfree_reads);
         assert!(!DcacheConfig::optimized().with_locked_reads().lockfree_reads);
+        // Layout overhauls default on everywhere; pre_layout turns all
+        // four off for the attribution table's "before" row.
+        assert!(b.sighash_wide && b.dlht_open_addressed && b.snap_slab && b.scratch_arena);
+        let pre = DcacheConfig::optimized().pre_layout();
+        assert!(
+            !pre.sighash_wide && !pre.dlht_open_addressed && !pre.snap_slab && !pre.scratch_arena
+        );
+        assert!(pre.fastpath, "pre_layout keeps the paper features");
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Dentries: cached path components, positive / negative / partial.
 
 use crate::dsync::{AtomicU32, AtomicU64, Ordering};
+use crate::fasthash::FastMap;
 use crate::inode::{Inode, SbId};
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use dc_fs::{DirEntry, FileType, FsError};
 use dc_sighash::{HashState, Signature};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 /// Unique, never-reused dentry identity.
@@ -24,6 +24,12 @@ pub(crate) const FLAG_DEAD: u32 = 0b0010;
 /// epoch-published snapshot (`DcacheConfig::lockfree_reads = false`, the
 /// pre-refactor ablation). Set at allocation, never changed.
 pub(crate) const FLAG_LOCKED_READS: u32 = 0b0100;
+/// Flag: republish snapshots as per-mutation `Box` allocations instead
+/// of slab slots (`DcacheConfig::snap_slab = false`, the memory-layout
+/// ablation's "before" column). Set at allocation, never changed;
+/// provenance is additionally recorded per snapshot, so mixed histories
+/// (the first snapshot predates the flag) reclaim correctly.
+pub(crate) const FLAG_SNAP_BOXED: u32 = 0b1000;
 
 /// What kind of absence a negative dentry records (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +98,7 @@ impl std::fmt::Debug for DentryState {
 /// (`Dcache::try_evict`). A failed upgrade means the snapshot is stale;
 /// readers fall back to the locked field, they never guess.
 #[derive(Clone)]
-enum SnapState {
+pub(crate) enum SnapState {
     Positive(Arc<Inode>),
     Negative(NegKind),
     // `ino` is deliberately absent: lock-free readers take it from the
@@ -112,13 +118,34 @@ enum SnapState {
 /// no locks on the read side. Consistency across fields is validated by
 /// the per-dentry `seq` counter exactly like the slowpath validates
 /// against `rename_lock`.
-struct DentrySnap {
-    name: Arc<str>,
-    parent: Option<Weak<Dentry>>,
-    state: SnapState,
-    hash_state: Option<HashState>,
-    link_sig: Option<Signature>,
+///
+/// Layout (`repr(C)`, DESIGN.md §13): the fields every walk touches —
+/// `name`, `parent`, `state` — are packed into the first 64 bytes, so a
+/// warm hit's snapshot read is one cache line; `hash_state`/`link_sig`
+/// (resume and symlink-chain paths) and the provenance byte follow. The
+/// compile-time asserts below pin the contract.
+#[repr(C)]
+pub(crate) struct DentrySnap {
+    pub(crate) name: Arc<str>,
+    pub(crate) parent: Option<Weak<Dentry>>,
+    pub(crate) state: SnapState,
+    pub(crate) hash_state: Option<HashState>,
+    pub(crate) link_sig: Option<Signature>,
+    /// Where this block's memory came from: the snapshot slab
+    /// ([`crate::snapslab`]) or a `Box`. Read by the type-erased epoch
+    /// destructor to return the memory to the right place.
+    pub(crate) from_slab: bool,
 }
+
+// The cache-line contract: everything a warm walk reads from a snapshot
+// lives in the first 64 bytes.
+const _: () = {
+    assert!(std::mem::offset_of!(DentrySnap, name) == 0);
+    assert!(
+        std::mem::offset_of!(DentrySnap, state) + std::mem::size_of::<SnapState>() <= 64,
+        "hot snapshot fields (name/parent/state) must fit one cache line"
+    );
+};
 
 /// One cached path component.
 ///
@@ -134,7 +161,10 @@ pub struct Dentry {
     name: RwLock<Arc<str>>,
     parent: RwLock<Option<Arc<Dentry>>>,
     state: RwLock<DentryState>,
-    children: RwLock<HashMap<Arc<str>, Arc<Dentry>>>,
+    /// Per-parent child index. Keyed by the boot-seeded fast hasher
+    /// ([`crate::fasthash`]) instead of SipHash — `d_lookup` is on the
+    /// per-component path the fig-3 attribution charges to "table" time.
+    children: RwLock<FastMap<Arc<str>, Arc<Dentry>>>,
     /// Version counter: bumped whenever a cached prefix check through this
     /// dentry may have become stale (§3.2). PCC entries store the value
     /// they validated against.
@@ -199,7 +229,7 @@ impl Dentry {
             name: RwLock::new(Arc::from(name)),
             parent: RwLock::new(parent),
             state: RwLock::new(state),
-            children: RwLock::new(HashMap::new()),
+            children: RwLock::new(FastMap::default()),
             seq: AtomicU64::new(seq_init),
             flags: AtomicU32::new(0),
             child_evict_gen: AtomicU64::new(0),
@@ -246,6 +276,7 @@ impl Dentry {
     /// unchanged `seq` across its read saw a current-or-newer snapshot.
     fn republish(&self) {
         let _serialize = self.snap_lock.lock();
+        let from_slab = !self.flag(FLAG_SNAP_BOXED);
         let fresh = DentrySnap {
             name: self.name.read().clone(),
             parent: self.parent.read().as_ref().map(Arc::downgrade),
@@ -260,10 +291,19 @@ impl Dentry {
             },
             hash_state: *self.hash_state.lock(),
             link_sig: *self.link_sig.lock(),
+            from_slab,
         };
         let guard = epoch::pin();
-        let old = self.snap.swap(Owned::new(fresh), Ordering::AcqRel, &guard);
-        unsafe { guard.defer_destroy(old) };
+        let new = if from_slab {
+            crate::snapslab::alloc_snap(fresh, &guard)
+        } else {
+            Owned::new(fresh).into_shared(&guard)
+        };
+        let old = self.snap.swap(new, Ordering::AcqRel, &guard);
+        // Safety: `old` was just unlinked by the swap; provenance-aware
+        // retirement frees it to the slab or the heap after the grace
+        // period.
+        unsafe { crate::snapslab::retire(&guard, old) };
     }
 
     /// This dentry's unique id.
@@ -703,11 +743,12 @@ impl Dentry {
 impl Drop for Dentry {
     fn drop(&mut self) {
         // &mut self: no reader can hold the snapshot pointer anymore
-        // (readers borrow the dentry); free the current block directly.
+        // (readers borrow the dentry); free the current block directly
+        // (unprotected guards run retirement immediately).
         unsafe {
             let guard = epoch::unprotected();
             let shared = self.snap.swap(Shared::null(), Ordering::AcqRel, guard);
-            guard.defer_destroy(shared);
+            crate::snapslab::retire(guard, shared);
         }
     }
 }

@@ -1,0 +1,137 @@
+//! A fast keyed hasher for the per-directory child maps.
+//!
+//! The default `HashMap` hasher is SipHash-1-3 — cryptographic-strength
+//! flooding resistance paid for on every `d_lookup`, visible in the
+//! fig-3 attribution as per-component table time. Child maps do not
+//! need that strength: they are bounded by the dcache capacity,
+//! per-directory (an attacker floods one directory's map, not a global
+//! table), and keyed by a per-boot seed below, the same randomization
+//! argument the signature hash makes (§3.3, DESIGN.md §13).
+//!
+//! The mix is the signature hash's finisher family: one golden-ratio
+//! multiply per 8 bytes of name plus an avalanche at the end — roughly
+//! 4× cheaper than SipHash for short component names.
+
+use std::hash::{BuildHasher, Hasher};
+use std::sync::OnceLock;
+
+/// Golden-ratio multiplier (same constant as the sighash wrap salt).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Per-process hasher seed, drawn once from OS entropy (via the std
+/// `RandomState` entropy source — no new dependencies).
+fn boot_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        use std::hash::RandomState;
+        RandomState::new().build_hasher().finish() | 1
+    })
+}
+
+/// The hasher state: multiply-rotate over 8-byte words.
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(29) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            // Fold the length in so zero-padding cannot alias a longer
+            // input ending in NULs.
+            self.mix(u64::from_le_bytes(last) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.mix(b as u64 | 0x100);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // fmix64-style avalanche: HashMap takes the high bits for its
+        // control bytes, so the last multiply alone is not enough.
+        let mut z = self.hash;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z ^ (z >> 29)
+    }
+}
+
+/// `BuildHasher` handing out boot-seeded [`FastHasher`]s.
+#[derive(Clone, Default)]
+pub struct FastBuildHasher;
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher { hash: boot_seed() }
+    }
+}
+
+/// A `HashMap` using the fast keyed hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(bytes: &[u8]) -> u64 {
+        let mut hasher = FastBuildHasher.build_hasher();
+        hasher.write(bytes);
+        hasher.finish()
+    }
+
+    #[test]
+    fn distinct_names_hash_apart() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(h(format!("file-{i}").as_bytes())));
+        }
+    }
+
+    #[test]
+    fn padding_does_not_alias() {
+        assert_ne!(h(b"abc"), h(b"abc\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgh\0"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+
+    #[test]
+    fn deterministic_within_process() {
+        assert_eq!(h(b"etc"), h(b"etc"));
+    }
+
+    #[test]
+    fn map_round_trips_strs() {
+        let mut m: FastMap<std::sync::Arc<str>, u64> = FastMap::default();
+        for i in 0..500u64 {
+            m.insert(std::sync::Arc::from(format!("n{i}").as_str()), i);
+        }
+        for i in 0..500u64 {
+            assert_eq!(m.get(format!("n{i}").as_str()), Some(&i));
+        }
+        assert!(!m.contains_key("absent"));
+    }
+}

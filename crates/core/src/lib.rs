@@ -29,6 +29,7 @@ mod config;
 mod dentry;
 mod dlht;
 pub mod dsync;
+pub mod fasthash;
 mod inode;
 mod lru;
 #[cfg(feature = "dst")]
@@ -36,6 +37,7 @@ pub mod model;
 mod pcc;
 mod seqlock;
 mod shrinker;
+pub mod snapslab;
 mod stats;
 
 pub use admission::{MemoryGate, Verdict};
@@ -43,7 +45,7 @@ pub use batch::{batch_pin_active, BatchPin};
 pub use cache::{Dcache, NsId};
 pub use config::DcacheConfig;
 pub use dentry::{Dentry, DentryId, DentryState, NegKind, FLAG_DIR_COMPLETE};
-pub use dlht::Dlht;
+pub use dlht::{Dlht, DlhtFootprint};
 pub use inode::{Inode, SbId};
 pub use lru::EvictOutcome;
 pub use pcc::Pcc;

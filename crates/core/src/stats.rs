@@ -148,10 +148,20 @@ pub struct SpaceReport {
     /// Exact size of one DLHT chain node (signature lanes + weak dentry
     /// reference + next pointer).
     pub dlht_node_bytes: usize,
+    /// Exact size of one open-addressed DLHT bucket group (tag array +
+    /// count + overflow pointer + inline slots, cache-line aligned).
+    pub dlht_group_bytes: usize,
     /// Total DLHT buckets across namespaces.
     pub dlht_buckets: usize,
-    /// Total DLHT chain nodes across namespaces.
+    /// Total DLHT chain nodes across namespaces (chained layout).
     pub dlht_nodes: u64,
+    /// Total DLHT bucket groups across namespaces (open layout).
+    pub dlht_groups: u64,
+    /// Live DLHT entries across namespaces, walked.
+    pub dlht_entries: u64,
+    /// Bytes held by the snapshot slab arena (blocks, walked — includes
+    /// free slots awaiting reuse).
+    pub snap_slab_bytes: usize,
     /// Per-credential PCC footprint, bytes.
     pub pcc_bytes_each: usize,
     /// Live PCC instances.
@@ -173,6 +183,13 @@ impl std::fmt::Display for SpaceReport {
             "  chain nodes:    {} x {} bytes",
             self.dlht_nodes, self.dlht_node_bytes
         )?;
+        writeln!(
+            f,
+            "  bucket groups:  {} x {} bytes",
+            self.dlht_groups, self.dlht_group_bytes
+        )?;
+        writeln!(f, "  entries:        {}", self.dlht_entries)?;
+        writeln!(f, "snap slab:        {} bytes", self.snap_slab_bytes)?;
         writeln!(f, "PCC (each):       {} bytes", self.pcc_bytes_each)?;
         write!(f, "PCC instances:    {}", self.pccs)
     }

@@ -88,6 +88,18 @@ impl Cred {
         self.caches.get_or_insert_with(ns, make)
     }
 
+    /// Borrows the cache attached for namespace `ns` under a caller-held
+    /// epoch guard — the fastpath variant of
+    /// [`cache_for`](Cred::cache_for): no nested pin, no `Arc` clone,
+    /// `None` when the cache was never attached.
+    pub fn cache_ref<'g>(
+        &self,
+        ns: u64,
+        guard: &'g dc_rcu::Guard,
+    ) -> Option<&'g Arc<dyn Any + Send + Sync>> {
+        self.caches.get_ref(ns, guard)
+    }
+
     /// Drops every attached cache (used on PCC-wide invalidation, e.g.
     /// the paper's version-counter wraparound flush).
     pub fn clear_caches(&self) {

@@ -16,6 +16,7 @@
 //! Writers serialize through `parking_lot` locks and therefore *do*
 //! count as lock acquisitions; readers never touch a lock.
 
+pub use crossbeam_epoch::Guard;
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
@@ -39,10 +40,18 @@ impl<T> EpochCell<T> {
     /// short (no blocking).
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         let guard = epoch::pin();
-        let shared = self.inner.load(Ordering::Acquire, &guard);
+        f(self.read(&guard))
+    }
+
+    /// Borrows the current value under a caller-held epoch guard — no
+    /// extra pin, no clone. The borrow lives as long as the guard: a
+    /// value replaced by [`set`](EpochCell::set) is only reclaimed after
+    /// every guard that could have observed it unpins.
+    pub fn read<'g>(&self, guard: &'g epoch::Guard) -> &'g T {
+        let shared = self.inner.load(Ordering::Acquire, guard);
         // Invariant: the cell always holds a non-null pointer (set at
         // construction, replaced atomically, freed only in Drop).
-        f(unsafe { shared.deref() })
+        unsafe { shared.deref() }
     }
 
     /// Replaces the value; the old allocation is reclaimed once no
@@ -113,10 +122,20 @@ impl<K: Copy + Eq, V: Clone> SnapMap<K, V> {
     /// Lock-free lookup.
     pub fn get(&self, key: K) -> Option<V> {
         let guard = epoch::pin();
-        self.current(&guard)
+        self.get_ref(key, &guard).cloned()
+    }
+
+    /// Borrows the value for `key` under a caller-held epoch guard —
+    /// no extra pin, no clone (see [`EpochCell::read`]).
+    pub fn get_ref<'g>(&self, key: K, guard: &'g epoch::Guard) -> Option<&'g V>
+    where
+        K: 'g,
+        V: 'g,
+    {
+        self.current(guard)
             .iter()
             .find(|(k, _)| *k == key)
-            .map(|(_, v)| v.clone())
+            .map(|(_, v)| v)
     }
 
     /// True when `key` is present (lock-free).

@@ -14,11 +14,20 @@ use crate::{LANES, SCHEDULE_LEN};
 /// instances and an adversary cannot search for collisions offline.
 pub struct HashKey {
     /// Per-lane cyclic key schedules; all keys are forced odd so every
-    /// multiplier is invertible modulo 2^64.
+    /// multiplier is invertible modulo 2^64. This layout drives the
+    /// byte-at-a-time oracle path (wrap handling, equivalence tests).
     lanes: [Box<[u64; SCHEDULE_LEN]>; LANES],
+    /// The same key material interleaved position-major: `wide[p]` holds
+    /// the four lanes' keys for stream position `p` in 32 contiguous
+    /// bytes, so the wide mixing loop streams one array sequentially
+    /// instead of striding four 16 KB tables in parallel.
+    wide: Box<[[u64; LANES]; SCHEDULE_LEN]>,
     /// Per-lane initial accumulator value (the `k_0` term of the
     /// multilinear family).
     init: [u64; LANES],
+    /// Routes `push_component` through the 8-bytes-per-step wide path
+    /// (true) or the per-lane oracle (false, the layout ablation).
+    wide_enabled: bool,
 }
 
 impl HashKey {
@@ -41,7 +50,31 @@ impl HashKey {
         }
         let lanes: [Box<[u64; SCHEDULE_LEN]>; LANES] =
             lanes.try_into().unwrap_or_else(|_| unreachable!());
-        HashKey { lanes, init }
+        let mut wide = Box::new([[0u64; LANES]; SCHEDULE_LEN]);
+        for (p, row) in wide.iter_mut().enumerate() {
+            for (lane, slot) in row.iter_mut().enumerate() {
+                *slot = lanes[lane][p];
+            }
+        }
+        HashKey {
+            lanes,
+            wide,
+            init,
+            wide_enabled: true,
+        }
+    }
+
+    /// Enables or disables the wide (8-bytes-per-step) mixing path.
+    /// Disabling routes every component through the byte-at-a-time
+    /// oracle — the "before" column of the layout-attribution table.
+    pub fn with_wide(mut self, enabled: bool) -> Self {
+        self.wide_enabled = enabled;
+        self
+    }
+
+    /// True when the wide mixing path is active.
+    pub fn wide_enabled(&self) -> bool {
+        self.wide_enabled
     }
 
     /// Creates key material from OS entropy (what a real boot would do).
@@ -72,6 +105,24 @@ impl HashKey {
         debug_assert!(!name.is_empty(), "empty component fed to hasher");
         debug_assert!(name != b"." && name != b"..", "dot component fed to hasher");
         debug_assert!(!name.contains(&b'/'), "component contains a slash");
+        // The wide path assumes the wrap-salt perturbation is zero for
+        // every word of this component; components that start at or
+        // straddle a schedule wrap (paths past ~8 KB of components) take
+        // the oracle path, which handles the perturbation per word.
+        if self.wide_enabled && (state.pos as usize) + multilinear::words_for(name) <= SCHEDULE_LEN
+        {
+            state.pos =
+                multilinear::mix_component_wide(&mut state.acc, state.pos, &self.wide, name);
+        } else {
+            self.push_component_oracle(state, name);
+        }
+    }
+
+    /// The byte-at-a-time reference path: one [`multilinear::mix_component`]
+    /// pass per lane over that lane's own schedule. Kept public as the
+    /// oracle the wide path is equivalence-tested against, and as the
+    /// fallback for components that straddle a schedule wrap.
+    pub fn push_component_oracle(&self, state: &mut HashState, name: &[u8]) {
         for lane in 0..LANES {
             let sched: &[u64; SCHEDULE_LEN] = &self.lanes[lane];
             let (acc, pos) =
@@ -162,5 +213,139 @@ mod tests {
         let p = [b"etc".as_slice()];
         // Two fresh boots must disagree on the signature of the same path.
         assert_ne!(a.hash_components(p), b.hash_components(p));
+    }
+
+    /// Deterministic pseudo-random byte generator for the equivalence
+    /// sweeps (the offline build has no rand crate).
+    fn prng_bytes(x: &mut u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                let b = (crate::multilinear::splitmix64(x) & 0xff) as u8;
+                if b == b'/' {
+                    b'_'
+                } else {
+                    b.max(1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_matches_oracle_over_random_streams() {
+        // The wide 8-bytes-per-step path must be bit-identical to the
+        // byte-at-a-time oracle for every component length and alignment,
+        // including zero-length-word tails and odd word counts.
+        let key = HashKey::from_seed(0x57ee7);
+        let mut x = 0x1234_5678u64;
+        for trial in 0..400 {
+            let ncomps = 1 + (trial % 11);
+            let mut wide_st = key.root_state();
+            let mut oracle_st = key.root_state();
+            for i in 0..ncomps {
+                let len = 1 + ((crate::multilinear::splitmix64(&mut x) as usize) % 63);
+                let comp = prng_bytes(&mut x, len);
+                key.push_component(&mut wide_st, &comp);
+                key.push_component_oracle(&mut oracle_st, &comp);
+                assert_eq!(
+                    wide_st, oracle_st,
+                    "trial {trial}, component {i}, len {len}"
+                );
+            }
+            assert_eq!(key.finish(&wide_st), key.finish(&oracle_st));
+        }
+    }
+
+    #[test]
+    fn wide_matches_oracle_with_resume_splits() {
+        // A state stored mid-path by the wide path must resume
+        // identically under either path — dentries don't record which
+        // mixing loop produced their stored HashState.
+        let key = HashKey::from_seed(77);
+        let mut x = 0xfeed_beefu64;
+        for trial in 0..100 {
+            let comps: Vec<Vec<u8>> = (0..8)
+                .map(|_| {
+                    let len = 1 + ((crate::multilinear::splitmix64(&mut x) as usize) % 40);
+                    prng_bytes(&mut x, len)
+                })
+                .collect();
+            let split = trial % (comps.len() + 1);
+            let mut whole = key.root_state();
+            for c in &comps {
+                key.push_component_oracle(&mut whole, c);
+            }
+            // Prefix via wide, suffix via oracle — and the reverse.
+            let mut a = key.root_state();
+            for c in &comps[..split] {
+                key.push_component(&mut a, c);
+            }
+            let stored = a;
+            let mut resumed = stored;
+            for c in &comps[split..] {
+                key.push_component_oracle(&mut resumed, c);
+            }
+            assert_eq!(whole, resumed);
+            let mut b = key.root_state();
+            for c in &comps[..split] {
+                key.push_component_oracle(&mut b, c);
+            }
+            let mut resumed_b = b;
+            for c in &comps[split..] {
+                key.push_component(&mut resumed_b, c);
+            }
+            assert_eq!(whole, resumed_b);
+            assert_eq!(key.finish(&whole), key.finish(&resumed));
+        }
+    }
+
+    #[test]
+    fn wide_falls_back_identically_at_schedule_wrap() {
+        // Components that straddle the SCHEDULE_LEN wrap take the oracle
+        // path inside push_component; the states must stay identical
+        // through the transition and beyond it.
+        let key = HashKey::from_seed(21);
+        let comp = vec![b'q'; 61]; // 16 words + separator
+        let n = SCHEDULE_LEN / 17 + 4; // crosses the wrap
+        let mut dispatch = key.root_state();
+        let mut oracle = key.root_state();
+        for _ in 0..n {
+            key.push_component(&mut dispatch, &comp);
+            key.push_component_oracle(&mut oracle, &comp);
+            assert_eq!(dispatch, oracle);
+        }
+        assert!(dispatch.words_consumed() as usize > SCHEDULE_LEN);
+        assert_eq!(key.finish(&dispatch), key.finish(&oracle));
+    }
+
+    #[test]
+    fn disabled_wide_uses_oracle() {
+        let wide = HashKey::from_seed(5);
+        let narrow = HashKey::from_seed(5).with_wide(false);
+        assert!(wide.wide_enabled() && !narrow.wide_enabled());
+        let p = [b"usr".as_slice(), b"include".as_slice()];
+        assert_eq!(wide.hash_components(p), narrow.hash_components(p));
+    }
+
+    #[test]
+    fn boot_key_randomization_survives_wide_layout() {
+        // Regression: the wide interleaved schedule must be derived from
+        // the same boot-time key material, not a fixed table — two boots
+        // (seeds) must disagree on every path, under both mixing paths.
+        let boot_a = HashKey::from_seed(0xA11CE);
+        let boot_b = HashKey::from_seed(0xB0B);
+        let mut x = 3u64;
+        for _ in 0..50 {
+            let len = 1 + (x as usize % 32);
+            let comp = prng_bytes(&mut x, len);
+            let pa = [comp.as_slice()];
+            assert_ne!(boot_a.hash_components(pa), boot_b.hash_components(pa));
+            // And the wide path leaks nothing the oracle wouldn't: same
+            // key, same input ⇒ same output regardless of layout.
+            let mut st_wide = boot_a.root_state();
+            boot_a.push_component(&mut st_wide, &comp);
+            let mut st_oracle = boot_a.root_state();
+            boot_a.push_component_oracle(&mut st_oracle, &comp);
+            assert_eq!(st_wide, st_oracle);
+        }
     }
 }

@@ -77,6 +77,78 @@ pub(crate) fn mix_component(
     (acc, pos)
 }
 
+/// Wide-word mixing over the position-major (interleaved) schedule:
+/// processes 8 path bytes — two 32-bit words — per multiply-accumulate
+/// step, updating all four lane accumulators in the unrolled inner body.
+///
+/// Bit-identical to running [`mix_component`] per lane: each lane's
+/// accumulator is `k_0 + Σ k_p·w_p (mod 2^64)`, and wrapping addition is
+/// commutative and associative, so regrouping the terms two-positions-
+/// at-a-time cannot change the sum. The interleaved schedule stores the
+/// four lanes' keys for one position in 32 contiguous bytes, so a step
+/// touches one or two cache lines instead of four distant ones.
+///
+/// Precondition (checked by the caller, debug-asserted here): the whole
+/// component fits before the schedule wraps — `pos + words(name) ≤
+/// SCHEDULE_LEN` — so the wrap-salt perturbation is identically zero.
+/// Components straddling the wrap take the byte-at-a-time oracle path.
+#[inline]
+pub(crate) fn mix_component_wide(
+    acc: &mut [u64; crate::LANES],
+    pos: u32,
+    wide: &[[u64; crate::LANES]; SCHEDULE_LEN],
+    name: &[u8],
+) -> u32 {
+    let mut p = pos as usize;
+    debug_assert!(p + words_for(name) <= SCHEDULE_LEN);
+    let mut chunks = name.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w0 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) as u64;
+        let w1 = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]) as u64;
+        let k0 = &wide[p];
+        let k1 = &wide[p + 1];
+        for lane in 0..crate::LANES {
+            acc[lane] = acc[lane]
+                .wrapping_add(k0[lane].wrapping_mul(w0))
+                .wrapping_add(k1[lane].wrapping_mul(w1));
+        }
+        p += 2;
+    }
+    let rem = chunks.remainder();
+    let mut tail = rem;
+    if tail.len() >= 4 {
+        let w = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]) as u64;
+        let k = &wide[p];
+        for lane in 0..crate::LANES {
+            acc[lane] = acc[lane].wrapping_add(k[lane].wrapping_mul(w));
+        }
+        p += 1;
+        tail = &tail[4..];
+    }
+    if !tail.is_empty() {
+        let mut last = [0u8; 4];
+        last[..tail.len()].copy_from_slice(tail);
+        let w = u32::from_le_bytes(last) as u64;
+        let k = &wide[p];
+        for lane in 0..crate::LANES {
+            acc[lane] = acc[lane].wrapping_add(k[lane].wrapping_mul(w));
+        }
+        p += 1;
+    }
+    let sep = (SEPARATOR_TAG | (name.len() as u32 & 0x7fff_ffff)) as u64;
+    let k = &wide[p];
+    for lane in 0..crate::LANES {
+        acc[lane] = acc[lane].wrapping_add(k[lane].wrapping_mul(sep));
+    }
+    (p + 1) as u32
+}
+
+/// 32-bit words a component occupies in the stream, separator included.
+#[inline]
+pub(crate) fn words_for(name: &[u8]) -> usize {
+    name.len().div_ceil(4) + 1
+}
+
 /// Finalizes a lane accumulator into 64 output bits.
 ///
 /// The stream position and lane index are folded in so prefixes of a path

@@ -1,0 +1,124 @@
+//! A cheap monotonic nanosecond clock for per-syscall accounting.
+//!
+//! `Instant::now()` is a `clock_gettime(CLOCK_MONOTONIC)` vDSO call
+//! (~25-30 ns); two of them bracket every syscall for the Figure-1
+//! timing table, which is real money on a ~500 ns warm stat (§13). On
+//! x86-64 we read the invariant TSC instead (~8 ns) and convert with a
+//! ratio calibrated once against the OS clock; other architectures fall
+//! back to `Instant`.
+//!
+//! The TSC read is not serializing, so a stamp can drift by a few
+//! cycles relative to surrounding memory operations — fine for
+//! accumulated per-class accounting, not for ordering claims.
+//!
+//! Calibration state is a `Copy` value in a `OnceLock`: first use spins
+//! for ~1 ms to measure the tick rate and never allocates (the warm
+//! fastpath's zero-allocation guarantee covers timing too).
+
+use std::time::Instant;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Nanoseconds per TSC tick, as a (numerator, shift) fixed-point
+    /// ratio: `ns = ticks * num >> 24`.
+    #[derive(Clone, Copy)]
+    struct Calib {
+        num: u64,
+    }
+
+    const SHIFT: u32 = 24;
+
+    static CALIB: OnceLock<Calib> = OnceLock::new();
+
+    #[inline]
+    fn ticks() -> u64 {
+        // SAFETY: RDTSC is unprivileged and always available on x86-64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    fn calibrate() -> Calib {
+        let w0 = Instant::now();
+        let t0 = ticks();
+        // ~1 ms busy wait: long enough to swamp the vDSO call latency,
+        // short enough to be invisible at process start.
+        loop {
+            let dt = w0.elapsed();
+            if dt.as_micros() >= 1000 {
+                let dticks = ticks().wrapping_sub(t0).max(1);
+                let ns = dt.as_nanos() as u64;
+                let num = ((ns as u128) << SHIFT) / dticks as u128;
+                return Calib { num: num as u64 };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Monotonic stamp in ticks (convert deltas with [`delta_ns`]).
+    ///
+    /// Ensures calibration has run so the ~1 ms spin never lands inside
+    /// a caller's first timed window (the `OnceLock` hit path is a
+    /// single acquire load).
+    #[inline]
+    pub fn now() -> u64 {
+        let _ = CALIB.get_or_init(calibrate);
+        ticks()
+    }
+
+    /// Converts a stamp delta to nanoseconds.
+    #[inline]
+    pub fn delta_ns(start: u64, end: u64) -> u64 {
+        let c = CALIB.get_or_init(calibrate);
+        ((end.wrapping_sub(start) as u128 * c.num as u128) >> SHIFT) as u64
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    use super::*;
+    use std::sync::OnceLock;
+
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+    /// Monotonic stamp in nanoseconds since an arbitrary anchor.
+    #[inline]
+    pub fn now() -> u64 {
+        ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Converts a stamp delta to nanoseconds.
+    #[inline]
+    pub fn delta_ns(start: u64, end: u64) -> u64 {
+        end.wrapping_sub(start)
+    }
+}
+
+pub use imp::{delta_ns, now};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_wall_clock_roughly() {
+        let t0 = now();
+        let w0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let ns = delta_ns(t0, now());
+        let wall = w0.elapsed().as_nanos() as u64;
+        // Within 25% of the OS clock over 20 ms.
+        assert!(ns > wall * 3 / 4 && ns < wall * 5 / 4, "{ns} vs {wall}");
+    }
+
+    #[test]
+    fn is_monotonic_enough() {
+        let mut last = now();
+        for _ in 0..10_000 {
+            let t = now();
+            assert!(delta_ns(last, t) < 1_000_000_000, "clock jumped");
+            last = t;
+        }
+    }
+}

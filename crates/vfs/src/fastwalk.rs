@@ -18,6 +18,7 @@
 use crate::kernel::Kernel;
 use crate::path::{ParsedPath, PathRef, WalkResult};
 use crate::process::Process;
+use crate::scratch::{InlineVec, INLINE_COMPONENTS};
 use dc_cred::MAY_EXEC;
 use dc_fs::{FileType, FsError, FsResult};
 use dc_obs::TraceEvent;
@@ -50,24 +51,49 @@ impl Kernel {
         // Under a batch-scoped pin (server workers) this nests for free
         // and the batch pin already accounted the one EpochPin.
         let in_batch = dcache_core::batch_pin_active();
-        let _epoch = crossbeam_epoch::pin();
+        let guard = crossbeam_epoch::pin();
         if !in_batch {
             stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
             self.dcache.obs.event(|| TraceEvent::EpochPin);
         }
-        let ns = proc.namespace();
-        let cred = proc.cred();
-        let root = proc.root();
-        let mut anchor = if parsed.absolute {
-            root.clone()
+        // Borrow the per-process lookup state under the pin we already
+        // hold — no nested pins, no refcount churn (§13). Values swapped
+        // out by a concurrent `chroot`/`setns`/`commit_creds` stay alive
+        // until this guard drops.
+        let ns = proc.namespace_read(&guard);
+        let cred = proc.cred_read(&guard);
+        let root = proc.root_read(&guard);
+        // The anchor stays a borrow until a ".." climb actually moves it:
+        // the common absolute-path lookup never touches the PathRef
+        // refcounts (§13).
+        let base: &PathRef = if parsed.absolute {
+            root
         } else {
-            start.cloned().unwrap_or_else(|| proc.cwd())
+            match start {
+                Some(s) => s,
+                None => proc.cwd_read(&guard),
+            }
         };
-        let pcc = self.dcache.pcc_for(&cred, ns.id);
+        let mut anchor_owned: Option<PathRef> = None;
+        let pcc_owned;
+        let pcc: &Pcc = match self.dcache.pcc_ref(cred, ns.id, &guard) {
+            Some(p) => p,
+            None => {
+                // First lookup for this (cred, ns): attach the PCC once.
+                pcc_owned = self.dcache.pcc_for(cred, ns.id);
+                &pcc_owned
+            }
+        };
         let lexical = self.dcache.config.lexical_dotdot;
 
         // Phase 1: reduce components against the anchor, handling "..".
-        let mut pending: Vec<&str> = Vec::with_capacity(parsed.components.len());
+        // Inline scratch: a warm hit must not touch the heap (§13); the
+        // scratch_arena ablation restores the old per-lookup Vec.
+        let mut pending: InlineVec<&str, INLINE_COMPONENTS> = if self.dcache.config.scratch_arena {
+            InlineVec::new()
+        } else {
+            InlineVec::heap_backed(parsed.components.len())
+        };
         for &c in &parsed.components {
             if c != ".." {
                 pending.push(c);
@@ -76,17 +102,21 @@ impl Kernel {
             if !lexical {
                 // POSIX mode: one extra fastpath permission probe per
                 // dot-dot (§4.2).
-                self.posix_dotdot_check(&ns, &pcc, &anchor, &pending, &cred)?;
+                let anchor = anchor_owned.as_ref().unwrap_or(base);
+                self.posix_dotdot_check(ns, pcc, anchor, &pending, cred, &guard)?;
             }
             if pending.pop().is_none() {
                 // Climbing above the anchor.
+                let anchor = anchor_owned.as_ref().unwrap_or(base);
                 if Arc::ptr_eq(&anchor.dentry, &root.dentry) && anchor.mount.id == root.mount.id {
                     continue; // ".." at the process root stays put
                 }
-                anchor = climb_one(&anchor)?;
-                anchor.dentry.hash_state()?; // must be resumable
+                let climbed = climb_one(anchor)?;
+                climbed.dentry.hash_state()?; // must be resumable
+                anchor_owned = Some(climbed);
             }
         }
+        let anchor = anchor_owned.as_ref().unwrap_or(base);
 
         // Phase 2: hash the reduced path.
         let mut h: HashState = anchor.dentry.hash_state()?;
@@ -110,7 +140,7 @@ impl Kernel {
         }
 
         let sig = self.dcache.key.finish(&h);
-        self.fast_validate(&ns, &pcc, &cred, &sig, follow_last, parsed.require_dir)
+        self.fast_validate(ns, pcc, cred, &sig, follow_last, parsed.require_dir, &guard)
     }
 
     /// Phase 3 of the fastpath: validates a signature against the DLHT
@@ -124,6 +154,7 @@ impl Kernel {
     /// per-dentry seq counter. A mismatch means a writer republished
     /// mid-read — restart from the DLHT probe (bounded; exhaustion
     /// falls back to the slowpath).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn fast_validate(
         &self,
         ns: &Arc<crate::namespace::MountNamespace>,
@@ -132,15 +163,17 @@ impl Kernel {
         sig: &dcache_core::Signature,
         follow_last: bool,
         require_dir: bool,
+        guard: &crossbeam_epoch::Guard,
     ) -> Option<FsResult<WalkResult>> {
         let stats = &self.dcache.stats;
+        let dlht = ns.dlht(&self.dcache);
         let mut attempts = 0u32;
         'restart: loop {
             if attempts == MAX_READ_RETRIES {
                 return None;
             }
             attempts += 1;
-            let Some(first) = self.dcache.dlht_lookup(ns.id, sig) else {
+            let Some(first) = self.dcache.dlht_lookup_in(dlht, sig, guard) else {
                 stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
                 return None;
             };
@@ -199,7 +232,7 @@ impl Kernel {
                     .unwrap_or(false);
                 if is_link && follow_last {
                     let lsig = obj.link_sig()?;
-                    let Some(next) = self.dcache.dlht_lookup(ns.id, &lsig) else {
+                    let Some(next) = self.dcache.dlht_lookup_in(dlht, &lsig, guard) else {
                         stats.fast_miss_dlht.fetch_add(1, Ordering::Relaxed);
                         return None;
                     };
@@ -232,8 +265,9 @@ impl Kernel {
                 return Some(Err(kind.error()));
             }
             let inode = obj.inode()?;
-            // Mount validation via the recorded hint (§4.3).
-            let mount = ns.mount_by_id(obj.mount_hint())?;
+            // Mount validation via the recorded hint (§4.3). Borrowed
+            // under the lookup's pin; cloned only once the hit stands.
+            let mount = ns.mount_by_id_read(obj.mount_hint(), guard)?;
             if mount.sb.id != obj.sb() || !mount.sb.fs.supports_fastpath() {
                 return None;
             }
@@ -247,7 +281,7 @@ impl Kernel {
             }
             stats.fast_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Ok(WalkResult {
-                mount,
+                mount: mount.clone(),
                 dentry: obj,
                 inode: Some(inode),
             }));
@@ -323,6 +357,7 @@ impl Kernel {
         anchor: &PathRef,
         pending: &[&str],
         cred: &dc_cred::Cred,
+        guard: &crossbeam_epoch::Guard,
     ) -> Option<()> {
         let dentry: Arc<Dentry> = if pending.is_empty() {
             anchor.dentry.clone()
@@ -332,7 +367,8 @@ impl Kernel {
                 self.dcache.key.push_component(&mut h, c.as_bytes());
             }
             let sig = self.dcache.key.finish(&h);
-            self.dcache.dlht_lookup(ns.id, &sig)?
+            self.dcache
+                .dlht_lookup_in(ns.dlht(&self.dcache), &sig, guard)?
         };
         // The prefix must be a real directory (a symlink prefix needs the
         // slowpath: ".." is relative to the link *target*).

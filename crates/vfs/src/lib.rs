@@ -39,6 +39,7 @@
 //! assert_eq!(kernel.stat(&proc0, "/etc/passwd").unwrap().size, 10);
 //! ```
 
+mod fastclock;
 mod fastwalk;
 mod handle;
 mod icache;
@@ -47,6 +48,7 @@ mod mount;
 mod namespace;
 mod path;
 mod process;
+mod scratch;
 mod serve;
 mod syscalls;
 mod timing;

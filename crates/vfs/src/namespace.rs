@@ -2,10 +2,10 @@
 
 use crate::mount::Mount;
 use dc_rcu::{EpochCell, SnapMap};
-use dcache_core::{DentryId, NsId};
+use dcache_core::{Dcache, DentryId, Dlht, NsId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A mount namespace: a private view of the mount tree.
 ///
@@ -24,6 +24,11 @@ pub struct MountNamespace {
     /// All mounts by id (fastpath mount-hint validation, §4.3). A
     /// copy-on-write snapshot: the fastpath hint probe is lock-free.
     by_id: SnapMap<u64, Arc<Mount>>,
+    /// Cached handle to this namespace's DLHT. The dcache allocates
+    /// DLHTs lazily and never replaces or drops one while its namespace
+    /// is alive, so the first fastpath lookup can memoize the handle and
+    /// every later lookup skips the dcache's per-namespace map scan.
+    dlht: OnceLock<Arc<Dlht>>,
 }
 
 impl MountNamespace {
@@ -36,7 +41,14 @@ impl MountNamespace {
             root: EpochCell::new(root),
             children: RwLock::new(HashMap::new()),
             by_id,
+            dlht: OnceLock::new(),
         })
+    }
+
+    /// This namespace's DLHT, memoized on first use (see the field doc —
+    /// sound because the dcache never replaces a namespace's table).
+    pub fn dlht(&self, dcache: &Dcache) -> &Dlht {
+        self.dlht.get_or_init(|| dcache.dlht_for(self.id))
     }
 
     /// The namespace's root mount (lock-free).
@@ -84,6 +96,17 @@ impl MountNamespace {
     /// lock-free).
     pub fn mount_by_id(&self, id: u64) -> Option<Arc<Mount>> {
         self.by_id.get(id)
+    }
+
+    /// Borrows the mount for `id` under a caller-held epoch guard — the
+    /// fastpath variant of [`mount_by_id`](MountNamespace::mount_by_id)
+    /// (no nested pin, no clone until the hit is validated).
+    pub fn mount_by_id_read<'g>(
+        &self,
+        id: u64,
+        guard: &'g dc_rcu::Guard,
+    ) -> Option<&'g Arc<Mount>> {
+        self.by_id.get_ref(id, guard)
     }
 
     /// Whether this namespace has any child mounts (diagnostics).

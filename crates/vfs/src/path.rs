@@ -1,6 +1,7 @@
 //! Path parsing and walk-result types.
 
 use crate::mount::Mount;
+use crate::scratch::{InlineVec, INLINE_COMPONENTS};
 use dc_fs::{FsError, FsResult};
 use dcache_core::{Dentry, Inode};
 use std::sync::Arc;
@@ -81,51 +82,70 @@ pub struct ParsedPath<'a> {
     /// Whether the path is absolute.
     pub absolute: bool,
     /// Raw components, `"."` and `".."` included (canonicalization of
-    /// dot-dot is walk-mode-dependent, §4.2).
-    pub components: Vec<&'a str>,
+    /// dot-dot is walk-mode-dependent, §4.2). Stored inline — parsing a
+    /// typical path allocates nothing (DESIGN.md §13).
+    pub components: InlineVec<&'a str, INLINE_COMPONENTS>,
     /// Path ended in `/` or `/.` — the final component must be a
     /// directory.
     pub require_dir: bool,
 }
 
-/// Splits and validates a path.
+/// Splits and validates a path with inline component storage.
 ///
 /// Rejects empty paths (`ENOENT`, POSIX), overlong paths
 /// (`ENAMETOOLONG`), overlong components (`ENAMETOOLONG`), and embedded
 /// NULs (`EINVAL`). Repeated slashes collapse; `"."` components are
 /// dropped except for their trailing-slash effect.
 pub fn split_path(path: &str) -> FsResult<ParsedPath<'_>> {
+    split_path_in(path, true)
+}
+
+/// [`split_path`] with an explicit storage mode: `inline: false`
+/// reproduces the pre-layout heap-`Vec` behavior (the
+/// `scratch_arena: false` ablation in the fig-3 attribution).
+pub fn split_path_in(path: &str, inline: bool) -> FsResult<ParsedPath<'_>> {
     if path.is_empty() {
         return Err(FsError::NoEnt);
     }
     if path.len() > PATH_MAX {
         return Err(FsError::NameTooLong);
     }
-    if path.contains('\0') {
-        return Err(FsError::Inval);
+    let bytes = path.as_bytes();
+    let absolute = bytes[0] == b'/';
+    let mut components = if inline {
+        InlineVec::new()
+    } else {
+        InlineVec::heap_backed(8)
+    };
+    // One scan does everything: component boundaries, the embedded-NUL
+    // check, and per-component length limits ('/' is ASCII, so slicing
+    // at its byte offsets always lands on char boundaries).
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'/' {
+            let comp = &path[start..i];
+            start = i + 1;
+            if comp.len() > NAME_MAX {
+                return Err(FsError::NameTooLong);
+            }
+            // Empty (leading or doubled slash) and "." collapse.
+            if !comp.is_empty() && comp != "." {
+                components.push(comp);
+            }
+        } else if b == 0 {
+            return Err(FsError::Inval);
+        }
     }
-    let absolute = path.starts_with('/');
-    let mut components = Vec::new();
-    let mut require_dir = path.ends_with('/');
-    for comp in path.split('/') {
-        if comp.is_empty() {
-            continue;
-        }
-        if comp.len() > NAME_MAX {
-            return Err(FsError::NameTooLong);
-        }
-        if comp == "." {
-            continue;
-        }
-        components.push(comp);
+    let last = &path[start..];
+    if last.len() > NAME_MAX {
+        return Err(FsError::NameTooLong);
     }
-    // A trailing "." (e.g. "a/b/.") also requires the target to be a
-    // directory, as does "..".
-    if let Some(last) = path.rsplit('/').next() {
-        if last == "." || last == ".." {
-            require_dir = true;
-        }
+    if !last.is_empty() && last != "." {
+        components.push(last);
     }
+    // Trailing '/', "/." or ".." all require the target to be a
+    // directory.
+    let require_dir = last.is_empty() || last == "." || last == "..";
     Ok(ParsedPath {
         absolute,
         components,
@@ -168,6 +188,21 @@ mod tests {
         let root = split_path("/").unwrap();
         assert!(root.components.is_empty());
         assert!(root.require_dir);
+    }
+
+    #[test]
+    fn components_stay_inline_for_typical_paths() {
+        let p = split_path("/usr/lib/x86_64/libc/2.31/debug/src").unwrap();
+        assert!(!p.components.is_spilled());
+        // The ablation mode heap-allocates from the start.
+        let p = split_path_in("/usr/lib", false).unwrap();
+        assert!(p.components.is_spilled());
+        assert_eq!(p.components, vec!["usr", "lib"]);
+        // Pathologically deep paths spill and still parse correctly.
+        let deep = "a/".repeat(40);
+        let p = split_path(&deep).unwrap();
+        assert!(p.components.is_spilled());
+        assert_eq!(p.components.len(), 40);
     }
 
     #[test]

@@ -56,6 +56,12 @@ impl Process {
         self.cred.get()
     }
 
+    /// Borrows the credentials under a caller-held epoch guard (the
+    /// fastpath's zero-clone read; see [`dc_rcu::EpochCell::read`]).
+    pub fn cred_read<'g>(&self, guard: &'g dc_rcu::Guard) -> &'g Arc<Cred> {
+        self.cred.read(guard)
+    }
+
     /// Installs committed credentials (`commit_creds`).
     pub fn set_cred(&self, cred: Arc<Cred>) {
         self.cred.set(cred);
@@ -64,6 +70,11 @@ impl Process {
     /// Current mount namespace (lock-free).
     pub fn namespace(&self) -> Arc<MountNamespace> {
         self.ns.get()
+    }
+
+    /// Borrows the namespace under a caller-held epoch guard.
+    pub fn namespace_read<'g>(&self, guard: &'g dc_rcu::Guard) -> &'g Arc<MountNamespace> {
+        self.ns.read(guard)
     }
 
     /// Switches namespace (`unshare`/`setns`).
@@ -76,6 +87,11 @@ impl Process {
         self.root.get()
     }
 
+    /// Borrows the root under a caller-held epoch guard.
+    pub fn root_read<'g>(&self, guard: &'g dc_rcu::Guard) -> &'g PathRef {
+        self.root.read(guard)
+    }
+
     /// Sets the process root.
     pub fn set_root(&self, root: PathRef) {
         self.root.set(root);
@@ -84,6 +100,11 @@ impl Process {
     /// Current working directory (lock-free).
     pub fn cwd(&self) -> PathRef {
         self.cwd.get()
+    }
+
+    /// Borrows the working directory under a caller-held epoch guard.
+    pub fn cwd_read<'g>(&self, guard: &'g dc_rcu::Guard) -> &'g PathRef {
+        self.cwd.read(guard)
     }
 
     /// Sets the working directory (`chdir`). Holding the dentry here pins

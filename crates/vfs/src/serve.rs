@@ -117,15 +117,22 @@ impl Kernel {
             // collapsing to a nesting bump (and no per-pin accounting)
             // under a server worker's batch pin.
             let in_batch = dcache_core::batch_pin_active();
-            let _epoch = crossbeam_epoch::pin();
+            let guard = crossbeam_epoch::pin();
             if !in_batch {
                 stats.epoch_pins.fetch_add(1, Ordering::Relaxed);
                 self.dcache.obs.event(|| TraceEvent::EpochPin);
             }
-            let ns = proc.namespace();
-            let cred = proc.cred();
-            let pcc = self.dcache.pcc_for(&cred, ns.id);
-            match self.fast_validate(&ns, &pcc, &cred, sig, true, false) {
+            let ns = proc.namespace_read(&guard);
+            let cred = proc.cred_read(&guard);
+            let pcc_owned;
+            let pcc = match self.dcache.pcc_ref(cred, ns.id, &guard) {
+                Some(p) => p,
+                None => {
+                    pcc_owned = self.dcache.pcc_for(cred, ns.id);
+                    &pcc_owned
+                }
+            };
+            match self.fast_validate(ns, pcc, cred, sig, true, false, &guard) {
                 Some(Ok(r)) => match r.inode {
                     Some(inode) => SigLookup::Hit(LookupReply {
                         ino: inode.ino,

@@ -85,6 +85,7 @@ const PIN_COLLECT_EVERY: usize = 128;
 // ---------------------------------------------------------------------------
 
 /// One deferred destruction: a type-erased pointer plus its destructor.
+#[derive(Clone, Copy)]
 struct Deferred {
     ptr: *mut (),
     call: unsafe fn(*mut ()),
@@ -173,25 +174,38 @@ impl Global {
 
     /// Executes every deferred destruction tagged at least two epochs ago
     /// (the "slack"; configurable under `dst` to inject reclamation bugs).
+    ///
+    /// Drains in fixed-size stack batches: collection is amortized into
+    /// `pin()` and therefore runs on *reader* threads, whose hot path
+    /// must stay allocation-free (`tests/lockfree_read.rs` counts every
+    /// heap allocation during a warm-stat window).
     fn collect(&self) {
+        const BATCH: usize = 16;
         let slack = collect_slack();
         let ge = self.epoch.load(Ordering::SeqCst);
-        let mut free = Vec::new();
-        {
-            let mut g = self.garbage.lock().unwrap();
-            let mut i = 0;
-            while i < g.len() {
-                if g[i].0 + slack <= ge {
-                    free.push(g.swap_remove(i).1);
-                } else {
-                    i += 1;
+        loop {
+            let mut batch: [Option<Deferred>; BATCH] = [None; BATCH];
+            let mut n = 0;
+            {
+                let mut g = self.garbage.lock().unwrap();
+                let mut i = 0;
+                while i < g.len() && n < BATCH {
+                    if g[i].0 + slack <= ge {
+                        batch[n] = Some(g.swap_remove(i).1);
+                        n += 1;
+                    } else {
+                        i += 1;
+                    }
                 }
             }
-        }
-        // Destructors run outside the garbage lock: a destructor may
-        // itself defer (e.g. dropping a structure that owns Atomics).
-        for d in free {
-            unsafe { d.execute() };
+            // Destructors run outside the garbage lock: a destructor may
+            // itself defer (e.g. dropping a structure that owns Atomics).
+            for d in batch.iter().take(n) {
+                unsafe { d.expect("filled up to n").execute() };
+            }
+            if n < BATCH {
+                return;
+            }
         }
     }
 
@@ -455,6 +469,29 @@ impl Guard {
             ptr: ptr.ptr as *mut (),
             call: drop_box::<T>,
         });
+    }
+
+    /// Defers a type-erased destructor call on `ptr` until no pinned
+    /// thread can still hold it. Unlike [`Guard::defer_destroy`] the
+    /// pointee need not be a `Box` allocation — `call` decides how the
+    /// memory is returned (e.g. to a slab). On an [`unprotected`] guard
+    /// the call executes immediately.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be unreachable to new readers (already unlinked), and
+    /// `call` must be safe to run on it from any thread once the grace
+    /// period elapses. The callee is responsible for any allocation
+    /// tracking (`defer_destroy` tracks the free itself; this does not).
+    pub unsafe fn defer_with(&self, ptr: *mut (), call: unsafe fn(*mut ())) {
+        if ptr.is_null() {
+            return;
+        }
+        if self.unprotected {
+            call(ptr);
+            return;
+        }
+        global().defer(Deferred { ptr, call });
     }
 
     /// Nudges the collector: tries to advance the epoch and run ripe
