@@ -4,7 +4,7 @@
 //! repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...
 //! experiments: fig1 fig2 fig3 fig3-layout fig6 fig7 fig8 fig9 fig10
 //!              table1 table2 table3 table4 space ablation pcc rename-scale
-//!              faults crash fsck serve perfgate all
+//!              faults crash fsck serve fleet perfgate all
 //! ```
 //!
 //! Default scale is `--quick` (seconds per experiment); `--full`
@@ -30,6 +30,13 @@
 //! (exit 1) on any unexpected request error, a throughput floor miss,
 //! or incomplete recovery.
 //!
+//! `fleet` provisions the `dc-fleet` multi-tenant simulator — 1000+
+//! mount namespaces, 10k+ credentials, three traffic classes churning
+//! inside a fixed memory budget — and reports per-class hit rate,
+//! latency, resident bytes, and teardown cost. Results land in
+//! `BENCH_fleet.json` and `EXPERIMENTS.md`; the run fails (exit 1) on a
+//! hit-rate floor miss, a budget overrun, or a teardown leak.
+//!
 //! `fig3-layout` re-measures the fig-3 decomposition at each of the
 //! four §13 memory-layout stages (pre-layout → +wide sighash →
 //! +open-addressed DLHT → +snap slab → +scratch arena) and writes the
@@ -46,14 +53,14 @@
 //! alone or combined with experiments; when combined, the metrics dump
 //! runs after the experiments finish.
 
-use dc_bench::{crash, faults, figs, serve, Scale};
+use dc_bench::{crash, faults, figs, fleet, serve, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--full] [--seed <N>] [--metrics-out <path>] <experiment>...\n\
          experiments: fig1 fig2 fig3 fig3-layout fig6 fig7 fig8 fig9 fig10\n\
          \x20            table1 table2 table3 table4 space ablation pcc rename-scale\n\
-         \x20            faults crash fsck serve perfgate all"
+         \x20            faults crash fsck serve fleet perfgate all"
     );
     std::process::exit(2);
 }
@@ -132,6 +139,11 @@ fn main() {
                 }
             }
             "fsck" => crash::fsck_cmd(scale, seed),
+            "fleet" => {
+                if !fleet::fleet(scale, seed) {
+                    std::process::exit(1);
+                }
+            }
             "perfgate" => {
                 if !figs::perfgate(scale) {
                     std::process::exit(1);

@@ -1026,6 +1026,98 @@ pub fn space(scale: Scale) {
         occ[2],
         occ[3]
     );
+    space_per_ns(scale);
+}
+
+/// The §14 multi-tenant addendum to the space report: provision a small
+/// fleet of namespaces on one kernel (sharded tenant DLHTs + per-cred
+/// PCCs) and print the top-K tenants by resident bytes.
+fn space_per_ns(scale: Scale) {
+    const TOP_K: usize = 8;
+    let tenants = if scale.duration_ms > 100 { 64 } else { 24 };
+    let files = 16usize;
+    banner("Per-namespace footprint (§14): top tenants by resident bytes");
+    let cfg = DcacheConfig::optimized()
+        .with_tenant_buckets(1 << 8)
+        .with_pcc_max_resident(1024);
+    let s = kernel_with(cfg);
+    let k = &s.kernel;
+    k.mkdir(&s.proc, "/tenants", 0o755).unwrap();
+    let mut procs = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let proc = k.spawn(&s.proc);
+        let ns = k.unshare_ns(&proc).expect("unshare");
+        let dir = format!("/tenants/t{t}");
+        k.mkdir(&proc, &dir, 0o755).unwrap();
+        // Tenant populations are deliberately skewed (tenant t owns
+        // t%4+1 quarters of `files`) so the top-K ordering is visible.
+        let count = files * (t % 4 + 1) / 4;
+        let mut paths = Vec::with_capacity(count);
+        for j in 0..count {
+            let p = format!("{dir}/f{j}");
+            let fd = k.open(&proc, &p, OpenFlags::create(), 0o644).unwrap();
+            k.close(&proc, fd).unwrap();
+            paths.push(p);
+        }
+        let cred = Cred::user(2000 + t as u32, 200);
+        k.chown(&proc, &dir, Some(cred.uid), Some(200)).unwrap();
+        proc.set_cred(cred);
+        for p in &paths {
+            let _ = k.stat(&proc, p);
+        }
+        procs.push((ns.id, proc, paths));
+    }
+    let hits: std::collections::HashMap<u64, (u64, u64)> = k
+        .dcache
+        .ns_hit_stats()
+        .into_iter()
+        .map(|(ns, h, m)| (ns, (h, m)))
+        .collect();
+    let mut rows: Vec<(u64, u64, u64, usize, u64)> = k
+        .dcache
+        .ns_footprints()
+        .into_iter()
+        .map(|(ns, fp)| {
+            let (pccs, pcc_bytes) = k.dcache.pcc_stats_for_ns(ns);
+            (ns, fp.total_bytes() as u64, fp.entries, pccs, pcc_bytes)
+        })
+        .collect();
+    rows.sort_by(|a, b| (b.1 + b.4).cmp(&(a.1 + a.4)).then(a.0.cmp(&b.0)));
+    let mut t = Table::new(&[
+        "ns",
+        "dlht bytes",
+        "entries",
+        "dlht hits",
+        "dlht miss",
+        "pccs",
+        "pcc bytes",
+        "total",
+    ]);
+    for &(ns, dlht_bytes, entries, pccs, pcc_bytes) in rows.iter().take(TOP_K) {
+        let (h, m) = hits.get(&ns).copied().unwrap_or((0, 0));
+        t.row(vec![
+            if ns == 0 {
+                "0 (init)".into()
+            } else {
+                ns.to_string()
+            },
+            dlht_bytes.to_string(),
+            entries.to_string(),
+            h.to_string(),
+            m.to_string(),
+            pccs.to_string(),
+            pcc_bytes.to_string(),
+            (dlht_bytes + pcc_bytes).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "{} namespaces, {} DLHT tables, {} resident PCCs (showing top {TOP_K})",
+        k.namespace_count(),
+        k.dcache.dlht_count(),
+        k.dcache.resident_pccs()
+    );
+    drop(procs);
 }
 
 fn warm_all(s: &Setup, m: &Manifest) {

@@ -1,0 +1,265 @@
+//! `repro fleet` — the multi-tenant fleet campaign (DESIGN.md §14).
+//!
+//! Provisions a seeded `dc-fleet` simulator — 1000+ mount namespaces,
+//! 10k+ credentials, three tenant classes (hot-web, cold-batch,
+//! churn-ci) churning over overlapping trees — inside a fixed memory
+//! budget, then reports a per-class summary (hit rate, sampled p50/p99
+//! stat latency, resident bytes, teardown cost) and the fleet-wide
+//! accounting (budget compliance, resident-PCC cap pressure, and the
+//! teardown leak check).
+//!
+//! Results land in `BENCH_fleet.json` and one line is appended to
+//! `EXPERIMENTS.md`. Returns `false` (→ exit 1) when the fleet misses
+//! the scale floor, any class misses its hit-rate floor, a round ends
+//! over budget, or teardown leaks a table, a PCC, or a byte.
+
+use crate::table::Table;
+use dc_fleet::{Fleet, FleetConfig, FleetReport, TenantClass};
+
+/// Per-class hit-rate floors (fraction of lookups served without an FS
+/// call). Calibrated against seeded quick/full runs, which all land
+/// ≥0.99 warm; the floors sit well below so only a real regression —
+/// a tenant DLHT that stops retaining, a PCC cap that thrashes the hot
+/// credential — trips them, not run-to-run noise.
+const HIT_FLOORS: [(TenantClass, f64); 3] = [
+    (TenantClass::HotWeb, 0.90),
+    (TenantClass::ColdBatch, 0.85),
+    (TenantClass::ChurnCi, 0.70),
+];
+
+/// The acceptance scale floor: a fleet, not a demo.
+const MIN_NAMESPACES: usize = 1000;
+const MIN_CREDS: usize = 10_000;
+
+/// Entry point for `repro fleet`. Returns `false` on failure.
+pub fn fleet(scale: crate::Scale, seed: u64) -> bool {
+    let full = scale.duration_ms > 100;
+    let cfg = if full {
+        FleetConfig::full(seed)
+    } else {
+        FleetConfig::quick(seed)
+    };
+    println!(
+        "fleet: {} tenants × {} creds, {} rounds × {} ops/tenant, budget {} MiB, seed {seed:#x}",
+        cfg.tenants,
+        cfg.creds_per_tenant,
+        cfg.rounds,
+        cfg.ops_per_tenant,
+        cfg.mem_budget_bytes >> 20,
+    );
+
+    let fleet = Fleet::provision(cfg);
+    let report = fleet.run();
+
+    let mut t = Table::new(&[
+        "class",
+        "tenants",
+        "ops",
+        "hit%",
+        "p50 ns",
+        "p99 ns",
+        "resident KiB",
+        "teardowns",
+        "teardown µs",
+    ]);
+    for tally in &report.classes {
+        let h = tally.hist.summary();
+        t.row(vec![
+            tally.class.key().into(),
+            tally.tenants.to_string(),
+            tally.ops.to_string(),
+            format!("{:.2}", tally.hit_rate() * 100.0),
+            h.p50_ns.to_string(),
+            h.p99_ns.to_string(),
+            (tally.resident_bytes >> 10).to_string(),
+            tally.teardowns.to_string(),
+            format!("{:.1}", tally.teardown_us()),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "fleet: peak {} namespaces, {} creds | footprint peak {} KiB (budget {} KiB), \
+         {} rounds over budget | PCCs: peak {} resident (cap {}), {} evicted | churn {:.2}s",
+        report.peak_namespaces,
+        report.creds,
+        report.peak_footprint >> 10,
+        report.config.mem_budget_bytes >> 10,
+        report.over_budget_rounds,
+        report.peak_resident_pccs,
+        report.config.pcc_max_resident,
+        report.pcc_evictions,
+        report.churn_s,
+    );
+    println!(
+        "teardown: {} tables / {} PCCs / {} KiB left (baseline {} KiB) — {}",
+        report.final_dlht_tables,
+        report.final_resident_pccs,
+        report.final_footprint >> 10,
+        report.baseline_footprint >> 10,
+        if report.teardown_clean() {
+            "leak-free"
+        } else {
+            "LEAKED"
+        }
+    );
+
+    // --- gates ---------------------------------------------------------
+    let scale_ok = report.peak_namespaces >= MIN_NAMESPACES && report.creds >= MIN_CREDS;
+    if !scale_ok {
+        eprintln!(
+            "fleet: scale floor missed ({} ns / {} creds; need {MIN_NAMESPACES}/{MIN_CREDS})",
+            report.peak_namespaces, report.creds
+        );
+    }
+    let mut hit_ok = true;
+    for (class, floor) in HIT_FLOORS {
+        let tally = report
+            .classes
+            .iter()
+            .find(|c| c.class == class)
+            .expect("class tally");
+        if tally.hit_rate() < floor {
+            eprintln!(
+                "fleet: {} hit rate {:.3} below floor {floor}",
+                class.key(),
+                tally.hit_rate()
+            );
+            hit_ok = false;
+        }
+    }
+    let budget_ok = report.over_budget_rounds == 0;
+    if !budget_ok {
+        eprintln!(
+            "fleet: {} rounds ended over the {} MiB budget",
+            report.over_budget_rounds,
+            report.config.mem_budget_bytes >> 20
+        );
+    }
+    let churn_ok = report.classes.iter().any(|c| c.teardowns > 0);
+    if !churn_ok {
+        eprintln!("fleet: no namespace was ever torn down — churn never ran");
+    }
+    let clean = report.teardown_clean();
+    if !clean {
+        eprintln!(
+            "fleet: teardown leak — {} tables, {} PCCs, {} bytes not returned",
+            report.final_dlht_tables - 1,
+            report.final_resident_pccs,
+            report.leaked_bytes
+        );
+    }
+    let pass = scale_ok && hit_ok && budget_ok && churn_ok && clean;
+    println!("fleet: {}", if pass { "PASS" } else { "FAIL" });
+
+    let json_path = "BENCH_fleet.json";
+    match write_fleet_json(json_path, &report, pass) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+    match append_experiments_record(&report, pass) {
+        Ok(()) => println!("appended EXPERIMENTS.md"),
+        Err(e) => eprintln!("warning: could not append EXPERIMENTS.md: {e}"),
+    }
+    pass
+}
+
+fn write_fleet_json(path: &str, r: &FleetReport, pass: bool) -> std::io::Result<()> {
+    use std::io::Write;
+    let c = &r.config;
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"fleet\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", c.seed));
+    out.push_str(&format!(
+        "  \"tenants\": {}, \"creds_per_tenant\": {}, \"rounds\": {}, \
+         \"ops_per_tenant\": {},\n",
+        c.tenants, c.creds_per_tenant, c.rounds, c.ops_per_tenant
+    ));
+    out.push_str(&format!(
+        "  \"mem_budget_bytes\": {}, \"pcc_max_resident\": {}, \
+         \"tenant_buckets\": {},\n",
+        c.mem_budget_bytes, c.pcc_max_resident, c.tenant_buckets
+    ));
+    out.push_str("  \"classes\": {\n");
+    for (i, tally) in r.classes.iter().enumerate() {
+        let comma = if i + 1 < r.classes.len() { "," } else { "" };
+        let h = tally.hist.summary();
+        out.push_str(&format!(
+            "    \"{}\": {{ \"tenants\": {}, \"ops\": {}, \"lookups\": {}, \
+             \"miss_fs\": {}, \"hit_rate\": {:.4}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"resident_bytes\": {}, \"teardowns\": {}, \"teardown_us_mean\": {:.1}, \
+             \"teardown_entries\": {} }}{comma}\n",
+            tally.class.key(),
+            tally.tenants,
+            tally.ops,
+            tally.lookups,
+            tally.miss_fs,
+            tally.hit_rate(),
+            h.p50_ns,
+            h.p99_ns,
+            tally.resident_bytes,
+            tally.teardowns,
+            tally.teardown_us(),
+            tally.teardown_entries,
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"fleet\": {{ \"peak_namespaces\": {}, \"creds\": {}, \
+         \"peak_footprint_bytes\": {}, \"over_budget_rounds\": {}, \
+         \"peak_resident_pccs\": {}, \"pcc_evictions\": {}, \"churn_s\": {:.3} }},\n",
+        r.peak_namespaces,
+        r.creds,
+        r.peak_footprint,
+        r.over_budget_rounds,
+        r.peak_resident_pccs,
+        r.pcc_evictions,
+        r.churn_s,
+    ));
+    out.push_str(&format!(
+        "  \"teardown\": {{ \"baseline_footprint_bytes\": {}, \
+         \"final_footprint_bytes\": {}, \"final_dlht_tables\": {}, \
+         \"final_resident_pccs\": {}, \"leaked_bytes\": {}, \"clean\": {} }},\n",
+        r.baseline_footprint,
+        r.final_footprint,
+        r.final_dlht_tables,
+        r.final_resident_pccs,
+        r.leaked_bytes,
+        r.teardown_clean(),
+    ));
+    out.push_str(&format!("  \"pass\": {pass}\n}}\n"));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+fn append_experiments_record(r: &FleetReport, pass: bool) -> std::io::Result<()> {
+    use std::io::Write;
+    let hit = |class: TenantClass| {
+        r.classes
+            .iter()
+            .find(|c| c.class == class)
+            .map_or(0.0, |c| c.hit_rate() * 100.0)
+    };
+    let line = format!(
+        "- `repro fleet --seed {:#x}` ({} ns × {} creds, {} rounds): hit% hot {:.1} / \
+         cold {:.1} / ci {:.1}; {} teardowns; footprint peak {} KiB ≤ budget {} KiB; \
+         leak {} B — {}\n",
+        r.config.seed,
+        r.peak_namespaces,
+        r.creds,
+        r.config.rounds,
+        hit(TenantClass::HotWeb),
+        hit(TenantClass::ColdBatch),
+        hit(TenantClass::ChurnCi),
+        r.classes.iter().map(|c| c.teardowns).sum::<u64>(),
+        r.peak_footprint >> 10,
+        r.config.mem_budget_bytes >> 10,
+        r.leaked_bytes,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("EXPERIMENTS.md")?;
+    f.write_all(line.as_bytes())
+}

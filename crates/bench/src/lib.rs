@@ -10,6 +10,7 @@
 pub mod crash;
 pub mod faults;
 pub mod figs;
+pub mod fleet;
 pub mod serve;
 pub mod setup;
 pub mod table;

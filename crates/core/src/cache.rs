@@ -6,7 +6,7 @@ use crate::dentry::{
     Dentry, DentryId, DentryState, NegKind, FLAG_DEAD, FLAG_DIR_COMPLETE, FLAG_LOCKED_READS,
     FLAG_SNAP_BOXED,
 };
-use crate::dlht::Dlht;
+use crate::dlht::{Dlht, DlhtFootprint};
 use crate::inode::{Inode, SbId};
 use crate::lru::{DentryLru, EvictOutcome};
 use crate::pcc::Pcc;
@@ -17,6 +17,7 @@ use dc_obs::{Recorder, TraceEvent};
 use dc_rcu::SnapMap;
 use dc_sighash::HashKey;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -43,6 +44,13 @@ pub struct Dcache {
     /// are optimistic slowpath walks (§3.2).
     pub rename_lock: SeqLock,
     dlhts: SnapMap<NsId, Arc<Dlht>>,
+    /// Namespaces whose DLHT was retired by teardown. Consulted (under
+    /// the same mutex that serializes retirement) before lazily creating
+    /// a table, so a walker racing teardown cannot resurrect a dead
+    /// namespace's table into the map — it gets a private orphan table
+    /// that dies with its last holder instead (DESIGN.md §14). A few
+    /// bytes per destroyed namespace, ever.
+    retired_ns: Mutex<HashSet<NsId>>,
     lru: DentryLru,
     /// Global shootdown counter: slowpath results may only be published to
     /// DLHT/PCC if this did not move during the walk (§3.2).
@@ -50,7 +58,17 @@ pub struct Dcache {
     next_id: AtomicU64,
     live: AtomicU64,
     tick: AtomicU64,
-    pccs: Mutex<Vec<Weak<Pcc>>>,
+    pccs: Mutex<Vec<PccSlot>>,
+}
+
+/// Registry entry for one resident PCC: which credential it is attached
+/// to (weak — creds drop freely), which namespace keys it, and the PCC
+/// itself (weak — the cred's cache map holds the only strong reference,
+/// so detaching it there is how eviction frees memory).
+struct PccSlot {
+    cred: Weak<Cred>,
+    ns: NsId,
+    pcc: Weak<Pcc>,
 }
 
 impl Dcache {
@@ -82,6 +100,7 @@ impl Dcache {
             obs,
             rename_lock: SeqLock::new(),
             dlhts: SnapMap::new(),
+            retired_ns: Mutex::new(HashSet::new()),
             lru: DentryLru::new(8),
             invalidation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
@@ -259,17 +278,86 @@ impl Dcache {
 
     // --- DLHT -------------------------------------------------------------
 
+    fn make_dlht(&self, ns: NsId) -> Arc<Dlht> {
+        // Tenant sharding (DESIGN.md §14): the init namespace gets the
+        // full-size table; tenant namespaces get the (typically much
+        // smaller) per-tenant size so 1000+ namespaces don't cost 1000
+        // full bucket arrays — and one tenant's churn stays confined to
+        // its own table.
+        let buckets = match self.config.dlht_tenant_buckets {
+            Some(tb) if ns != 0 => tb,
+            _ => self.config.dlht_buckets,
+        };
+        Dlht::new_with_layout(
+            ns,
+            buckets,
+            self.config.lockfree_reads,
+            self.config.dlht_open_addressed,
+        )
+    }
+
     /// The DLHT serving namespace `ns`, created on first use. The hit
     /// path is an epoch-protected snapshot scan — no lock.
+    ///
+    /// A namespace whose table was [retired](Dcache::retire_dlht) gets a
+    /// fresh *orphan* table (never registered in the map): a walker
+    /// racing teardown publishes into it harmlessly and the table dies
+    /// with the walker's handle, instead of leaking a map entry for a
+    /// dead namespace forever.
     pub fn dlht_for(&self, ns: NsId) -> Arc<Dlht> {
-        self.dlhts.get_or_insert_with(ns, || {
-            Dlht::new_with_layout(
-                ns,
-                self.config.dlht_buckets,
-                self.config.lockfree_reads,
-                self.config.dlht_open_addressed,
-            )
-        })
+        if let Some(t) = self.dlhts.get(ns) {
+            return t;
+        }
+        // Serialize lazy creation against retirement: holding the
+        // retired-set mutex across the check *and* the insert means a
+        // concurrent `retire_dlht` either sees our entry (and removes
+        // it) or we see its tombstone (and stay out of the map).
+        let retired = self.retired_ns.lock();
+        if retired.contains(&ns) {
+            return self.make_dlht(ns);
+        }
+        self.dlhts.get_or_insert_with(ns, || self.make_dlht(ns))
+    }
+
+    /// Retires namespace `ns`'s DLHT: unregisters it and tombstones the
+    /// namespace id so no racing walker re-creates a map entry. Returns
+    /// the table so the caller can account its final footprint; entries
+    /// die when the last handle (ours, plus any namespace-memoized
+    /// fastpath handles still held by in-flight readers) drops — no
+    /// per-entry unlinking, which is what makes teardown O(tenant
+    /// table) rather than O(fleet) (DESIGN.md §14).
+    pub fn retire_dlht(&self, ns: NsId) -> Option<Arc<Dlht>> {
+        let mut retired = self.retired_ns.lock();
+        retired.insert(ns);
+        self.dlhts.remove(ns)
+    }
+
+    /// Live per-namespace tables (diagnostics; the init namespace's
+    /// table counts once created).
+    pub fn dlht_count(&self) -> usize {
+        self.dlhts.len()
+    }
+
+    /// Per-namespace DLHT footprints, walked (the `repro space` top-K
+    /// tenant report).
+    pub fn ns_footprints(&self) -> Vec<(NsId, DlhtFootprint)> {
+        self.dlhts
+            .entries()
+            .into_iter()
+            .map(|(ns, t)| (ns, t.footprint()))
+            .collect()
+    }
+
+    /// Per-namespace DLHT hit/miss counters, as `(ns, hits, misses)`.
+    pub fn ns_hit_stats(&self) -> Vec<(NsId, u64, u64)> {
+        self.dlhts
+            .entries()
+            .into_iter()
+            .map(|(ns, t)| {
+                let (h, m) = t.hit_stats();
+                (ns, h, m)
+            })
+            .collect()
     }
 
     /// Direct lookup by full-path signature in namespace `ns`.
@@ -298,23 +386,43 @@ impl Dcache {
     /// any previous membership (one table, one signature at a time; §4.3).
     /// Returns `false` if the dentry died concurrently.
     pub fn dlht_insert(&self, ns: NsId, sig: crate::Signature, dentry: &Arc<Dentry>) -> bool {
+        self.dlht_insert_in(&self.dlht_for(ns), sig, dentry)
+    }
+
+    /// [`dlht_insert`](Dcache::dlht_insert) against an already-resolved
+    /// table handle (the walk's namespace-memoized one — skips the
+    /// per-namespace map scan on every publish).
+    pub fn dlht_insert_in(
+        &self,
+        table: &Arc<Dlht>,
+        sig: crate::Signature,
+        dentry: &Arc<Dentry>,
+    ) -> bool {
         let mut membership = dentry.dlht_entry().lock();
         if dentry.is_dead() {
             return false;
         }
-        if let Some((old_ns, old_sig)) = membership.take() {
-            self.dlht_for(old_ns).remove_raw(&old_sig, dentry.id());
+        if let Some((old_table, old_sig)) = membership.take() {
+            // An upgrade failure means the old table was retired with
+            // its namespace and the entry already died with it.
+            if let Some(old) = old_table.upgrade() {
+                old.remove_raw(&old_sig, dentry.id());
+            }
         }
-        self.dlht_for(ns).insert_raw(sig, dentry);
-        *membership = Some((ns, sig));
+        table.insert_raw(sig, dentry);
+        *membership = Some((Arc::downgrade(table), sig));
         true
     }
 
-    /// Removes `dentry` from whichever DLHT holds it, if any.
+    /// Removes `dentry` from whichever DLHT holds it, if any. A no-op
+    /// when that table was already retired wholesale by namespace
+    /// teardown.
     pub fn dlht_remove(&self, dentry: &Arc<Dentry>) {
         let mut membership = dentry.dlht_entry().lock();
-        if let Some((ns, sig)) = membership.take() {
-            self.dlht_for(ns).remove_raw(&sig, dentry.id());
+        if let Some((table, sig)) = membership.take() {
+            if let Some(t) = table.upgrade() {
+                t.remove_raw(&sig, dentry.id());
+            }
         }
     }
 
@@ -323,19 +431,111 @@ impl Dcache {
     /// The prefix check cache for `(cred, ns)`, created on first use and
     /// shared by every process with the same credential in the same
     /// namespace (§3.1, §4.1).
-    pub fn pcc_for(&self, cred: &Cred, ns: NsId) -> Arc<Pcc> {
+    ///
+    /// Creation past the configured
+    /// [`pcc_max_resident`](DcacheConfig::pcc_max_resident) cap detaches
+    /// the least-recently-used resident PCC from its credential — the
+    /// cred-count pressure policy of DESIGN.md §14. The recency stamp is
+    /// refreshed here (once per slowpath attach, not on the lock-free
+    /// fastpath borrow), so fleet-hot creds keep their caches while a
+    /// burst of one-shot creds churns through the tail.
+    pub fn pcc_for(&self, cred: &Arc<Cred>, ns: NsId) -> Arc<Pcc> {
         let bytes = self.config.pcc_bytes;
-        let mut created: Option<Arc<Pcc>> = None;
+        let mut created = false;
         let any = cred.cache_for(ns, || {
-            let pcc = Arc::new(Pcc::new_with_obs(bytes, self.obs.clone()));
-            created = Some(pcc.clone());
-            pcc
+            created = true;
+            Arc::new(Pcc::new_with_obs(bytes, self.obs.clone()))
         });
-        if let Some(pcc) = created {
-            self.pccs.lock().push(Arc::downgrade(&pcc));
+        let pcc = any
+            .downcast::<Pcc>()
+            .expect("cred cache slot held a non-PCC value");
+        pcc.touch(self.tick.fetch_add(1, Ordering::Relaxed));
+        if created {
+            let mut list = self.pccs.lock();
+            list.push(PccSlot {
+                cred: Arc::downgrade(cred),
+                ns,
+                pcc: Arc::downgrade(&pcc),
+            });
+            self.enforce_pcc_cap(&mut list);
         }
-        any.downcast::<Pcc>()
-            .expect("cred cache slot held a non-PCC value")
+        pcc
+    }
+
+    /// Detaches the coldest resident PCCs until the registry fits the
+    /// configured cap. Caller holds the registry lock.
+    fn enforce_pcc_cap(&self, list: &mut Vec<PccSlot>) {
+        let Some(cap) = self.config.pcc_max_resident else {
+            return;
+        };
+        if list.len() <= cap {
+            return;
+        }
+        // Dead slots (cred dropped, or cache detached elsewhere) go
+        // first and cost nothing.
+        list.retain(|s| s.pcc.strong_count() > 0 && s.cred.strong_count() > 0);
+        while list.len() > cap {
+            let coldest = list
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.pcc.upgrade().map(|p| (i, p.last_used())))
+                .min_by_key(|&(_, t)| t);
+            let Some((idx, _)) = coldest else { break };
+            let slot = list.swap_remove(idx);
+            if let Some(cred) = slot.cred.upgrade() {
+                cred.remove_cache(slot.ns);
+            }
+            self.stats.pcc_evictions.fetch_add(1, Ordering::Relaxed);
+            self.obs.event(|| TraceEvent::PccEvict);
+        }
+    }
+
+    /// Detaches every resident PCC keyed by namespace `ns` from its
+    /// credential (namespace teardown). Returns `(instances, lines)`:
+    /// PCCs detached and the occupied lines they held.
+    pub fn detach_pccs_for_ns(&self, ns: NsId) -> (u64, u64) {
+        let mut instances = 0u64;
+        let mut lines = 0u64;
+        let mut list = self.pccs.lock();
+        list.retain(|slot| {
+            if slot.ns != ns {
+                return slot.pcc.strong_count() > 0;
+            }
+            if let Some(pcc) = slot.pcc.upgrade() {
+                instances += 1;
+                lines += pcc.occupancy() as u64;
+                if let Some(cred) = slot.cred.upgrade() {
+                    cred.remove_cache(ns);
+                }
+            }
+            false
+        });
+        self.stats
+            .pccs_detached
+            .fetch_add(instances, Ordering::Relaxed);
+        (instances, lines)
+    }
+
+    /// Resident PCC instances (diagnostics; prunes dead slots).
+    pub fn resident_pccs(&self) -> usize {
+        let mut list = self.pccs.lock();
+        list.retain(|s| s.pcc.strong_count() > 0);
+        list.len()
+    }
+
+    /// Resident PCC instances and occupied bytes for namespace `ns`
+    /// (the `repro space` per-tenant report).
+    pub fn pcc_stats_for_ns(&self, ns: NsId) -> (usize, u64) {
+        let list = self.pccs.lock();
+        let mut n = 0usize;
+        let mut bytes = 0u64;
+        for slot in list.iter().filter(|s| s.ns == ns) {
+            if let Some(pcc) = slot.pcc.upgrade() {
+                n += 1;
+                bytes += pcc.occupied_bytes() as u64;
+            }
+        }
+        (n, bytes)
     }
 
     /// Borrows the PCC for `(cred, ns)` under a caller-held epoch guard —
@@ -356,13 +556,45 @@ impl Dcache {
     /// also used by cold-cache experiment resets).
     pub fn flush_all_pccs(&self) {
         let mut list = self.pccs.lock();
-        list.retain(|w| match w.upgrade() {
+        list.retain(|slot| match slot.pcc.upgrade() {
             Some(pcc) => {
                 pcc.invalidate_all();
                 true
             }
             None => false,
         });
+    }
+
+    /// Flushes resident PCCs coldest-first until roughly `need_bytes` of
+    /// occupied lines have been emptied. Returns the bytes flushed. The
+    /// memory-pressure path prefers this to an indiscriminate
+    /// [`flush_all_pccs`](Dcache::flush_all_pccs): batch tenants' idle
+    /// caches drain before a hot tenant loses a single line.
+    fn flush_cold_pccs(&self, need_bytes: u64) -> u64 {
+        let mut list = self.pccs.lock();
+        let mut live: Vec<(u64, Arc<Pcc>)> = Vec::with_capacity(list.len());
+        list.retain(|slot| match slot.pcc.upgrade() {
+            Some(pcc) => {
+                live.push((pcc.last_used(), pcc));
+                true
+            }
+            None => false,
+        });
+        drop(list);
+        live.sort_unstable_by_key(|&(t, _)| t);
+        let mut freed = 0u64;
+        for (_, pcc) in live {
+            if freed >= need_bytes {
+                break;
+            }
+            let occupied = pcc.occupied_bytes() as u64;
+            if occupied == 0 {
+                continue;
+            }
+            pcc.invalidate_all();
+            freed += occupied;
+        }
+        freed
     }
 
     // --- coherence ----------------------------------------------------------
@@ -481,9 +713,9 @@ impl Dcache {
         let mut pcc_bytes = 0u64;
         {
             let mut list = self.pccs.lock();
-            list.retain(|w| w.strong_count() > 0);
-            for w in list.iter() {
-                if let Some(pcc) = w.upgrade() {
+            list.retain(|s| s.pcc.strong_count() > 0);
+            for slot in list.iter() {
+                if let Some(pcc) = slot.pcc.upgrade() {
                     pcc_bytes += pcc.occupied_bytes() as u64;
                 }
             }
@@ -517,8 +749,15 @@ impl Dcache {
                 break;
             }
         }
-        if self.reclaimable_bytes() > target_bytes {
-            self.flush_all_pccs();
+        let over = self.reclaimable_bytes().saturating_sub(target_bytes);
+        if over > 0 {
+            // Dentries alone couldn't get there (pinned floor): drain
+            // PCC lines, coldest caches first, falling back to a full
+            // flush only if the cold tail wasn't enough.
+            self.flush_cold_pccs(over);
+            if self.reclaimable_bytes() > target_bytes {
+                self.flush_all_pccs();
+            }
         }
         let freed = before.saturating_sub(self.reclaimable_bytes());
         self.stats.shrinks.fetch_add(1, Ordering::Relaxed);
@@ -571,7 +810,7 @@ impl Dcache {
         }
         let pccs = {
             let mut list = self.pccs.lock();
-            list.retain(|w| w.upgrade().is_some());
+            list.retain(|s| s.pcc.strong_count() > 0);
             list.len()
         };
         SpaceReport {

@@ -36,6 +36,19 @@ pub struct DcacheConfig {
     /// DLHT bucket count per namespace (paper: 2^16); must be a power of
     /// two ≤ 2^16.
     pub dlht_buckets: usize,
+    /// DLHT bucket count for *non-init* namespaces (tenant sharding,
+    /// DESIGN.md §14). `None` sizes every namespace's table with
+    /// [`dlht_buckets`](DcacheConfig::dlht_buckets); at container-fleet
+    /// scale a full-size bucket array per tenant is untenable (2^16
+    /// buckets × 8 B × 1000 namespaces = 512 MB of fixed arrays), so
+    /// fleets set a smaller power of two here.
+    pub dlht_tenant_buckets: Option<usize>,
+    /// Cap on resident PCC instances across all credentials (the
+    /// cred-count pressure policy, DESIGN.md §14). `None` is unbounded —
+    /// fine for a handful of creds, not for 10k. Past the cap, creating
+    /// a PCC detaches the least-recently-attached cold one from its
+    /// credential.
+    pub pcc_max_resident: Option<usize>,
     /// Maximum cached dentries before LRU eviction kicks in.
     pub capacity: usize,
     /// Soft byte budget for the cache's reclaimable footprint (dentries +
@@ -90,6 +103,8 @@ impl DcacheConfig {
             lock_walk: false,
             pcc_bytes: 64 * 1024,
             dlht_buckets: 1 << 16,
+            dlht_tenant_buckets: None,
+            pcc_max_resident: None,
             capacity: 1 << 20,
             mem_budget_bytes: None,
             hash_seed: None,
@@ -202,6 +217,19 @@ impl DcacheConfig {
         self
     }
 
+    /// Sizes non-init namespaces' DLHTs at `buckets` (tenant sharding;
+    /// the init namespace keeps the full `dlht_buckets` table).
+    pub fn with_tenant_buckets(mut self, buckets: usize) -> Self {
+        self.dlht_tenant_buckets = Some(buckets);
+        self
+    }
+
+    /// Caps resident PCC instances fleet-wide (cred-count pressure).
+    pub fn with_pcc_max_resident(mut self, cap: usize) -> Self {
+        self.pcc_max_resident = Some(cap);
+        self
+    }
+
     /// Validates invariants (power-of-two tables, sane sizes).
     pub fn validate(&self) -> Result<(), String> {
         if !self.dlht_buckets.is_power_of_two() || self.dlht_buckets > (1 << 16) {
@@ -209,6 +237,16 @@ impl DcacheConfig {
                 "dlht_buckets must be a power of two ≤ 65536, got {}",
                 self.dlht_buckets
             ));
+        }
+        if let Some(tb) = self.dlht_tenant_buckets {
+            if !tb.is_power_of_two() || tb > (1 << 16) {
+                return Err(format!(
+                    "dlht_tenant_buckets must be a power of two <= 65536, got {tb}"
+                ));
+            }
+        }
+        if self.pcc_max_resident == Some(0) {
+            return Err("pcc_max_resident must be at least 1".to_string());
         }
         if self.pcc_bytes < 1024 {
             return Err(format!("pcc_bytes too small: {}", self.pcc_bytes));

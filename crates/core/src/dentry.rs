@@ -184,9 +184,13 @@ pub struct Dentry {
     /// Resumable signature-hash state for this dentry's canonical path
     /// (§3.1); cleared on rename and recomputed on demand.
     hash_state: Mutex<Option<HashState>>,
-    /// Which namespace's DLHT holds this dentry, and under what signature
-    /// (at most one at a time, §4.3).
-    dlht_entry: Mutex<Option<(u64, Signature)>>,
+    /// Which DLHT holds this dentry, and under what signature (at most
+    /// one at a time, §4.3). The table handle is weak: namespace
+    /// teardown retires a table by dropping the dcache's reference, and
+    /// a retired table must not be resurrected (or kept alive) just to
+    /// unlink memberships — an upgrade failure means the whole table
+    /// already died with its entries (DESIGN.md §14).
+    dlht_entry: Mutex<Option<(Weak<crate::dlht::Dlht>, Signature)>>,
     /// For symlink dentries: the signature of the link target's canonical
     /// path, letting the fastpath chain through links without reading
     /// them (§4.2). Recorded by the slowpath after a successful follow.
@@ -692,7 +696,7 @@ impl Dentry {
     }
 
     /// The DLHT membership record.
-    pub(crate) fn dlht_entry(&self) -> &Mutex<Option<(u64, Signature)>> {
+    pub(crate) fn dlht_entry(&self) -> &Mutex<Option<(Weak<crate::dlht::Dlht>, Signature)>> {
         &self.dlht_entry
     }
 

@@ -78,6 +78,9 @@ pub struct Pcc {
     mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotonic attach stamp maintained by the dcache's eviction policy
+    /// (bumped only on the `pcc_for` slowpath, never on fastpath borrows).
+    last_used: AtomicU64,
     obs: Recorder,
 }
 
@@ -109,6 +112,7 @@ impl Pcc {
             mask: (nsets - 1) as u64,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
             obs,
         }
     }
@@ -216,6 +220,20 @@ impl Pcc {
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Records a use of this PCC at logical time `t` (a dcache-global
+    /// attach tick). Called from the slowpath attach only so the
+    /// lock-free check path stays store-free.
+    #[inline]
+    pub fn touch(&self, t: u64) {
+        self.last_used.store(t, Ordering::Relaxed);
+    }
+
+    /// Logical time of the last [`touch`](Pcc::touch) — the LRU key the
+    /// dcache's resident-PCC cap evicts by.
+    pub fn last_used(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
     }
 
     /// Logical bytes held by currently-published entries — the

@@ -92,6 +92,19 @@ counters! {
     shrinks,
     /// Bytes reclaimed by memory-pressure shrinks.
     shrink_bytes_freed,
+    /// Cold PCCs detached from their credential by the resident-PCC cap
+    /// ([`pcc_max_resident`]).
+    ///
+    /// [`pcc_max_resident`]: crate::DcacheConfig::pcc_max_resident
+    pcc_evictions,
+    /// PCC instances detached by namespace teardown.
+    pccs_detached,
+    /// Mount namespaces torn down ([`retire_dlht`] + PCC detach).
+    ///
+    /// [`retire_dlht`]: crate::Dcache::retire_dlht
+    ns_teardowns,
+    /// Live DLHT entries retired with their namespace's table.
+    teardown_entries,
 }
 
 impl DcacheStats {

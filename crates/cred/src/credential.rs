@@ -105,6 +105,15 @@ impl Cred {
     pub fn clear_caches(&self) {
         self.caches.clear();
     }
+
+    /// Detaches the cache attached for namespace `ns`, if any — the
+    /// dcache's PCC eviction policy and namespace teardown both end a
+    /// PCC's life here. In-flight readers holding an epoch-guard borrow
+    /// of the old snapshot finish safely; the next
+    /// [`cache_for`](Cred::cache_for) rebuilds from scratch.
+    pub fn remove_cache(&self, ns: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.caches.remove(ns)
+    }
 }
 
 impl std::fmt::Debug for Cred {

@@ -131,11 +131,15 @@ pub enum EventKind {
     ServeReject,
     /// `ServeConn`.
     ServeConn,
+    /// `PccEvict`.
+    PccEvict,
+    /// `NsTeardown`.
+    NsTeardown,
 }
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 26;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -164,6 +168,8 @@ impl EventKind {
             EventKind::ServeBatch,
             EventKind::ServeReject,
             EventKind::ServeConn,
+            EventKind::PccEvict,
+            EventKind::NsTeardown,
         ]
     }
 
@@ -195,6 +201,8 @@ impl EventKind {
             EventKind::ServeBatch => 21,
             EventKind::ServeReject => 22,
             EventKind::ServeConn => 23,
+            EventKind::PccEvict => 24,
+            EventKind::NsTeardown => 25,
         }
     }
 
@@ -225,6 +233,8 @@ impl EventKind {
             EventKind::ServeBatch => "serve_batch",
             EventKind::ServeReject => "serve_reject",
             EventKind::ServeConn => "serve_conn",
+            EventKind::PccEvict => "pcc_evict",
+            EventKind::NsTeardown => "ns_teardown",
         }
     }
 
@@ -269,6 +279,8 @@ impl EventKind {
             TraceEvent::ServeBatch { .. } => EventKind::ServeBatch,
             TraceEvent::ServeReject { .. } => EventKind::ServeReject,
             TraceEvent::ServeConn => EventKind::ServeConn,
+            TraceEvent::PccEvict => EventKind::PccEvict,
+            TraceEvent::NsTeardown { .. } => EventKind::NsTeardown,
         }
     }
 }

@@ -24,6 +24,14 @@ pub trait MetricSource: Send + Sync {
     fn hists(&self) -> Vec<(String, HistSummary)> {
         Vec::new()
     }
+    /// Dynamically-named counters (optional), keyed by a `label.metric`
+    /// string built at runtime — per-tenant or per-class breakdowns
+    /// (e.g. `hot.ops`) that cannot use the `&'static str` keys of
+    /// [`counters`](MetricSource::counters). Appended after the static
+    /// counters in the source's section.
+    fn labeled_counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
     /// Zeroes the underlying counters.
     fn reset(&self);
 }
@@ -165,13 +173,15 @@ impl Registry {
         let mut sections = Vec::with_capacity(self.sources.len() + 1);
         let mut rates = Vec::new();
         for source in &self.sources {
+            let mut counters: Vec<(String, u64)> = source
+                .counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            counters.extend(source.labeled_counters());
             sections.push(Section {
                 name: source.name().to_string(),
-                counters: source
-                    .counters()
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
+                counters,
             });
             for (key, value) in source.rates() {
                 rates.push((format!("{}.{}", source.name(), key), value));

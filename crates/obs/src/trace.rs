@@ -124,6 +124,17 @@ pub enum TraceEvent {
     },
     /// A client connection was accepted by the metadata server.
     ServeConn,
+    /// A cold prefix-check cache was detached from its credential to
+    /// keep the fleet under the resident-PCC cap.
+    PccEvict,
+    /// A mount namespace was torn down: its DLHT was retired and its
+    /// prefix-check caches detached.
+    NsTeardown {
+        /// Live DLHT entries retired with the namespace's table.
+        entries: u64,
+        /// PCC instances detached from their credentials.
+        pccs: u32,
+    },
 }
 
 /// A [`TraceEvent`] stamped with a global sequence number and the

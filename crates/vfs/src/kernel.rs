@@ -266,6 +266,57 @@ impl Kernel {
         self.namespaces.write().insert(ns.id, ns);
     }
 
+    /// Live registered namespaces, including the init namespace.
+    pub fn namespace_count(&self) -> usize {
+        self.namespaces.read().len()
+    }
+
+    /// Tears down a mount namespace: unregisters it, detaches every PCC
+    /// keyed on it, and retires its DLHT from the dcache's map — all
+    /// O(this tenant), never O(fleet).
+    ///
+    /// The retired table is *not* walked entry-by-entry: dentries hold
+    /// only weak membership in it, so dropping the last table handle
+    /// (the namespace's memoized one goes with the `Arc<MountNamespace>`
+    /// returned here) frees every chain node and bucket group wholesale
+    /// once in-flight epoch readers drain. Processes still attached to
+    /// the namespace keep their mounts working — only the cache
+    /// acceleration (DLHT entries, PCCs) dies with the teardown.
+    ///
+    /// Returns `None` for the init namespace (id 0) or an unknown id.
+    pub fn destroy_namespace(&self, ns_id: u64) -> Option<TeardownReport> {
+        if ns_id == 0 {
+            return None;
+        }
+        let start = std::time::Instant::now();
+        let ns = self.namespaces.write().remove(&ns_id)?;
+        let (pccs_detached, pcc_lines) = self.dcache.detach_pccs_for_ns(ns_id);
+        let (dlht_entries, dlht_bytes) = match self.dcache.retire_dlht(ns_id) {
+            Some(table) => (table.len(), table.footprint().total_bytes() as u64),
+            None => (0, 0), // never walked: no table was ever allocated
+        };
+        self.dcache
+            .stats
+            .ns_teardowns
+            .fetch_add(1, Ordering::Relaxed);
+        self.dcache
+            .stats
+            .teardown_entries
+            .fetch_add(dlht_entries, Ordering::Relaxed);
+        self.dcache.obs.event(|| dc_obs::TraceEvent::NsTeardown {
+            entries: dlht_entries,
+            pccs: pccs_detached as u32,
+        });
+        drop(ns);
+        Some(TeardownReport {
+            dlht_entries,
+            dlht_bytes,
+            pccs_detached,
+            pcc_lines,
+            nanos: start.elapsed().as_nanos() as u64,
+        })
+    }
+
     /// Drops every unpinned dentry and flushes all PCCs and, if the root
     /// file system is a memfs, its page cache: the cold-cache reset used
     /// by Table 2.
@@ -488,12 +539,33 @@ impl MetricSource for SharedSource {
     fn rates(&self) -> Vec<(&'static str, f64)> {
         self.0.rates()
     }
+    fn labeled_counters(&self) -> Vec<(String, u64)> {
+        self.0.labeled_counters()
+    }
     fn hists(&self) -> Vec<(String, dc_obs::HistSummary)> {
         self.0.hists()
     }
     fn reset(&self) {
         self.0.reset();
     }
+}
+
+/// What a [`Kernel::destroy_namespace`] teardown reclaimed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TeardownReport {
+    /// Live DLHT entries retired with the namespace's table.
+    pub dlht_entries: u64,
+    /// Bytes of DLHT structure (bucket array + chain nodes or groups)
+    /// freed once the last table handle drops and epochs drain.
+    pub dlht_bytes: u64,
+    /// PCC instances detached from their credentials.
+    pub pccs_detached: u64,
+    /// Occupied PCC lines those instances held.
+    pub pcc_lines: u64,
+    /// Wall-clock nanoseconds the teardown took (map removals and
+    /// accounting only — the bulk free happens off this path, at epoch
+    /// drain).
+    pub nanos: u64,
 }
 
 /// Downcasts a file system to memfs (cold-cache plumbing).

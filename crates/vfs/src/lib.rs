@@ -55,7 +55,7 @@ mod timing;
 mod walk;
 
 pub use handle::{Handle, OpenFlags};
-pub use kernel::{Kernel, KernelBuilder};
+pub use kernel::{Kernel, KernelBuilder, TeardownReport};
 pub use mount::{Mount, MountFlags, SuperBlock};
 pub use namespace::MountNamespace;
 pub use path::{split_path, PathRef, WalkResult};

@@ -25,9 +25,14 @@ pub struct MountNamespace {
     /// copy-on-write snapshot: the fastpath hint probe is lock-free.
     by_id: SnapMap<u64, Arc<Mount>>,
     /// Cached handle to this namespace's DLHT. The dcache allocates
-    /// DLHTs lazily and never replaces or drops one while its namespace
-    /// is alive, so the first fastpath lookup can memoize the handle and
-    /// every later lookup skips the dcache's per-namespace map scan.
+    /// DLHTs lazily and never replaces a live namespace's table, so the
+    /// first fastpath lookup can memoize the handle and every later
+    /// lookup skips the dcache's per-namespace map scan. Teardown
+    /// ([`Kernel::destroy_namespace`](crate::Kernel::destroy_namespace))
+    /// retires the table from the dcache's map; this memoized `Arc` then
+    /// keeps the retired table alive only until the last in-flight
+    /// reader drops its namespace handle, at which point the table —
+    /// and every entry still in it — is freed wholesale.
     dlht: OnceLock<Arc<Dlht>>,
 }
 
@@ -46,8 +51,16 @@ impl MountNamespace {
     }
 
     /// This namespace's DLHT, memoized on first use (see the field doc —
-    /// sound because the dcache never replaces a namespace's table).
+    /// sound because the dcache never replaces a live namespace's table).
     pub fn dlht(&self, dcache: &Dcache) -> &Dlht {
+        self.dlht_handle(dcache)
+    }
+
+    /// The memoized [`Arc`] handle to this namespace's DLHT — for
+    /// callers that publish entries and must record *which table* they
+    /// inserted into (weak DLHT membership survives teardown; a
+    /// namespace id alone would not).
+    pub fn dlht_handle(&self, dcache: &Dcache) -> &Arc<Dlht> {
         self.dlht.get_or_init(|| dcache.dlht_for(self.id))
     }
 

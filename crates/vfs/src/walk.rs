@@ -302,7 +302,13 @@ impl Kernel {
                 } => {
                     dentry.store_hash_state(*state);
                     dentry.set_mount_hint(*mount);
-                    self.dcache.dlht_insert(ns.id, *sig, dentry);
+                    // Publish through the namespace's memoized handle so
+                    // the dentry records *which table* it lives in: if
+                    // the namespace is torn down mid-walk the insert
+                    // lands in the retired (dying) table, not a revived
+                    // map entry.
+                    let table = ns.dlht_handle(&self.dcache);
+                    self.dcache.dlht_insert_in(table, *sig, dentry);
                 }
                 Publish::Pcc { id, seq } => {
                     if let Some(pcc) = &pcc {

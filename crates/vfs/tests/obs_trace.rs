@@ -94,6 +94,72 @@ fn events_reconcile_with_dcache_stats() {
     }
 }
 
+/// The §14 tenancy counters reconcile the same way: every PCC eviction
+/// and namespace teardown fires one trace event at the site that bumps
+/// the matching `DcacheStats` counter, and `reset_stats` clears both.
+#[test]
+fn tenancy_events_reconcile_with_stats() {
+    let config = DcacheConfig::optimized()
+        .with_tenant_buckets(64)
+        .with_pcc_max_resident(2);
+    let k = obs_kernel(config);
+    let init = k.init_process();
+    k.mkdir(&init, "/t", 0o755).unwrap();
+    for f in 0..6 {
+        let fd = k
+            .open(&init, &format!("/t/f{f}"), OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&init, fd).unwrap();
+    }
+
+    // Three tenants; each namespace walks the tree under four distinct
+    // credentials, so 12 PCC attaches squeeze through a cap of 2.
+    let mut ns_ids = Vec::new();
+    for t in 0..3u32 {
+        let proc = k.spawn(&init);
+        let ns = k.unshare_ns(&proc).unwrap();
+        ns_ids.push(ns.id);
+        for c in 0..4u32 {
+            proc.set_cred(dc_vfs::Cred::user(3000 + t * 4 + c, 300));
+            for f in 0..6 {
+                k.stat(&proc, &format!("/t/f{f}")).unwrap();
+            }
+        }
+    }
+    let reports: Vec<_> = ns_ids
+        .iter()
+        .filter_map(|&ns| k.destroy_namespace(ns))
+        .collect();
+    assert_eq!(reports.len(), 3);
+
+    let obs = k.obs().obs().expect("recorder is enabled");
+    let stats = &k.dcache.stats;
+    let ev = |kind| obs.event_count(kind);
+    let st = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+
+    assert!(st(&stats.pcc_evictions) > 0, "cap of 2 must have evicted");
+    assert_eq!(ev(EventKind::PccEvict), st(&stats.pcc_evictions));
+    assert_eq!(ev(EventKind::NsTeardown), st(&stats.ns_teardowns));
+    assert_eq!(st(&stats.ns_teardowns), 3);
+    assert_eq!(
+        st(&stats.pccs_detached),
+        reports.iter().map(|r| r.pccs_detached).sum::<u64>()
+    );
+    assert_eq!(
+        st(&stats.teardown_entries),
+        reports.iter().map(|r| r.dlht_entries).sum::<u64>()
+    );
+
+    // reset_stats covers the tenancy counters like every other one.
+    k.reset_stats();
+    assert_eq!(ev(EventKind::PccEvict), 0);
+    assert_eq!(ev(EventKind::NsTeardown), 0);
+    assert_eq!(st(&stats.pcc_evictions), 0);
+    assert_eq!(st(&stats.pccs_detached), 0);
+    assert_eq!(st(&stats.ns_teardowns), 0);
+    assert_eq!(st(&stats.teardown_entries), 0);
+}
+
 #[test]
 fn snapshot_rates_match_stats_helpers() {
     let k = obs_kernel(DcacheConfig::optimized());
