@@ -18,7 +18,12 @@
 //! `crash` runs the seeded 200-point power-cut campaign: every captured
 //! image must remount, pass `fsck`, and match a committed-prefix shadow
 //! tree; the journal on/off overhead ablation closes the report.
-//! Results land in `BENCH_crash.json` and `EXPERIMENTS.md`. `fsck`
+//! A warm-restart phase then remounts every image with the persisted
+//! directory index (DESIGN.md §15): typed rehydration outcomes, zero
+//! wrong lookups against the recovered tree, a seeded index-corruption
+//! sub-campaign, and the ops-to-90%-hit-rate ablation (warm vs cold
+//! mount, floor 5×). Results land in `BENCH_crash.json`,
+//! `BENCH_warm.json`, and `EXPERIMENTS.md`. `fsck`
 //! runs the workload once, cuts power, and prints the recovered image's
 //! full invariant report.
 //!

@@ -40,6 +40,15 @@ pub const CAMPAIGN_POINTS: usize = 200;
 /// Probability that a cut tears the in-flight write in half.
 const TEAR_PROB: f64 = 0.25;
 
+/// Cap on the hot working set the campaign keeps warm and checkpoints
+/// into the warm index (bounds the rewarm cost at full scale).
+const HOT_CAP: usize = 1024;
+
+/// Op cadence of the rewarm + warm-checkpoint cycle. Offset from the
+/// 96-op cache-drop cadence so cut points land inside drop windows,
+/// rewarm windows, and index-checkpoint flush windows alike.
+const WARM_EVERY: usize = 192;
+
 /// Capacity/cache sizing: small enough that the workload overflows the
 /// page cache (dirty evictions reach the device at awkward moments —
 /// exactly the traffic the write-ordering contract must survive).
@@ -48,10 +57,10 @@ const CACHE_PAGES: usize = 2048;
 const MAX_INODES: u64 = 1 << 14;
 
 /// Deterministic op-stream generator (splitmix64).
-struct Rng(u64);
+pub(crate) struct Rng(pub(crate) u64);
 
 impl Rng {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -59,7 +68,7 @@ impl Rng {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         self.next() % n.max(1)
     }
 }
@@ -369,6 +378,32 @@ fn apply_tracked(fs: &MemFs, op: &Op) -> (bool, Option<u64>) {
     }
 }
 
+/// The campaign fixture shared by live runs and shadow replays: the
+/// lmbench fig. 8 ladder tree plus `/hot`, a directory of `hotset`
+/// files modeling the node's hot working set. The stats pull every
+/// path into the dcache, so subsequent warm checkpoints persist it.
+pub(crate) fn fixture(kernel: &Kernel, proc: &Arc<Process>, hotset: usize) {
+    lmbench::setup(kernel, proc).expect("lmbench fixture");
+    kernel.mkdir(proc, "/hot", 0o755).expect("hotset dir");
+    for i in 0..hotset {
+        let path = format!("/hot/h{i}");
+        let fd = kernel
+            .open(proc, &path, OpenFlags::create(), 0o644)
+            .expect("hotset file");
+        kernel.close(proc, fd).expect("hotset close");
+    }
+    rewarm(kernel, proc, hotset);
+}
+
+/// Walks the hot working set back into the dcache (what a serving node
+/// does between checkpoints anyway — the warm index snapshots exactly
+/// this state).
+pub(crate) fn rewarm(kernel: &Kernel, proc: &Arc<Process>, hotset: usize) {
+    for i in 0..hotset {
+        let _ = kernel.stat(proc, &format!("/hot/h{i}"));
+    }
+}
+
 /// Everything one campaign pass produces.
 struct RunResult {
     fs: Arc<MemFs>,
@@ -383,12 +418,19 @@ struct RunResult {
     checkpoints: u64,
     forced_checkpoints: u64,
     commits: u64,
+    /// Warm-index checkpoints persisted during the armed phase.
+    warm_checkpoints: u64,
 }
 
 /// One pass of the seeded workload: fig. 8 ladder + mutation stream on
 /// an optimized kernel over a journaled memfs. With a monitor attached
 /// the identical pass is re-run under scheduled power cuts.
-fn run_campaign(seed: u64, ops: usize, monitor: Option<&Arc<CrashMonitor>>) -> RunResult {
+fn run_campaign(
+    seed: u64,
+    ops: usize,
+    hotset: usize,
+    monitor: Option<&Arc<CrashMonitor>>,
+) -> RunResult {
     let disk = Arc::new(CachedDisk::new(DiskConfig {
         capacity_blocks: CAPACITY_BLOCKS,
         cache_pages: CACHE_PAGES,
@@ -411,7 +453,7 @@ fn run_campaign(seed: u64, ops: usize, monitor: Option<&Arc<CrashMonitor>>) -> R
         .build()
         .expect("kernel construction");
     let proc = kernel.init_process();
-    lmbench::setup(&kernel, &proc).expect("lmbench fixture");
+    fixture(&kernel, &proc, hotset);
     fs.sync().expect("post-setup checkpoint");
 
     let seq_base = fs.journal_seq().expect("journaled fs");
@@ -425,6 +467,7 @@ fn run_campaign(seed: u64, ops: usize, monitor: Option<&Arc<CrashMonitor>>) -> R
     }
 
     let mut ops_ok = 0u64;
+    let mut warm_checkpoints = 0u64;
     for i in 0..ops {
         // Keep the fig. 8 read ladder (and its evictions) in the mix.
         if i % 16 == 0 {
@@ -436,6 +479,14 @@ fn run_campaign(seed: u64, ops: usize, monitor: Option<&Arc<CrashMonitor>>) -> R
         // points also land inside checkpoint header/flush windows.
         if i % 96 == 95 {
             kernel.drop_caches();
+        }
+        // Rewarm the hot set and persist the warm index, so cut points
+        // also land before, inside, and after index-checkpoint flushes
+        // and the captured images carry real index state to recover.
+        if i % WARM_EVERY == 100 {
+            rewarm(&kernel, &proc, hotset);
+            kernel.warm_checkpoint().expect("warm checkpoint");
+            warm_checkpoints += 1;
         }
         let op = gen.next_op();
         let (ok, created) = apply_tracked(&fs, &op);
@@ -466,6 +517,7 @@ fn run_campaign(seed: u64, ops: usize, monitor: Option<&Arc<CrashMonitor>>) -> R
         checkpoints: stats1.checkpoints - stats0.checkpoints,
         forced_checkpoints: stats1.forced_checkpoints - stats0.forced_checkpoints,
         commits: stats1.commits - stats0.commits,
+        warm_checkpoints,
     }
 }
 
@@ -545,7 +597,7 @@ impl Verdict {
 
 /// Remounts, fscks, and prefix-checks every captured image against a
 /// shadow file system that replays the committed op prefix.
-fn verify_images(seed: u64, run: &RunResult, images: Vec<CrashImage>) -> Verdict {
+fn verify_images(seed: u64, hotset: usize, run: &RunResult, images: &[CrashImage]) -> Verdict {
     let mut v = Verdict {
         images: images.len(),
         ..Default::default()
@@ -574,7 +626,7 @@ fn verify_images(seed: u64, run: &RunResult, images: Vec<CrashImage>) -> Verdict
             .build()
             .expect("shadow kernel");
         let proc = kernel.init_process();
-        lmbench::setup(&kernel, &proc).expect("shadow fixture");
+        fixture(&kernel, &proc, hotset);
     }
     shadow.sync().expect("shadow checkpoint");
     let mut applied = 0usize;
@@ -583,7 +635,7 @@ fn verify_images(seed: u64, run: &RunResult, images: Vec<CrashImage>) -> Verdict
     // ever advances (commit records reach the device in seq order, so
     // this is also roughly cut order).
     let mut mounted: Vec<(usize, Arc<CachedDisk>, Arc<MemFs>)> = Vec::new();
-    for img in &images {
+    for img in images {
         if img.torn_block.is_some() {
             v.torn += 1;
         }
@@ -775,18 +827,21 @@ fn journal_overhead(seed: u64, scale: &Scale) -> [OverheadRow; 2] {
 pub fn crash(scale: Scale, seed: u64) -> bool {
     println!("\n==== Crash campaign: {CAMPAIGN_POINTS} seeded power cuts, seed {seed:#x} ====");
     let ops = scale.tree_files.max(400) * 4; // quick: 1600 ops, full: 20k
+    let hotset = scale.tree_files.clamp(400, HOT_CAP);
 
     // Pass 1: count device writes so cut points span the whole run.
     let t0 = Instant::now();
-    let pass1 = run_campaign(seed, ops, None);
+    let pass1 = run_campaign(seed, ops, hotset, None);
     println!(
-        "pass 1: {} ops ({} committed) -> {} device writes, {} commits, {} checkpoints ({} forced) [{:?}]",
+        "pass 1: {} ops ({} committed) -> {} device writes, {} commits, {} checkpoints ({} forced), \
+         {} warm-index checkpoints [{:?}]",
         pass1.oplog.len(),
         pass1.ops_ok,
         pass1.writes_during,
         pass1.commits,
         pass1.checkpoints,
         pass1.forced_checkpoints,
+        pass1.warm_checkpoints,
         t0.elapsed(),
     );
 
@@ -806,7 +861,7 @@ pub fn crash(scale: Scale, seed: u64) -> bool {
         );
     }
     let t1 = Instant::now();
-    let pass2 = run_campaign(seed, ops, Some(&monitor));
+    let pass2 = run_campaign(seed, ops, hotset, Some(&monitor));
     let images = monitor.take_images();
     println!(
         "pass 2: captured {} crash images over {} writes [{:?}]",
@@ -816,7 +871,7 @@ pub fn crash(scale: Scale, seed: u64) -> bool {
     );
 
     let t2 = Instant::now();
-    let v = verify_images(seed, &pass2, images);
+    let v = verify_images(seed, hotset, &pass2, &images);
     let mut t = Table::new(&["check", "count", "failures"]);
     t.row(vec![
         "images captured".into(),
@@ -900,7 +955,13 @@ pub fn crash(scale: Scale, seed: u64) -> bool {
         Ok(()) => println!("appended EXPERIMENTS.md"),
         Err(e) => eprintln!("warning: could not append EXPERIMENTS.md: {e}"),
     }
-    v.clean() && warm_ok
+
+    // Warm-restart phase (DESIGN.md §15): rehydrate every surviving
+    // image, corrupt its index and rehydrate again, and run the
+    // ops-to-90%-hit-rate ablation. Its own floor feeds the exit code.
+    let warm_restart_ok = crate::warm::phase(seed, hotset, images);
+
+    v.clean() && warm_ok && warm_restart_ok
 }
 
 /// The `repro fsck --seed N` entry point: runs the seeded workload,
@@ -909,7 +970,8 @@ pub fn crash(scale: Scale, seed: u64) -> bool {
 pub fn fsck_cmd(scale: Scale, seed: u64) {
     println!("\n==== fsck: seeded workload, power cut, recover, check (seed {seed:#x}) ====");
     let ops = scale.tree_files.max(400);
-    let run = run_campaign(seed, ops, None);
+    let hotset = scale.tree_files.clamp(400, HOT_CAP);
+    let run = run_campaign(seed, ops, hotset, None);
     let disk = run.fs.disk().clone();
     let dropped = disk.power_cut();
     println!(

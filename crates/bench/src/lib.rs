@@ -14,5 +14,6 @@ pub mod fleet;
 pub mod serve;
 pub mod setup;
 pub mod table;
+pub mod warm;
 
 pub use setup::{Scale, Setup};

@@ -83,6 +83,27 @@ impl CrashImage {
     pub fn written_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// XORs one byte of the captured image at (`block`, `offset`) with
+    /// `mask` — the corruption-campaign primitive: bit rot injected
+    /// *after* the power cut, before remount. A block the cut never
+    /// flushed is materialized as zeros first (it reads as zeros either
+    /// way, so the flip is still visible to the mounter). A zero `mask`
+    /// is forced to `0x01` so every call really corrupts. Returns
+    /// `false` (and changes nothing) when the target is out of range.
+    pub fn corrupt_byte(&mut self, block: u64, offset: usize, mask: u8) -> bool {
+        if block >= self.capacity_blocks || offset >= self.block_size {
+            return false;
+        }
+        let mut data = self
+            .blocks
+            .get(&block)
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; self.block_size]);
+        data[offset] ^= if mask == 0 { 0x01 } else { mask };
+        self.blocks.insert(block, Bytes::from(data));
+        true
+    }
 }
 
 impl std::fmt::Debug for CrashImage {
@@ -283,6 +304,28 @@ mod tests {
             .filter_map(|_| m.note_write().map(|d| d.ordinal))
             .collect();
         assert_eq!(fired, vec![2, 5]);
+    }
+
+    #[test]
+    fn corrupt_byte_flips_materializes_and_bounds_checks() {
+        let mut img = CrashImage {
+            cut_at_write: 1,
+            torn_block: None,
+            block_size: 8,
+            capacity_blocks: 2,
+            blocks: HashMap::new(),
+        };
+        // Never-flushed block materializes as zeros with the flip applied.
+        assert!(img.corrupt_byte(0, 3, 0xA5));
+        assert_eq!(img.blocks[&0][3], 0xA5);
+        assert_eq!(img.blocks[&0][0], 0);
+        // Zero mask still corrupts.
+        assert!(img.corrupt_byte(0, 3, 0));
+        assert_eq!(img.blocks[&0][3], 0xA4);
+        // Out-of-range targets are refused.
+        assert!(!img.corrupt_byte(2, 0, 1));
+        assert!(!img.corrupt_byte(0, 8, 1));
+        assert_eq!(img.written_blocks(), 1);
     }
 
     #[test]

@@ -105,6 +105,19 @@ counters! {
     ns_teardowns,
     /// Live DLHT entries retired with their namespace's table.
     teardown_entries,
+    /// Warm-restart index checkpoints persisted to disk.
+    warm_checkpoints,
+    /// Index entries examined by warm-restart rehydration.
+    warm_restart_attempts,
+    /// Rehydrated dentries validated against the recovered tree and
+    /// published into the dcache/DLHT.
+    warm_restart_published,
+    /// Index entries rejected by per-entry validation (stale name,
+    /// missing inode, or a parent that was itself rejected).
+    warm_restart_rejected,
+    /// Warm restarts that fell back to an entirely cold cache (index
+    /// absent, corrupt, wrong version, or bound to a future sequence).
+    warm_restart_fallbacks,
 }
 
 impl DcacheStats {

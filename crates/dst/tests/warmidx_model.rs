@@ -1,0 +1,142 @@
+//! Model check for the warm-index checkpoint ordering contract
+//! (`dc-fs/src/memfs/warmidx.rs` + `MemFs::warm_checkpoint`,
+//! DESIGN.md §15).
+//!
+//! The warm index persists `bound_seq`, the journal transaction it
+//! claims everything it references is durable up to. Rehydration trusts
+//! an index only when `bound_seq ≤` the recovered journal tail, so the
+//! safety of the whole scheme rests on one ordering discipline inside
+//! `warm_checkpoint`: **journal-checkpoint the log to sequence S (tail
+//! durable), then write the index bound to S** — all under the big-op
+//! lock, so no transaction commits in between and S can never exceed the
+//! durable tail. A power cut observes the device at an arbitrary point,
+//! so at every instant the durable image must satisfy
+//! `index.bound_seq ≤ durable_tail`.
+//!
+//! The model keeps the two durable regions as one atomic word each and
+//! runs the protocol under the deterministic scheduler with a concurrent
+//! crash observer. The `injected_*` test reverses the arc (index written
+//! before the journal checkpoint — the bug skipping the checkpoint, or
+//! binding to `next_seq` instead of the durable tail, would cause): the
+//! checker must find a schedule where a cut leaves an index referencing
+//! a transaction the recovered journal never reached, and must reproduce
+//! it from the reported seed and trace.
+
+use dst::sync::atomic::{AtomicU64, Ordering};
+use dst::sync::Arc;
+
+/// The durable device image, one word per region. Each store models one
+/// flush completing — the only granularity a power cut can split.
+struct Device {
+    /// Highest journal sequence that is durably checkpointed (the tail
+    /// recovery reconstructs: commit records + in-place state).
+    durable_tail: AtomicU64,
+    /// `bound_seq` of the newest durable warm-index generation (0 when
+    /// no index has been written).
+    index_bound: AtomicU64,
+}
+
+impl Device {
+    fn new() -> Device {
+        Device {
+            durable_tail: AtomicU64::new(0),
+            index_bound: AtomicU64::new(0),
+        }
+    }
+
+    /// One `warm_checkpoint` at journal sequence `s`. `checkpoint_first`
+    /// is the real protocol; the injected bug writes the index before
+    /// the journal tail is durable at `s`.
+    fn warm_checkpoint(&self, s: u64, checkpoint_first: bool) {
+        if checkpoint_first {
+            self.durable_tail.store(s, Ordering::Release);
+            self.index_bound.store(s, Ordering::Release);
+        } else {
+            // BUG: the index flush overtakes the journal checkpoint —
+            // what binding to `next_seq`, or dropping the big-op lock
+            // between the two flushes, permits.
+            self.index_bound.store(s, Ordering::Release);
+            self.durable_tail.store(s, Ordering::Release);
+        }
+    }
+
+    /// What mount-time rehydration would find after a cut here. Reads
+    /// run index-first, mirroring the real order (recovery replays the
+    /// journal before `read_warm_index` compares `bound_seq` to it), so
+    /// a racing tail advance can only make the observation safer.
+    fn observe(&self) -> (u64, u64) {
+        let bound = self.index_bound.load(Ordering::Acquire);
+        let tail = self.durable_tail.load(Ordering::Acquire);
+        (bound, tail)
+    }
+}
+
+fn check_crash_point(d: &Device) {
+    let (bound, tail) = d.observe();
+    assert!(
+        bound <= tail,
+        "warm index bound to txn {bound} but the durable journal tail is {tail}: \
+         a cut here leaves an index referencing a future the disk never reached"
+    );
+}
+
+#[test]
+fn index_never_references_past_the_durable_tail() {
+    dst::check(
+        "warmidx-bound-order",
+        dst::Config::default()
+            .iterations(6000)
+            .seed(0x3A91)
+            .from_env(),
+        || {
+            let d = Arc::new(Device::new());
+            let writer = {
+                let d = d.clone();
+                dst::thread::spawn(move || {
+                    // Two successive checkpoints at advancing sequences
+                    // (generations alternate halves on disk; the bound
+                    // ordering contract is identical for both).
+                    d.warm_checkpoint(3, true);
+                    d.warm_checkpoint(7, true);
+                })
+            };
+            // The crash observer: every interleaving point is a
+            // possible power cut.
+            for _ in 0..3 {
+                check_crash_point(&d);
+            }
+            writer.join().unwrap();
+            check_crash_point(&d);
+            assert_eq!(d.observe(), (7, 7));
+        },
+    );
+}
+
+#[test]
+fn injected_index_before_checkpoint_is_caught_and_replays() {
+    let body = || {
+        let d = Arc::new(Device::new());
+        let writer = {
+            let d = d.clone();
+            dst::thread::spawn(move || d.warm_checkpoint(5, false))
+        };
+        for _ in 0..2 {
+            check_crash_point(&d);
+        }
+        writer.join().unwrap();
+    };
+    let report = dst::explore(dst::Config::default().iterations(4000).seed(0x3A92), body);
+    let failure = report
+        .failure
+        .expect("the checker must catch index-before-checkpoint");
+    assert!(
+        failure.message.contains("future the disk never reached"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    // Seed replay and exact-trace replay both reproduce the violation.
+    let msg = dst::replay(failure.seed, failure.policy, body).expect("seed must reproduce");
+    assert!(msg.contains("future the disk never reached"));
+    let msg = dst::replay_trace(failure.trace.clone(), body).expect("trace must reproduce");
+    assert!(msg.contains("future the disk never reached"));
+}

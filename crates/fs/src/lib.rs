@@ -44,5 +44,8 @@ pub use api::{
     MODE_SUID,
 };
 pub use error::{FsError, FsResult};
-pub use memfs::{fsck, FsckError, FsckReport, JournalStats, MemFs, MemFsConfig, ReplayInfo};
+pub use memfs::{
+    fsck, FsckError, FsckReport, JournalStats, MemFs, MemFsConfig, ReplayInfo, WarmEntry, WarmLoad,
+    WarmReject,
+};
 pub use pseudofs::{PseudoFs, PseudoNode};

@@ -8,6 +8,7 @@ use super::inode::{
 use super::journal::{Journal, JournalStats, ReplayInfo};
 use super::layout::{Geometry, NDIRECT};
 use super::store::{MetaStore, Tx};
+use super::warmidx::{self, WarmEntry, WarmLoad, WarmReject};
 use crate::api::{DirEntry, FileSystem, FileType, FsStats, InodeAttr, SetAttr, StatFs};
 use crate::error::{FsError, FsResult};
 use bytes::Bytes;
@@ -96,6 +97,9 @@ pub struct MemFs {
     /// concurrent ops could both claim it. Taken before the shard locks.
     big_op: Mutex<()>,
     replay: ReplayInfo,
+    /// Generation of the most recent warm-index checkpoint (continues
+    /// above whatever the on-disk headers claim at mount).
+    warm_gen: AtomicU64,
 }
 
 impl MemFs {
@@ -126,8 +130,11 @@ impl MemFs {
         // The journal region is always formatted (recovery runs on every
         // mount, journaling enabled or not), and the freshly formatted
         // image is made durable so a cut at any later point recovers to
-        // at worst an empty root.
+        // at worst an empty root. The warm-index headers are invalidated
+        // too: reformatting must not resurrect a previous file system's
+        // directory index.
         Journal::format(&disk, &geo)?;
+        warmidx::format(&disk, &geo)?;
         disk.sync()?;
         Self::mount_with(disk, config.journal)
     }
@@ -153,6 +160,7 @@ impl MemFs {
             free_inodes: geo.max_inodes - used_inodes,
             free_blocks: geo.capacity_blocks - used_blocks,
         };
+        let warm_gen = warmidx::last_gen(&disk, &geo)?;
         Ok(Arc::new(MemFs {
             disk,
             geo,
@@ -165,6 +173,7 @@ impl MemFs {
             journal: journal.then(|| Journal::open(&geo, &replay)),
             big_op: Mutex::new(()),
             replay,
+            warm_gen: AtomicU64::new(warm_gen),
         }))
     }
 
@@ -205,6 +214,62 @@ impl MemFs {
     /// Transactions mount-time recovery actually replayed.
     pub fn replayed_txns(&self) -> u64 {
         self.replay.replayed
+    }
+
+    /// Checkpoints the warm-restart directory index: journal-checkpoints
+    /// first (so everything the index may reference is durable in
+    /// place), then persists `entries` bound to the durable tail
+    /// sequence, under the big-op lock so no transaction can slip in
+    /// between — the index can never reference a transaction newer than
+    /// the durable tail. Entries must be ordered parents-before-children
+    /// (any capacity-truncated prefix stays parent-closed). Returns how
+    /// many entries were persisted.
+    pub fn warm_checkpoint(&self, entries: &[WarmEntry]) -> FsResult<usize> {
+        let _big = self.big_op.lock();
+        let bound_seq = match &self.journal {
+            Some(j) => {
+                j.checkpoint(&self.disk)?;
+                j.committed_seq()
+            }
+            None => {
+                self.disk.sync()?;
+                0
+            }
+        };
+        let gen = self.warm_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        let kept = warmidx::checkpoint(&self.disk, &self.geo, entries, bound_seq, gen)?;
+        if let Some(obs) = self.disk.recorder() {
+            obs.event(|| dc_obs::TraceEvent::WarmCheckpoint {
+                entries: kept as u32,
+            });
+        }
+        Ok(kept)
+    }
+
+    /// Reads the warm-restart index, typed. On top of the on-disk
+    /// validation (headers, generations, checksums) this rejects an
+    /// index bound to a journal transaction newer than anything this
+    /// file system has committed — such an index describes a future the
+    /// disk never reached and nothing in it can be trusted. Right after
+    /// mount the committed horizon is exactly what recovery
+    /// reconstructed, so a torn or misordered checkpoint from the
+    /// previous incarnation is caught here.
+    pub fn read_warm_index(&self) -> FsResult<WarmLoad> {
+        let load = warmidx::read(&self.disk, &self.geo)?;
+        if let WarmLoad::Loaded { bound_seq, .. } = &load {
+            let committed = self
+                .journal
+                .as_ref()
+                .map(|j| j.committed_seq())
+                .unwrap_or(self.replay.last_seq);
+            if *bound_seq > committed {
+                return Ok(WarmLoad::Rejected(WarmReject::FutureSeq {
+                    bound_seq: *bound_seq,
+                    recovered_seq: committed,
+                }));
+            }
+        }
+        Ok(load)
     }
 
     /// Runs one mutating operation under the shard locks covering
@@ -1404,5 +1469,149 @@ mod tests {
         assert_eq!(fs3.recovered_seq(), seq);
         assert_eq!(fs3.replayed_txns(), 0, "second recovery replayed anew");
         assert!(fs3.lookup(fs3.root_ino(), "twice").is_ok());
+    }
+
+    fn warm_entry(sig: u64, ino: u64, parent: u64, name: &str) -> WarmEntry {
+        WarmEntry {
+            sig: [sig, 0, 0, 0],
+            ino,
+            parent,
+            state_acc: [0; 4],
+            state_pos: 3,
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn warm_checkpoint_binds_durable_tail() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        let kept = fs
+            .warm_checkpoint(&[warm_entry(11, d.ino, r, "d")])
+            .unwrap();
+        assert_eq!(kept, 1);
+        // The checkpoint forces a journal checkpoint first, so the bound
+        // sequence equals the durable tail, which after a checkpoint is
+        // everything committed so far.
+        match fs.read_warm_index().unwrap() {
+            WarmLoad::Loaded {
+                entries, bound_seq, ..
+            } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].ino, d.ino);
+                assert_eq!(entries[0].name, "d");
+                assert_eq!(bound_seq, fs.journal_stats().unwrap().commits);
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_index_survives_power_cut_and_remount() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "keep", 0o755, 0, 0).unwrap();
+        fs.warm_checkpoint(&[warm_entry(7, d.ino, r, "keep")])
+            .unwrap();
+        // Post-checkpoint mutations commit to the journal but don't
+        // invalidate the (now slightly stale) index.
+        fs.create(r, "later", 0o644, 0, 0).unwrap();
+        fs.disk().power_cut();
+        let disk = fs.disk().clone();
+        drop(fs);
+        let fs2 = MemFs::mount(disk).unwrap();
+        match fs2.read_warm_index().unwrap() {
+            WarmLoad::Loaded {
+                entries, bound_seq, ..
+            } => {
+                assert_eq!(entries[0].name, "keep");
+                assert!(
+                    bound_seq <= fs2.recovered_seq(),
+                    "index bound past the recovered tail"
+                );
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_bound_to_future_sequence_is_rejected() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        // Bypass warm_checkpoint and bind the index to a sequence the
+        // journal never reached: a checkpoint-ordering bug's signature.
+        let bogus = fs.recovered_seq() + 1_000;
+        warmidx::checkpoint(
+            fs.disk(),
+            fs.geometry(),
+            &[warm_entry(5, d.ino, r, "d")],
+            bogus,
+            1,
+        )
+        .unwrap();
+        match fs.read_warm_index().unwrap() {
+            WarmLoad::Rejected(WarmReject::FutureSeq { bound_seq, .. }) => {
+                assert_eq!(bound_seq, bogus)
+            }
+            other => panic!("expected FutureSeq rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_checkpoint_works_without_journal() {
+        let fs = newfs_nojournal();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        fs.warm_checkpoint(&[warm_entry(3, d.ino, r, "d")]).unwrap();
+        match fs.read_warm_index().unwrap() {
+            WarmLoad::Loaded { bound_seq, .. } => assert_eq!(bound_seq, 0),
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_generation_continues_across_remount() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "a", 0o755, 0, 0).unwrap();
+        fs.warm_checkpoint(&[warm_entry(1, d.ino, r, "a")]).unwrap();
+        fs.warm_checkpoint(&[warm_entry(2, d.ino, r, "a")]).unwrap();
+        let disk = fs.disk().clone();
+        drop(fs);
+        // A checkpoint after remount must out-generation both on-disk
+        // copies, or mount would resurrect the older index.
+        let fs2 = MemFs::mount(disk).unwrap();
+        let e = fs2.mkdir(fs2.root_ino(), "b", 0o755, 0, 0).unwrap();
+        fs2.warm_checkpoint(&[warm_entry(9, e.ino, fs2.root_ino(), "b")])
+            .unwrap();
+        match fs2.read_warm_index().unwrap() {
+            WarmLoad::Loaded { entries, gen, .. } => {
+                assert_eq!(entries[0].name, "b");
+                assert!(gen >= 3, "generation regressed: {gen}");
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mkfs_clears_stale_warm_index() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "old", 0o755, 0, 0).unwrap();
+        fs.warm_checkpoint(&[warm_entry(4, d.ino, r, "old")])
+            .unwrap();
+        let disk = fs.disk().clone();
+        drop(fs);
+        let fs2 = MemFs::mkfs(
+            disk,
+            MemFsConfig {
+                max_inodes: 4096,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(fs2.read_warm_index().unwrap(), WarmLoad::Absent));
     }
 }

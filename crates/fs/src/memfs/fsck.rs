@@ -23,7 +23,7 @@ use super::layout::{Geometry, INODE_SIZE};
 use crate::api::FileType;
 use crate::error::FsResult;
 use dc_blockdev::CachedDisk;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +112,24 @@ pub enum FsckError {
         /// The inode.
         ino: u64,
     },
+    /// Two warm-index entries carry the same path signature.
+    WarmIndexDuplicateKey {
+        /// Inode of the second entry with the repeated signature.
+        ino: u64,
+    },
+    /// A warm-index entry references an out-of-range inode number.
+    WarmIndexOrphanSig {
+        /// The bad inode number.
+        ino: u64,
+    },
+    /// A warm-index entry's parent is neither the root nor an index
+    /// entry appearing earlier in the (parents-first) entry stream.
+    WarmIndexDanglingParent {
+        /// The entry's inode.
+        ino: u64,
+        /// The missing or misordered parent.
+        parent: u64,
+    },
 }
 
 impl std::fmt::Display for FsckError {
@@ -153,6 +171,18 @@ impl std::fmt::Display for FsckError {
                 write!(f, "inode {ino} allocated in bitmap but record is free")
             }
             FsckError::UnreadableInode { ino } => write!(f, "inode {ino} undecodable"),
+            FsckError::WarmIndexDuplicateKey { ino } => {
+                write!(f, "warm index: duplicate signature (entry for inode {ino})")
+            }
+            FsckError::WarmIndexOrphanSig { ino } => {
+                write!(f, "warm index: entry references out-of-range inode {ino}")
+            }
+            FsckError::WarmIndexDanglingParent { ino, parent } => {
+                write!(
+                    f,
+                    "warm index: entry for inode {ino} has dangling parent {parent}"
+                )
+            }
         }
     }
 }
@@ -168,6 +198,10 @@ pub struct FsckReport {
     pub dirs: u64,
     /// Data blocks reachable from inodes (indirect blocks included).
     pub blocks_reachable: u64,
+    /// Whether a checksum-valid warm-restart index was present.
+    pub warm_index_present: bool,
+    /// Entries in that index (0 when absent).
+    pub warm_entries: u64,
 }
 
 impl FsckReport {
@@ -409,6 +443,41 @@ pub fn fsck(disk: &CachedDisk) -> FsResult<FsckReport> {
         }
     }
 
+    // Warm-restart index pass: internal consistency only. The index may
+    // legitimately lag the tree (operations commit after a checkpoint),
+    // so staleness against the directory walk above is the mount path's
+    // per-entry fallback, not damage; likewise a checksum-invalid index
+    // is mount's whole-index fallback and is simply skipped here.
+    if let Some(entries) = super::warmidx::read_for_fsck(disk, &geo)? {
+        report.warm_index_present = true;
+        report.warm_entries = entries.len() as u64;
+        let mut keys: HashSet<[u64; 4]> = HashSet::with_capacity(entries.len());
+        let mut seen_inos: HashSet<u64> = HashSet::with_capacity(entries.len() + 1);
+        seen_inos.insert(root);
+        for e in &entries {
+            if !keys.insert(e.sig) {
+                report
+                    .errors
+                    .push(FsckError::WarmIndexDuplicateKey { ino: e.ino });
+            }
+            if e.ino >= geo.max_inodes {
+                report
+                    .errors
+                    .push(FsckError::WarmIndexOrphanSig { ino: e.ino });
+            }
+            // Entries are written parents-first, and capacity truncation
+            // drops a suffix, so a valid index always introduces a parent
+            // before any of its children.
+            if !seen_inos.contains(&e.parent) {
+                report.errors.push(FsckError::WarmIndexDanglingParent {
+                    ino: e.ino,
+                    parent: e.parent,
+                });
+            }
+            seen_inos.insert(e.ino);
+        }
+    }
+
     Ok(report)
 }
 
@@ -498,6 +567,82 @@ mod tests {
             .errors
             .iter()
             .any(|e| matches!(e, FsckError::OrphanBlock { block } if *block == victim)));
+    }
+
+    fn warm_entry(sig: u64, ino: u64, parent: u64, name: &str) -> super::super::WarmEntry {
+        super::super::WarmEntry {
+            sig: [sig, sig ^ 1, sig ^ 2, sig ^ 3],
+            ino,
+            parent,
+            state_acc: [0; 4],
+            state_pos: 3,
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_warm_index_passes_and_is_counted() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        let f = fs.create(d.ino, "f", 0o644, 0, 0).unwrap();
+        let entries = vec![
+            warm_entry(10, d.ino, r, "d"),
+            warm_entry(20, f.ino, d.ino, "f"),
+        ];
+        assert_eq!(fs.warm_checkpoint(&entries).unwrap(), 2);
+        let report = fsck(fs.disk()).unwrap();
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        assert!(report.warm_index_present);
+        assert_eq!(report.warm_entries, 2);
+    }
+
+    #[test]
+    fn absent_warm_index_is_not_an_error() {
+        let fs = newfs();
+        let report = fsck(fs.disk()).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.warm_index_present);
+        assert_eq!(report.warm_entries, 0);
+    }
+
+    #[test]
+    fn detects_warm_index_duplicate_key() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        let e = fs.mkdir(r, "e", 0o755, 0, 0).unwrap();
+        let entries = vec![warm_entry(10, d.ino, r, "d"), warm_entry(10, e.ino, r, "e")];
+        fs.warm_checkpoint(&entries).unwrap();
+        let report = fsck(fs.disk()).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|x| matches!(x, FsckError::WarmIndexDuplicateKey { ino } if *ino == e.ino)));
+    }
+
+    #[test]
+    fn detects_warm_index_orphan_and_dangling_parent() {
+        let fs = newfs();
+        let r = fs.root_ino();
+        let d = fs.mkdir(r, "d", 0o755, 0, 0).unwrap();
+        let geo = *fs.geometry();
+        let entries = vec![
+            // Out-of-range inode number.
+            warm_entry(10, geo.max_inodes + 7, r, "ghost"),
+            // Parent not introduced by any earlier entry (misordered or
+            // missing — either way the prefix is not parent-closed).
+            warm_entry(20, d.ino, 999, "d"),
+        ];
+        fs.warm_checkpoint(&entries).unwrap();
+        let report = fsck(fs.disk()).unwrap();
+        assert!(report.errors.iter().any(
+            |x| matches!(x, FsckError::WarmIndexOrphanSig { ino } if *ino == geo.max_inodes + 7)
+        ));
+        assert!(report
+            .errors
+            .iter()
+            .any(|x| matches!(x, FsckError::WarmIndexDanglingParent { parent: 999, .. })));
     }
 
     #[test]

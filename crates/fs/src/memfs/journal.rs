@@ -40,7 +40,9 @@ const JH_MAGIC: u64 = 0x4443_4a48_4452_5331; // "DCJHDRS1"
 const JD_MAGIC: u64 = 0x4443_4a44_4553_4331; // "DCJDESC1"
 const JC_MAGIC: u64 = 0x4443_4a43_4d54_5331; // "DCJCMTS1"
 
-fn fnv64(parts: &[&[u8]]) -> u64 {
+/// FNV-1a over a list of byte slices; shared with the warm-restart
+/// index, whose headers use the same checksum discipline.
+pub(crate) fn fnv64(parts: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for part in parts {
         for &b in *part {

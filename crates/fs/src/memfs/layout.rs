@@ -4,9 +4,10 @@ use crate::error::{FsError, FsResult};
 use dc_blockdev::CachedDisk;
 
 /// Magic tag identifying a memfs superblock. Bumped to `S2` when the
-/// reserved journal region was added to the geometry — `S1` images are
-/// not mountable (the layout shifted).
-pub const MAGIC: u64 = 0x4443_4d45_4d46_5332; // "DCMEMFS2"
+/// reserved journal region was added to the geometry, and to `S3` when
+/// the warm-restart index region followed it — older images are not
+/// mountable (the layout shifted).
+pub const MAGIC: u64 = 0x4443_4d45_4d46_5333; // "DCMEMFS3"
 
 /// Bytes per on-disk inode record.
 pub const INODE_SIZE: usize = 128;
@@ -40,6 +41,11 @@ pub struct Geometry {
     pub journal_start: u64,
     /// Total journal blocks (headers + log region).
     pub journal_blocks: u64,
+    /// First block of the warm-restart directory index (two A/B header
+    /// blocks, then two alternating payload halves).
+    pub warmidx_start: u64,
+    /// Total warm-index blocks (headers + both payload halves).
+    pub warmidx_blocks: u64,
     /// First data block.
     pub data_start: u64,
 }
@@ -60,7 +66,14 @@ impl Geometry {
         // fit a useful log, capped so huge devices don't waste space.
         // +2 for the dual header blocks.
         let journal_blocks = (capacity_blocks / 64).clamp(16, 1024) + 2;
-        let data_start = journal_start + journal_blocks;
+        let warmidx_start = journal_start + journal_blocks;
+        // Two payload halves (checkpoints alternate between them so a
+        // torn write can never destroy the previous generation), plus
+        // the two header blocks. Sized like the journal: a floor for
+        // tiny test disks, a cap for huge ones.
+        let warmidx_half = (capacity_blocks / 128).clamp(8, 256);
+        let warmidx_blocks = warmidx_half * 2 + 2;
+        let data_start = warmidx_start + warmidx_blocks;
         Geometry {
             block_size,
             capacity_blocks,
@@ -73,8 +86,15 @@ impl Geometry {
             itab_blocks,
             journal_start,
             journal_blocks,
+            warmidx_start,
+            warmidx_blocks,
             data_start,
         }
+    }
+
+    /// Blocks in one warm-index payload half.
+    pub fn warmidx_half(&self) -> u64 {
+        (self.warmidx_blocks - 2) / 2
     }
 
     /// Inode records per inode-table block.
@@ -107,6 +127,8 @@ impl Geometry {
         w.u64(self.itab_blocks);
         w.u64(self.journal_start);
         w.u64(self.journal_blocks);
+        w.u64(self.warmidx_start);
+        w.u64(self.warmidx_blocks);
         w.u64(self.data_start);
         buf
     }
@@ -134,6 +156,8 @@ impl Geometry {
             itab_blocks: r.u64()?,
             journal_start: r.u64()?,
             journal_blocks: r.u64()?,
+            warmidx_start: r.u64()?,
+            warmidx_blocks: r.u64()?,
             data_start: r.u64()?,
         };
         // Cross-check against a fresh computation to reject corruption.
@@ -258,10 +282,23 @@ mod tests {
         assert!(g.ibmap_start < g.bbmap_start);
         assert!(g.bbmap_start < g.itab_start);
         assert!(g.itab_start < g.journal_start);
-        assert!(g.journal_start < g.data_start);
-        assert_eq!(g.journal_start + g.journal_blocks, g.data_start);
+        assert!(g.journal_start < g.warmidx_start);
+        assert_eq!(g.journal_start + g.journal_blocks, g.warmidx_start);
+        assert_eq!(g.warmidx_start + g.warmidx_blocks, g.data_start);
         assert!(g.data_start < g.capacity_blocks);
         assert_eq!(g.ibmap_blocks, (1u64 << 16).div_ceil(4096 * 8));
+    }
+
+    #[test]
+    fn warmidx_region_is_clamped_and_even() {
+        // Tiny device: floor of 8 blocks per half + 2 headers.
+        let tiny = Geometry::compute(4096, 512, 128);
+        assert_eq!(tiny.warmidx_blocks, 18);
+        assert_eq!(tiny.warmidx_half(), 8);
+        // Huge device: cap of 256 blocks per half + 2 headers.
+        let huge = Geometry::compute(4096, 1 << 22, 1 << 20);
+        assert_eq!(huge.warmidx_blocks, 514);
+        assert_eq!(huge.warmidx_half(), 256);
     }
 
     #[test]

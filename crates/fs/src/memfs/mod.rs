@@ -3,11 +3,13 @@
 //! Layout (all sizes in 4 KiB blocks by default):
 //!
 //! ```text
-//! block 0        superblock
-//! ibmap_start..  inode allocation bitmap
-//! bbmap_start..  block allocation bitmap
-//! itab_start..   inode table (128-byte records, 32 per block)
-//! data_start..   data blocks: file content and directory entry streams
+//! block 0          superblock
+//! ibmap_start..    inode allocation bitmap
+//! bbmap_start..    block allocation bitmap
+//! itab_start..     inode table (128-byte records, 32 per block)
+//! journal_start..  metadata write-ahead journal
+//! warmidx_start..  warm-restart directory index (A/B checkpoints)
+//! data_start..     data blocks: file content and directory entry streams
 //! ```
 //!
 //! Directories use ext2-style **block-local records** — `lookup` linearly
@@ -24,7 +26,9 @@ mod inode;
 mod journal;
 mod layout;
 mod store;
+mod warmidx;
 
 pub use fs::{MemFs, MemFsConfig};
 pub use fsck::{fsck, FsckError, FsckReport};
 pub use journal::{JournalStats, ReplayInfo};
+pub use warmidx::{WarmEntry, WarmLoad, WarmReject};

@@ -135,11 +135,15 @@ pub enum EventKind {
     PccEvict,
     /// `NsTeardown`.
     NsTeardown,
+    /// `WarmCheckpoint`.
+    WarmCheckpoint,
+    /// `WarmRestart`.
+    WarmRestart,
 }
 
 impl EventKind {
     /// Number of kinds (length of the counter array).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 28;
 
     /// Every kind, in index order.
     pub fn all() -> [EventKind; EventKind::COUNT] {
@@ -170,6 +174,8 @@ impl EventKind {
             EventKind::ServeConn,
             EventKind::PccEvict,
             EventKind::NsTeardown,
+            EventKind::WarmCheckpoint,
+            EventKind::WarmRestart,
         ]
     }
 
@@ -203,6 +209,8 @@ impl EventKind {
             EventKind::ServeConn => 23,
             EventKind::PccEvict => 24,
             EventKind::NsTeardown => 25,
+            EventKind::WarmCheckpoint => 26,
+            EventKind::WarmRestart => 27,
         }
     }
 
@@ -235,6 +243,8 @@ impl EventKind {
             EventKind::ServeConn => "serve_conn",
             EventKind::PccEvict => "pcc_evict",
             EventKind::NsTeardown => "ns_teardown",
+            EventKind::WarmCheckpoint => "warm_checkpoint",
+            EventKind::WarmRestart => "warm_restart",
         }
     }
 
@@ -281,6 +291,8 @@ impl EventKind {
             TraceEvent::ServeConn => EventKind::ServeConn,
             TraceEvent::PccEvict => EventKind::PccEvict,
             TraceEvent::NsTeardown { .. } => EventKind::NsTeardown,
+            TraceEvent::WarmCheckpoint { .. } => EventKind::WarmCheckpoint,
+            TraceEvent::WarmRestart { .. } => EventKind::WarmRestart,
         }
     }
 }

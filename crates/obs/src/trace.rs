@@ -135,6 +135,24 @@ pub enum TraceEvent {
         /// PCC instances detached from their credentials.
         pccs: u32,
     },
+    /// The warm-restart directory index was checkpointed to its
+    /// journal-adjacent disk region (journal tail durable first).
+    WarmCheckpoint {
+        /// Index entries persisted (after any capacity truncation).
+        entries: u32,
+    },
+    /// A mount attempted to rehydrate the directory cache from the
+    /// warm-restart index.
+    WarmRestart {
+        /// Dentries validated against the recovered tree and published.
+        published: u32,
+        /// Index entries rejected by per-entry validation (stale or
+        /// orphaned against the recovered metadata).
+        rejected: u32,
+        /// True when the whole index was unusable (absent, corrupt,
+        /// version/sequence mismatch) and the cache starts cold.
+        fallback: bool,
+    },
 }
 
 /// A [`TraceEvent`] stamped with a global sequence number and the

@@ -36,6 +36,21 @@ impl HashState {
     pub fn is_root(&self) -> bool {
         self.pos == 0
     }
+
+    /// The raw accumulator lanes and stream position, for serialization
+    /// (the warm-restart index persists dentry hash states across a
+    /// remount). Exact round-trip with [`HashState::from_wire`].
+    pub fn to_wire(&self) -> ([u64; LANES], u32) {
+        (self.acc, self.pos)
+    }
+
+    /// Reconstructs a state from its [`to_wire`](HashState::to_wire)
+    /// parts. The state is only meaningful under the key that produced
+    /// it; callers that cannot prove the key survived (e.g. warm restart
+    /// under a fresh boot key) must recompute rather than trust it.
+    pub fn from_wire(acc: [u64; LANES], pos: u32) -> Self {
+        HashState { acc, pos }
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +73,16 @@ mod tests {
         key.push_component(&mut st, b"abcdefgh"); // 2 words + separator
         assert_eq!(st.words_consumed(), 3);
         assert!(!st.is_root());
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let key = HashKey::from_seed(9);
+        let mut st = key.root_state();
+        key.push_component(&mut st, b"usr");
+        key.push_component(&mut st, b"include");
+        let (acc, pos) = st.to_wire();
+        assert_eq!(HashState::from_wire(acc, pos), st);
     }
 
     #[test]

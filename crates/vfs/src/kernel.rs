@@ -51,6 +51,9 @@ pub struct Kernel {
     /// [`Kernel::metrics_registry`] and cleared by
     /// [`Kernel::reset_stats`].
     extra_sources: Mutex<Vec<Arc<dyn MetricSource>>>,
+    /// Outcome of the build-time warm restart, when
+    /// [`KernelBuilder::warm_restart`] requested one.
+    pub(crate) warm_outcome: Mutex<Option<crate::warm::WarmRestartOutcome>>,
 }
 
 /// Registered (file system → superblock) pairs; weak on the FS side so
@@ -64,6 +67,7 @@ pub struct KernelBuilder {
     root_fs: Option<Arc<dyn FileSystem>>,
     root_flags: MountFlags,
     obs: Option<ObsConfig>,
+    warm_restart: bool,
 }
 
 impl KernelBuilder {
@@ -76,7 +80,18 @@ impl KernelBuilder {
             root_fs: None,
             root_flags: MountFlags::default(),
             obs: None,
+            warm_restart: false,
         }
+    }
+
+    /// Attempts a warm restart during [`build`](KernelBuilder::build):
+    /// after the root mounts (journal replay included), the dcache is
+    /// rehydrated from the on-disk warm index. Any index problem falls
+    /// back to a cold cache — `build` never fails because of it. The
+    /// outcome is available from [`Kernel::warm_outcome`].
+    pub fn warm_restart(mut self, enabled: bool) -> Self {
+        self.warm_restart = enabled;
+        self
     }
 
     /// Enables observability: latency histograms, lookup span tracing,
@@ -133,6 +148,10 @@ impl KernelBuilder {
             }
         };
         let kernel = Kernel::assemble(dcache, self.security, root_fs, self.root_flags)?;
+        if self.warm_restart {
+            let outcome = kernel.warm_restart()?;
+            *kernel.warm_outcome.lock() = Some(outcome);
+        }
         Ok(kernel)
     }
 }
@@ -191,7 +210,16 @@ impl Kernel {
             superblocks: Mutex::new(sb_registry),
             shrinkers,
             extra_sources: Mutex::new(Vec::new()),
+            warm_outcome: Mutex::new(None),
         }))
+    }
+
+    /// The build-time warm-restart outcome, if
+    /// [`KernelBuilder::warm_restart`] ran one (`None` otherwise; a
+    /// manual [`Kernel::warm_restart`] call returns its outcome
+    /// directly).
+    pub fn warm_outcome(&self) -> Option<crate::warm::WarmRestartOutcome> {
+        self.warm_outcome.lock().clone()
     }
 
     /// The init process (pid 1, root credentials, at `/`).

@@ -53,6 +53,7 @@ mod serve;
 mod syscalls;
 mod timing;
 mod walk;
+mod warm;
 
 pub use handle::{Handle, OpenFlags};
 pub use kernel::{Kernel, KernelBuilder, TeardownReport};
@@ -62,9 +63,13 @@ pub use path::{split_path, PathRef, WalkResult};
 pub use process::Process;
 pub use serve::{LookupReply, SigLookup};
 pub use timing::{SyscallClass, SyscallTiming};
+pub use warm::{WarmFallback, WarmRestartOutcome};
 
 pub use dc_cred::{Cred, CredBuilder, SecurityStack};
-pub use dc_fs::{DirEntry, FileSystem, FileType, FsError, FsResult, InodeAttr, SetAttr};
+pub use dc_fs::{
+    DirEntry, FileSystem, FileType, FsError, FsResult, InodeAttr, SetAttr, WarmEntry, WarmLoad,
+    WarmReject,
+};
 pub use dc_obs::{
     EventKind, HistSummary, LookupOutcome, MetricsSnapshot, ObsConfig, OpClass, Recorder, Registry,
     TraceEvent, TraceRing,

@@ -160,6 +160,57 @@ fn tenancy_events_reconcile_with_stats() {
     assert_eq!(st(&stats.teardown_entries), 0);
 }
 
+/// The warm-restart counters reconcile the same way: one
+/// `WarmCheckpoint` event per persisted checkpoint, one `WarmRestart`
+/// event per rehydration attempt, each fired at the site that bumps the
+/// matching `DcacheStats` counter — and `reset_stats` clears both.
+#[test]
+fn warm_events_reconcile_with_stats() {
+    let k = obs_kernel(DcacheConfig::optimized());
+    let p = k.init_process();
+    k.mkdir(&p, "/w", 0o755).unwrap();
+    for f in 0..5 {
+        let fd = k
+            .open(&p, &format!("/w/f{f}"), OpenFlags::create(), 0o644)
+            .unwrap();
+        k.close(&p, fd).unwrap();
+    }
+    let kept = k.warm_checkpoint().unwrap();
+    assert!(kept >= 6, "dir + 5 files expected, kept {kept}");
+    let outcome = k.warm_restart().unwrap();
+    assert!(outcome.fallback.is_none());
+    assert_eq!(outcome.published, outcome.attempted);
+
+    let obs = k.obs().obs().expect("recorder is enabled");
+    let stats = &k.dcache.stats;
+    let ev = |kind| obs.event_count(kind);
+    let st = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+
+    assert_eq!(ev(EventKind::WarmCheckpoint), st(&stats.warm_checkpoints));
+    assert_eq!(st(&stats.warm_checkpoints), 1);
+    assert_eq!(ev(EventKind::WarmRestart), st(&stats.warm_restart_attempts));
+    assert_eq!(st(&stats.warm_restart_attempts), 1);
+    assert_eq!(st(&stats.warm_restart_published), outcome.published);
+    assert_eq!(st(&stats.warm_restart_rejected), outcome.rejected);
+    assert_eq!(st(&stats.warm_restart_fallbacks), 0);
+
+    // Both exporters carry the counters under their stable keys.
+    let snap = k.metrics_snapshot();
+    let json = snap.to_json();
+    let text = snap.to_text();
+    for key in ["warm_checkpoints", "warm_restart_published"] {
+        assert!(json.contains(key), "{key} missing from JSON export");
+        assert!(text.contains(key), "{key} missing from text export");
+    }
+
+    k.reset_stats();
+    assert_eq!(ev(EventKind::WarmCheckpoint), 0);
+    assert_eq!(ev(EventKind::WarmRestart), 0);
+    assert_eq!(st(&stats.warm_checkpoints), 0);
+    assert_eq!(st(&stats.warm_restart_attempts), 0);
+    assert_eq!(st(&stats.warm_restart_published), 0);
+}
+
 #[test]
 fn snapshot_rates_match_stats_helpers() {
     let k = obs_kernel(DcacheConfig::optimized());
